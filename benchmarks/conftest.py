@@ -1,0 +1,45 @@
+"""Shared benchmark configuration.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper at a reduced GA budget (the pipeline is identical;
+only population/generations shrink — set ``REPRO_FULL=1`` for the
+paper's exact budget).  Each module prints its paper-vs-measured table
+and also writes it to ``bench_results/`` so the output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, full_mode
+from repro.ga.engine import GAConfig
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+
+def bench_config(seed: int = 0) -> ExperimentConfig:
+    """Benchmark-scale budget: smaller population, baseline-seeded."""
+    if full_mode():
+        return ExperimentConfig(seed=seed)
+    return ExperimentConfig(
+        ga=GAConfig(
+            population_size=8, min_generations=4, max_generations=6, seed=seed
+        ),
+        n_samples=164,
+        seed=seed,
+    )
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under bench_results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    return bench_config()

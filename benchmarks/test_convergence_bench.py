@@ -1,0 +1,30 @@
+"""Benchmark: §3.3 GA convergence at the paper's exact budget.
+
+Population 30, crossover 0.9, mutation 0.001, ≥15/≤25 generations,
+purely random initialisation — the paper reports convergence within 15
+generations for most nests (450 evaluations) and 15–25 for the rest.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.convergence import format_convergence, run_convergence
+
+
+def test_convergence_paper_budget(benchmark):
+    rows = benchmark.pedantic(
+        run_convergence,
+        kwargs={
+            "kernels": [("MM", 100), ("T2D", 500)],
+            "config": ExperimentConfig(seed=0),
+            "paper_budget": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    publish("convergence", format_convergence(rows))
+    for r in rows:
+        assert 15 <= r.generations <= 25  # the Fig. 7 schedule
+        assert r.evaluations == 30 * r.generations
+        # memoisation: the GA revisits genotypes as the population
+        # converges, so distinct evaluations < total
+        assert r.distinct_evaluations < r.evaluations

@@ -1,0 +1,48 @@
+"""Micro-benchmarks: the exact trace-simulation substrate."""
+
+import numpy as np
+
+from repro.cache.config import CACHE_8KB_DM, CacheConfig
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from repro.simulator.cachesim import simulate_lru, simulate_trace
+from repro.simulator.classify import simulate_program
+from repro.simulator.trace import address_trace
+from repro.kernels.registry import get_kernel
+
+
+def test_trace_generation_speed(benchmark):
+    nest = get_kernel("MM", 64)
+    layout = MemoryLayout(nest.arrays())
+    prog = program_from_nest(nest)
+    trace = benchmark(lambda: address_trace(prog, layout))
+    assert len(trace) == nest.num_accesses
+
+
+def test_direct_mapped_simulation_speed(benchmark):
+    nest = get_kernel("MM", 64)
+    layout = MemoryLayout(nest.arrays())
+    trace = address_trace(program_from_nest(nest), layout)
+    miss = benchmark(lambda: simulate_trace(trace, CACHE_8KB_DM))
+    assert miss.any()
+
+
+def test_lru_simulation_speed(benchmark):
+    rng = np.random.default_rng(0)
+    trace = rng.integers(0, 1 << 20, size=200_000)
+    cache = CacheConfig(8 * 1024, 32, 4)
+    benchmark.pedantic(
+        lambda: simulate_lru(trace, cache), rounds=3, iterations=1
+    )
+
+
+def test_full_program_simulation_speed(benchmark):
+    nest = get_kernel("JACOBI3D", 40)
+    layout = MemoryLayout(nest.arrays())
+    prog = program_from_nest(nest)
+    res = benchmark.pedantic(
+        lambda: simulate_program(prog, layout, CACHE_8KB_DM),
+        rounds=3,
+        iterations=1,
+    )
+    assert res.accesses == nest.num_accesses

@@ -1,0 +1,40 @@
+"""Micro-benchmarks: CME solver throughput and §2.3 sampling claims."""
+
+from benchmarks.conftest import publish
+from repro.cache.config import CACHE_8KB_DM
+from repro.cme.analyzer import LocalityAnalyzer
+from repro.cme.sampling import required_sample_size
+from repro.experiments.solver_speed import format_validation, run_solver_validation
+from repro.kernels.registry import get_kernel
+
+
+def test_sampled_estimate_speed_mm2000(benchmark):
+    """One full 164-point CME evaluation of MM N=2000 — the GA's inner
+    loop.  Cost must be independent of the 8·10⁹-access trace length."""
+    nest = get_kernel("MM", 2000)
+    analyzer = LocalityAnalyzer(nest, CACHE_8KB_DM, seed=0)
+    est = benchmark(lambda: analyzer.estimate(tile_sizes=(32, 32, 32)))
+    assert est.sampled_points == 164
+
+
+def test_point_classification_speed(benchmark):
+    """Single-point classification on a tiled (multi-region) space."""
+    from repro.cme.solver import PointClassifier
+    from repro.layout.memory import MemoryLayout
+    from repro.transform.tiling import tile_program
+
+    nest = get_kernel("MM", 500)
+    layout = MemoryLayout(nest.arrays())
+    prog = tile_program(nest, (30, 30, 30))
+    pc = PointClassifier(prog, layout, CACHE_8KB_DM)
+    p = prog.point_map.from_original((251, 252, 253))
+    benchmark(lambda: pc.classify_point(p))
+
+
+def test_sampling_validation_table(benchmark):
+    """§2.3 accuracy: sampled CME vs exact simulation on small kernels."""
+    rows = benchmark.pedantic(run_solver_validation, rounds=1, iterations=1)
+    publish("solver_validation", format_validation(rows))
+    assert required_sample_size(0.1, 0.90) == 164
+    for r in rows:
+        assert r.within_ci, (r.label, r.exact_miss, r.sampled_miss)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 2 (GA tiling on the four showcase kernels)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2_reproduction(benchmark, experiment_config):
+    rows = benchmark.pedantic(
+        run_table2, args=(experiment_config,), rounds=1, iterations=1
+    )
+    publish("table2", format_table2(rows))
+    # The paper's claim: post-tiling replacement ratio near zero.
+    for r in rows:
+        assert r.repl_after < 0.10, (r.kernel, r.repl_after)
+        assert r.repl_after <= r.repl_before

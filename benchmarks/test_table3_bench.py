@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Table 3 (padding, then padding+tiling)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.common import full_mode
+from repro.experiments.table3 import PAPER_TABLE3, format_table3, run_table3
+
+#: In quick mode, one entry per kernel at 8KB plus the 32KB BTRIX row;
+#: REPRO_FULL=1 runs all ten published rows.
+QUICK_ENTRIES = [
+    ("ADD", 64, 8),
+    ("BTRIX", 64, 8),
+    ("VPENTA1", 128, 8),
+    ("VPENTA2", 128, 8),
+    ("ADI", 1000, 8),
+    ("BTRIX", 64, 32),
+]
+
+
+def test_table3_reproduction(benchmark, experiment_config):
+    entries = None if full_mode() else QUICK_ENTRIES
+    rows = benchmark.pedantic(
+        run_table3,
+        args=(experiment_config,),
+        kwargs={"entries": entries},
+        rounds=1,
+        iterations=1,
+    )
+    publish("table3", format_table3(rows))
+    for r in rows:
+        # Padding+tiling must fix what tiling alone could not.
+        assert r.padding_tiling <= r.original + 0.02
+        if r.kernel == "BTRIX":
+            # BTRIX is pure conflict: padding alone nearly eliminates it.
+            assert r.padding < 0.15, r
+        assert r.padding_tiling < 0.15, r

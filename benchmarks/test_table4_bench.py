@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 4 from the figure sweeps.
+
+Runs its own sweeps (kept independent of the figure benches so each
+benchmark is self-contained), then aggregates the post-tiling
+replacement ratios into the paper's <1% / <2% / <5% percentages.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.table4 import format_table4, run_table4
+
+
+def _run(config):
+    fig8 = run_figure8(config)
+    fig9 = run_figure9(config)
+    return run_table4(config, fig8, fig9)
+
+
+def test_table4_reproduction(benchmark, experiment_config):
+    rows = benchmark.pedantic(_run, args=(experiment_config,), rounds=1, iterations=1)
+    publish("table4", format_table4(rows))
+    by_cache = {r.cache_kb: r for r in rows}
+    # Paper: every eligible kernel lands under 5% after tiling, and the
+    # 32KB distribution dominates the 8KB one threshold-by-threshold.
+    assert by_cache[8].fractions[2] >= 0.9
+    assert by_cache[32].fractions[2] >= 0.9
+    for f8, f32 in zip(by_cache[8].fractions, by_cache[32].fractions):
+        assert f32 >= f8 - 0.10

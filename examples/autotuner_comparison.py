@@ -1,0 +1,76 @@
+"""Compare the GA+CME tiler against every implemented baseline.
+
+For one conflict-prone kernel (T2D at N=2000), evaluates under the same
+CME objective:
+
+* the §5 analytical selectors (LRW, Coleman–McKinley TSS,
+  Sarkar–Megiddo, Ghosh's CME bounds);
+* generic searches at the GA's evaluation budget (random, hill
+  climbing, simulated annealing);
+* the paper's GA;
+* and — since the iteration space is only 2000² — a coarse grid search
+  bracketing the true optimum.
+
+Run:  python examples/autotuner_comparison.py
+"""
+
+from repro import CACHE_8KB_DM, GAConfig, LocalityAnalyzer, kernels
+from repro.baselines import (
+    coleman_mckinley_tiles,
+    exhaustive_search,
+    ghosh_cme_tiles,
+    hill_climb,
+    lrw_tiles,
+    random_search,
+    sarkar_megiddo_tiles,
+    simulated_annealing,
+)
+from repro.ga.objective import TilingObjective
+from repro.ga.tiling_search import optimize_tiling
+
+
+def main() -> None:
+    nest = kernels.make_t2d(2000)
+    cache = CACHE_8KB_DM
+    analyzer = LocalityAnalyzer(nest, cache, seed=0)
+    objective = TilingObjective(analyzer)
+    untiled = analyzer.estimate().replacement_ratio
+    print(f"{nest.name} on {cache}: untiled replacement {untiled:.2%}\n")
+
+    rows: list[tuple[str, tuple[int, ...], float]] = []
+
+    def record(label, tiles):
+        rows.append((label, tiles, analyzer.estimate(tile_sizes=tiles).replacement_ratio))
+
+    record("LRW sqrt tiles", lrw_tiles(nest, cache))
+    record("Coleman-McKinley TSS", coleman_mckinley_tiles(nest, cache))
+    record("Sarkar-Megiddo model", sarkar_megiddo_tiles(nest, cache))
+    record("Ghosh CME bounds", ghosh_cme_tiles(nest, cache))
+
+    budget = 240
+    t, _, _ = random_search(nest, objective, budget=budget, seed=0)
+    record(f"random search ({budget} evals)", t)
+    t, _, _ = hill_climb(nest, objective, max_evals=budget)
+    record("hill climbing", t)
+    t, _, _ = simulated_annealing(nest, objective, budget=budget, seed=0)
+    record("simulated annealing", t)
+
+    ga = optimize_tiling(
+        nest, cache,
+        config=GAConfig(population_size=12, min_generations=8,
+                        max_generations=12, seed=0),
+        seed=0,
+    )
+    record("GA + CME (paper)", ga.tile_sizes)
+
+    t, _, evals = exhaustive_search(nest, objective, max_points_per_dim=12)
+    record(f"grid search ({evals} evals)", t)
+
+    width = max(len(r[0]) for r in rows)
+    for label, tiles, ratio in sorted(rows, key=lambda r: r[2]):
+        print(f"  {label:<{width}}  T={'x'.join(map(str, tiles)):<12} "
+              f"repl {ratio:7.2%}")
+
+
+if __name__ == "__main__":
+    main()

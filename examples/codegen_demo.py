@@ -1,0 +1,52 @@
+"""Figures 2 & 3 as running code: strip-mining regions and tiled source.
+
+Shows (a) the exact convex-region decomposition of a strip-mined loop
+whose width does not divide the trip count — the paper's Fig. 2(b),
+contrasted with the approximations 2(c)/2(d) it rejects — and (b) the
+Fig. 3 before/after source of the tiled 2-D transposition in Fortran,
+C and Python.
+
+Run:  python examples/codegen_demo.py
+"""
+
+from repro import Array, Loop, LoopNest, write
+from repro.ir.affine import AffineExpr
+from repro.ir.codegen import c_source, fortran_source, python_source
+from repro.kernels.linalg import make_t2d
+from repro.transform.stripmine import strip_mine
+
+
+def fig2() -> None:
+    a = Array("a", (7,))
+    i = AffineExpr.var("i")
+    nest = LoopNest("fig2", (Loop("i", 1, 7),), (write(a, i),),
+                    statement="a(i) = 0.0")
+    print("Fig. 2(a) — original loop:\n")
+    print(fortran_source(nest))
+    prog = strip_mine(nest, "i", 3)
+    print("Fig. 2(b) — exact regions after strip-mining by 3:")
+    for r in prog.space.regions:
+        (t_lo, u_lo), (t_hi, u_hi) = r.lo, r.hi
+        kind = "full tiles" if u_hi - u_lo + 1 == 3 else "boundary tile"
+        print(f"  tile index ii in [{t_lo},{t_hi}], element u in "
+              f"[{u_lo},{u_hi}]   ({kind}, {r.volume} iterations)")
+    total = prog.space.num_points
+    print(f"  -> {total} iterations, exactly the original 7 "
+          "(no Fig. 2(c) overshoot, no Fig. 2(d) undershoot)\n")
+
+
+def fig3() -> None:
+    nest = make_t2d(8)
+    print("Fig. 3(a) — 2-D transposition before tiling:\n")
+    print(fortran_source(nest))
+    print("Fig. 3(b) — after tiling with T = (3, 4):\n")
+    print(fortran_source(nest, tile_sizes=(3, 4)))
+    print("the same nest in C:\n")
+    print(c_source(nest, tile_sizes=(3, 4)))
+    print("and as Python:\n")
+    print(python_source(nest, tile_sizes=(3, 4)))
+
+
+if __name__ == "__main__":
+    fig2()
+    fig3()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` in
+offline environments that lack the ``wheel`` package required by
+PEP 660 editable installs.  Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

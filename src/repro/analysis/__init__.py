@@ -1,0 +1,15 @@
+"""Tile-space analysis: landscapes, local minima, robustness."""
+
+from repro.analysis.landscape import (
+    LandscapeScan,
+    count_local_minima,
+    scan_2d_landscape,
+    tile_sensitivity,
+)
+
+__all__ = [
+    "LandscapeScan",
+    "scan_2d_landscape",
+    "count_local_minima",
+    "tile_sensitivity",
+]

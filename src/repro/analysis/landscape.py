@@ -1,0 +1,150 @@
+"""Objective-landscape analysis over the tile-size space.
+
+§3.1 motivates the GA by the landscape's character: the objective is a
+pseudo-polynomial, highly non-linear integer function with local
+minima.  These utilities make that concrete and testable:
+
+* :func:`scan_2d_landscape` — evaluate the replacement-miss objective
+  over a grid of two tile dimensions (other dimensions fixed);
+* :func:`count_local_minima` — grid-local minima count (the quantity
+  that defeats hill climbing);
+* :func:`tile_sensitivity` — robustness of a chosen tile to ±1 steps
+  and to problem-size drift, the practical "is this tile brittle?"
+  question for a compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cme.analyzer import LocalityAnalyzer
+from repro.ir.loops import LoopNest
+
+
+def _grid(extent: int, points: int) -> list[int]:
+    if extent <= points:
+        return list(range(1, extent + 1))
+    vals = sorted({max(1, round(x)) for x in np.geomspace(1, extent, points)})
+    return vals
+
+
+@dataclass(frozen=True)
+class LandscapeScan:
+    """A 2-D slice of the tiling objective."""
+
+    nest_name: str
+    dims: tuple[int, int]  # which loop indices vary
+    axis0: tuple[int, ...]
+    axis1: tuple[int, ...]
+    ratios: np.ndarray  # shape (len(axis0), len(axis1))
+
+    @property
+    def best(self) -> tuple[int, int, float]:
+        """(t0, t1, ratio) of the grid minimum."""
+        idx = np.unravel_index(int(self.ratios.argmin()), self.ratios.shape)
+        return self.axis0[idx[0]], self.axis1[idx[1]], float(self.ratios[idx])
+
+    def render(self, levels: str = " .:-=+*#%@") -> str:
+        """ASCII heat map (dark = many misses)."""
+        lo = float(self.ratios.min())
+        hi = float(self.ratios.max())
+        span = (hi - lo) or 1.0
+        lines = [
+            f"{self.nest_name}: replacement ratio over tile dims "
+            f"{self.dims} (min {lo:.1%} @ T={self.best[:2]}, max {hi:.1%})"
+        ]
+        for i, t0 in enumerate(self.axis0):
+            row = "".join(
+                levels[min(len(levels) - 1,
+                           int((self.ratios[i, j] - lo) / span * (len(levels) - 1)))]
+                for j in range(len(self.axis1))
+            )
+            lines.append(f"T0={t0:<5d} |{row}|")
+        return "\n".join(lines)
+
+
+def scan_2d_landscape(
+    nest: LoopNest,
+    cache: CacheConfig,
+    dims: tuple[int, int] = (-2, -1),
+    points: int = 16,
+    fixed: dict[int, int] | None = None,
+    seed: int = 0,
+    n_samples: int = 164,
+) -> LandscapeScan:
+    """Evaluate the sampled objective over a 2-D tile grid."""
+    analyzer = LocalityAnalyzer(nest, cache, n_samples=n_samples, seed=seed)
+    depth = nest.depth
+    d0, d1 = (d % depth for d in dims)
+    if d0 == d1:
+        raise ValueError("landscape dims must differ")
+    base = [l.extent for l in nest.loops]
+    for d, t in (fixed or {}).items():
+        base[d % depth] = t
+    axis0 = _grid(nest.loops[d0].extent, points)
+    axis1 = _grid(nest.loops[d1].extent, points)
+    ratios = np.empty((len(axis0), len(axis1)))
+    for i, t0 in enumerate(axis0):
+        for j, t1 in enumerate(axis1):
+            tiles = list(base)
+            tiles[d0] = t0
+            tiles[d1] = t1
+            ratios[i, j] = analyzer.estimate(tile_sizes=tiles).replacement_ratio
+    return LandscapeScan(
+        nest_name=nest.name,
+        dims=(d0, d1),
+        axis0=tuple(axis0),
+        axis1=tuple(axis1),
+        ratios=ratios,
+    )
+
+
+def count_local_minima(scan: LandscapeScan, tolerance: float = 0.0) -> int:
+    """Grid points strictly better than all 4-neighbours (within tol)."""
+    r = scan.ratios
+    n0, n1 = r.shape
+    count = 0
+    for i in range(n0):
+        for j in range(n1):
+            neighbours = []
+            if i > 0:
+                neighbours.append(r[i - 1, j])
+            if i + 1 < n0:
+                neighbours.append(r[i + 1, j])
+            if j > 0:
+                neighbours.append(r[i, j - 1])
+            if j + 1 < n1:
+                neighbours.append(r[i, j + 1])
+            if all(r[i, j] < v - tolerance for v in neighbours):
+                count += 1
+    return count
+
+
+def tile_sensitivity(
+    nest: LoopNest,
+    cache: CacheConfig,
+    tiles: tuple[int, ...],
+    seed: int = 0,
+    n_samples: int = 164,
+) -> dict[str, float]:
+    """Replacement ratios at the tile and its ±1 neighbours per dim.
+
+    Returns ``{"T": ratio, "dim0+1": ..., "dim0-1": ..., ...}``; a
+    brittle tile shows large jumps among these, a robust one does not.
+    """
+    analyzer = LocalityAnalyzer(nest, cache, n_samples=n_samples, seed=seed)
+    out = {"T": analyzer.estimate(tile_sizes=tiles).replacement_ratio}
+    for d, loop in enumerate(nest.loops):
+        for delta in (+1, -1):
+            t = tiles[d] + delta
+            if not 1 <= t <= loop.extent:
+                continue
+            cand = list(tiles)
+            cand[d] = t
+            out[f"dim{d}{delta:+d}"] = analyzer.estimate(
+                tile_sizes=cand
+            ).replacement_ratio
+    return out

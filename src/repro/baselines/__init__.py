@@ -1,0 +1,29 @@
+"""Baseline tile-size selection algorithms and generic searches.
+
+The paper's related-work section (§5) surveys analytical tile-size
+selectors; we implement them (plus generic search baselines) so the
+GA+CME approach can be compared on equal footing — the comparison the
+paper itself declined for methodological reasons (§4.3).  All selectors
+return plain tile-size tuples; evaluation goes through the common
+:class:`~repro.cme.analyzer.LocalityAnalyzer`.
+"""
+
+from repro.baselines.exhaustive import exhaustive_search
+from repro.baselines.random_search import random_search
+from repro.baselines.hillclimb import hill_climb
+from repro.baselines.annealing import simulated_annealing
+from repro.baselines.lrw import lrw_tiles
+from repro.baselines.tss import coleman_mckinley_tiles
+from repro.baselines.sarkar_megiddo import sarkar_megiddo_tiles
+from repro.baselines.ghosh_cme import ghosh_cme_tiles
+
+__all__ = [
+    "exhaustive_search",
+    "random_search",
+    "hill_climb",
+    "simulated_annealing",
+    "lrw_tiles",
+    "coleman_mckinley_tiles",
+    "sarkar_megiddo_tiles",
+    "ghosh_cme_tiles",
+]

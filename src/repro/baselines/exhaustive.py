@@ -1,0 +1,57 @@
+"""Exhaustive and grid search over tile sizes.
+
+Exhaustive search is the gold standard the GA is judged against
+("near-optimal"): for small search spaces it enumerates every tile
+vector; for larger spaces a logarithmic grid bounds the work while
+still bracketing the optimum region.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable
+
+from repro.ir.loops import LoopNest
+
+
+def _grid(extent: int, max_points: int) -> list[int]:
+    """Log-spaced candidate tile sizes in [1, extent], always incl. ends."""
+    if extent <= max_points:
+        return list(range(1, extent + 1))
+    vals = {1, extent}
+    x = 1.0
+    ratio = extent ** (1.0 / (max_points - 1))
+    for _ in range(max_points):
+        x *= ratio
+        vals.add(min(extent, max(1, round(x))))
+    return sorted(vals)
+
+
+def exhaustive_search(
+    nest: LoopNest,
+    objective: Callable[[tuple[int, ...]], float],
+    max_points_per_dim: int | None = None,
+) -> tuple[tuple[int, ...], float, int]:
+    """Minimise ``objective`` over (a grid of) all tile vectors.
+
+    Returns ``(best_tiles, best_value, evaluations)``.  With
+    ``max_points_per_dim=None`` the search is truly exhaustive — only
+    sensible when ``Π extent_i`` is small.
+    """
+    axes = []
+    for loop in nest.loops:
+        if max_points_per_dim is None:
+            axes.append(list(range(1, loop.extent + 1)))
+        else:
+            axes.append(_grid(loop.extent, max_points_per_dim))
+    best: tuple[int, ...] | None = None
+    best_val = float("inf")
+    count = 0
+    for tiles in product(*axes):
+        val = objective(tiles)
+        count += 1
+        if val < best_val:
+            best_val = val
+            best = tiles
+    assert best is not None
+    return best, best_val, count

@@ -1,0 +1,52 @@
+"""Ghosh et al.'s CME-guided tile selection (§5 first baseline).
+
+Their technique "maximises the tile size for every self-interference
+equation": for each reference and each tiled dimension, the largest
+tile extent whose footprint walks the cache without revisiting a set is
+derived from the reference's stride modulo the way size; the per-
+reference bounds are combined by taking the minimum per dimension
+(the combination rule their paper leaves unspecified, as §5 notes).
+Cross-interference equations are not consulted — the documented
+limitation that motivates the GA approach.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from repro.cache.config import CacheConfig
+from repro.ir.loops import LoopNest
+from repro.layout.memory import MemoryLayout
+
+
+def _self_interference_bound(stride: int, cache: CacheConfig) -> int:
+    """Largest extent along a stride without set reuse (self-interference)."""
+    if stride == 0:
+        return 1 << 30  # invariant dimension: no constraint
+    stride = abs(stride)
+    m = cache.way_bytes
+    if stride >= m:
+        g = gcd(stride, m)
+        # Footprint revisits a set every m/g steps.
+        return max(1, m // g)
+    # Walking by `stride` covers m/stride distinct positions before
+    # wrapping; a full line-width margin guards spatial spill.
+    return max(1, m // stride)
+
+
+def ghosh_cme_tiles(
+    nest: LoopNest, cache: CacheConfig, layout: MemoryLayout | None = None
+) -> tuple[int, ...]:
+    """Per-dimension minima of the self-interference tile bounds."""
+    layout = layout or MemoryLayout(nest.arrays())
+    vars_ = nest.vars
+    tiles = []
+    for loop in nest.loops:
+        bound = loop.extent
+        for ref in nest.refs:
+            stride = layout.address_expr(ref).coeff(loop.var)
+            if stride == 0:
+                continue
+            bound = min(bound, _self_interference_bound(stride, cache))
+        tiles.append(max(1, min(bound, loop.extent)))
+    return tuple(tiles)

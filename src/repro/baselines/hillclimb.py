@@ -1,0 +1,48 @@
+"""Coordinate-descent hill climbing over tile sizes.
+
+A deterministic local search: starting from an initial tile vector, it
+repeatedly tries multiplicative and additive moves along each dimension
+and accepts strict improvements.  Hill climbing exposes exactly the
+local-minimum problem §3.1 raises for nonlinear integer optimisation —
+the motivation for using a global (genetic) search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.loops import LoopNest
+
+
+def hill_climb(
+    nest: LoopNest,
+    objective: Callable[[tuple[int, ...]], float],
+    start: tuple[int, ...] | None = None,
+    max_evals: int = 450,
+) -> tuple[tuple[int, ...], float, int]:
+    """Greedy coordinate descent; returns (tiles, value, evaluations)."""
+    extents = [loop.extent for loop in nest.loops]
+    if start is None:
+        start = tuple(max(1, e // 2) for e in extents)
+    current = tuple(start)
+    evals = 0
+    current_val = objective(current)
+    evals += 1
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for d in range(len(extents)):
+            for move in (lambda t: t * 2, lambda t: t // 2, lambda t: t + 1, lambda t: t - 1):
+                cand = list(current)
+                cand[d] = min(max(1, move(current[d])), extents[d])
+                cand = tuple(cand)
+                if cand == current:
+                    continue
+                val = objective(cand)
+                evals += 1
+                if val < current_val:
+                    current, current_val = cand, val
+                    improved = True
+                if evals >= max_evals:
+                    return current, current_val, evals
+    return current, current_val, evals

@@ -1,0 +1,31 @@
+"""Lam–Rothberg–Wolf style square tiles.
+
+The classical rule of thumb predating model-driven selection: pick a
+square tile whose working set occupies a fixed fraction of the cache,
+making self-interference unlikely for the common two-array working set.
+We tile the two innermost loops with ``T = ⌊sqrt(φ·C/es)⌋`` (``φ`` the
+occupancy fraction, default 0.5) and leave outer loops untiled.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cache.config import CacheConfig
+from repro.ir.loops import LoopNest
+
+
+def lrw_tiles(
+    nest: LoopNest, cache: CacheConfig, occupancy: float = 0.5
+) -> tuple[int, ...]:
+    """Square-tile heuristic; returns one tile size per loop."""
+    es = max(ref.array.element_size for ref in nest.refs)
+    target = max(1, int(math.sqrt(occupancy * cache.size_bytes / es)))
+    tiles = []
+    depth = nest.depth
+    for idx, loop in enumerate(nest.loops):
+        if idx >= depth - 2:
+            tiles.append(min(loop.extent, target))
+        else:
+            tiles.append(loop.extent)
+    return tuple(tiles)

@@ -1,0 +1,65 @@
+"""Coleman–McKinley TSS (tile size selection), PLDI'95 — §5 baseline.
+
+TSS picks the tile height from the Euclidean-remainder sequence of the
+cache size and the array's column footprint — heights for which a
+column block self-maps into the cache without self-interference — and
+then widens the tile while the cross-interference-free footprint still
+fits.  We implement the core algorithm for the innermost two loops of a
+column-major nest, using the dominant (largest-stride-reuse) array as
+the reference array, as the paper's description prescribes.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheConfig
+from repro.ir.loops import LoopNest
+from repro.layout.memory import MemoryLayout
+
+
+def _euclidean_heights(cache_bytes: int, col_bytes: int, es: int) -> list[int]:
+    """Gcd-style remainder sequence of candidate column heights."""
+    heights = []
+    a, b = cache_bytes, col_bytes % cache_bytes
+    while b > es:
+        heights.append(max(1, b // es))
+        a, b = b, a % b
+    heights.append(1)
+    return heights
+
+
+def coleman_mckinley_tiles(
+    nest: LoopNest, cache: CacheConfig, layout: MemoryLayout | None = None
+) -> tuple[int, ...]:
+    """TSS heuristic tiles (inner two loops tiled, outer loops left)."""
+    layout = layout or MemoryLayout(nest.arrays())
+    # Reference array: the one with the largest per-iteration stride sum
+    # (the array whose reuse tiling must protect).
+    vars_ = nest.vars
+    best_ref = max(
+        nest.refs,
+        key=lambda r: sum(abs(c) for c in layout.address_expr(r).coeff_vector(vars_)),
+    )
+    arr = best_ref.array
+    es = arr.element_size
+    col_bytes = arr.extents[0] * es
+
+    heights = _euclidean_heights(cache.size_bytes, max(col_bytes, es), es)
+    # Pick the largest height not exceeding the inner loop extent.
+    inner = nest.loops[-1]
+    mid = nest.loops[-2] if nest.depth >= 2 else None
+    height = 1
+    for h in heights:
+        if h <= inner.extent:
+            height = h
+            break
+    # Widen while the tile footprint (height × width columns) fits in a
+    # cross-interference-conscious fraction of the cache.
+    width = 1
+    if mid is not None:
+        denom = max(1, height * es * max(1, len(nest.refs) - 1))
+        width = max(1, min(mid.extent, cache.size_bytes // denom))
+    tiles = [loop.extent for loop in nest.loops]
+    tiles[-1] = min(height, inner.extent)
+    if mid is not None:
+        tiles[-2] = width
+    return tuple(tiles)

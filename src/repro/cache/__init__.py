@@ -1,0 +1,5 @@
+"""Parametric cache model (size / line / associativity)."""
+
+from repro.cache.config import CacheConfig, CACHE_8KB_DM, CACHE_32KB_DM
+
+__all__ = ["CacheConfig", "CACHE_8KB_DM", "CACHE_32KB_DM"]

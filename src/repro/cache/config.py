@@ -1,0 +1,68 @@
+"""Cache geometry and address mapping.
+
+Matches the paper's evaluation caches: physically indexed, with
+``sets = size / (line_size * associativity)`` and the set picked by the
+line-address bits (``set = (addr // line) mod sets``).  ``way_bytes``
+(= ``sets * line_size``) is the modulus ``M`` of the replacement
+equations: two addresses contend for the same set iff their line-aligned
+addresses are congruent modulo ``M``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A set-associative cache: ``size_bytes`` total, LRU replacement."""
+
+    size_bytes: int
+    line_size: int = 32
+    associativity: int = 1
+
+    def __post_init__(self):
+        if not _is_pow2(self.size_bytes) or not _is_pow2(self.line_size):
+            raise ValueError("cache and line sizes must be powers of two")
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.size_bytes % (self.line_size * self.associativity):
+            raise ValueError("size must be divisible by line*associativity")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_size * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def way_bytes(self) -> int:
+        """Bytes covered by one way — the modulus of the CMEs."""
+        return self.num_sets * self.line_size
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_size
+
+    def set_of(self, addr: int) -> int:
+        return (addr // self.line_size) % self.num_sets
+
+    def set_window(self, addr: int) -> int:
+        """Start (in bytes, mod ``way_bytes``) of addr's set window."""
+        return (addr % self.way_bytes) - (addr % self.line_size)
+
+    def __repr__(self) -> str:
+        k = self.size_bytes // 1024
+        a = "DM" if self.associativity == 1 else f"{self.associativity}-way"
+        return f"CacheConfig({k}KB, {self.line_size}B lines, {a})"
+
+
+#: The paper's primary evaluation cache (Tables 2-4, Fig. 8).
+CACHE_8KB_DM = CacheConfig(8 * 1024, 32, 1)
+#: The paper's secondary cache (Fig. 9, Table 3 lower half).
+CACHE_32KB_DM = CacheConfig(32 * 1024, 32, 1)

@@ -1,0 +1,104 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.cli table2
+    python -m repro.cli table3
+    python -m repro.cli table4
+    python -m repro.cli figure8
+    python -m repro.cli figure9
+    python -m repro.cli convergence
+    python -m repro.cli validate
+    python -m repro.cli associativity
+    python -m repro.cli all
+    python -m repro.cli kernels                 # list the Table 1 suite
+    python -m repro.cli landscape MM 100        # ASCII objective heat map
+    python -m repro.cli source MM 100           # export a kernel as DSL
+
+Set ``REPRO_FULL=1`` for the paper's full GA budget (population 30,
+15–25 generations); the default quick budget reproduces the shapes in
+minutes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.associativity import format_associativity, run_associativity
+from repro.experiments.common import ExperimentConfig, full_mode
+from repro.experiments.convergence import format_convergence, run_convergence
+from repro.experiments.figure8 import format_figure, run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.solver_speed import format_validation, run_solver_validation
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    what = args[0]
+
+    if what == "kernels":
+        from repro.kernels.registry import KERNELS
+
+        for spec in KERNELS.values():
+            sizes = ",".join(map(str, spec.sizes))
+            print(
+                f"{spec.name:10s} {spec.program:9s} depth={spec.depth} "
+                f"sizes=[{sizes}]  {spec.description}"
+            )
+        return 0
+
+    if what == "landscape":
+        from repro.analysis.landscape import count_local_minima, scan_2d_landscape
+        from repro.cache.config import CACHE_8KB_DM
+        from repro.kernels.registry import get_kernel
+
+        name = args[1] if len(args) > 1 else "MM"
+        size = int(args[2]) if len(args) > 2 else None
+        scan = scan_2d_landscape(get_kernel(name, size), CACHE_8KB_DM, points=14)
+        print(scan.render())
+        print(f"grid-local minima: {count_local_minima(scan)}")
+        return 0
+
+    if what == "source":
+        from repro.ir.parser import nest_to_dsl
+        from repro.kernels.registry import get_kernel
+
+        name = args[1] if len(args) > 1 else "MM"
+        size = int(args[2]) if len(args) > 2 else None
+        print(nest_to_dsl(get_kernel(name, size)))
+        return 0
+
+    config = ExperimentConfig()
+    mode = "full (paper budget)" if full_mode() else "quick"
+    print(f"# repro experiment runner — {mode} mode\n")
+
+    if what in ("table2", "all"):
+        print(format_table2(run_table2(config)), "\n")
+    if what in ("table3", "all"):
+        print(format_table3(run_table3(config)), "\n")
+    if what in ("figure8", "figure9", "table4", "all"):
+        fig8 = run_figure8(config) if what in ("figure8", "table4", "all") else None
+        fig9 = run_figure9(config) if what in ("figure9", "table4", "all") else None
+        if fig8 is not None and what != "table4":
+            print(format_figure(fig8, "Figure 8: replacement miss ratio (8KB DM)"), "\n")
+        if fig9 is not None and what != "table4":
+            print(format_figure(fig9, "Figure 9: replacement miss ratio (32KB DM)"), "\n")
+        if what in ("table4", "all"):
+            print(format_table4(run_table4(config, fig8, fig9)), "\n")
+    if what in ("convergence", "all"):
+        print(format_convergence(run_convergence(config=config)), "\n")
+    if what in ("validate", "all"):
+        print(format_validation(run_solver_validation()), "\n")
+    if what in ("associativity", "all"):
+        print(format_associativity(run_associativity(config)), "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Cache Miss Equations: generation, fast solving, sampling (§2).
+
+The public entry point is :class:`repro.cme.analyzer.LocalityAnalyzer`,
+which estimates total/replacement miss ratios for an access program via
+per-point CME solving over a simple random sample of the iteration
+space — the paper's fast solver configuration (164 points for a
+width-0.1, 90%-confidence interval).
+"""
+
+from repro.cme.equations import CMESystem, CompulsoryEquation, ReplacementEquation
+from repro.cme.generator import generate_cmes
+from repro.cme.solver import Outcome, PointClassifier
+from repro.cme.sampling import (
+    CMEEstimate,
+    estimate_at_points,
+    estimate_program,
+    required_sample_size,
+    sample_original_points,
+)
+from repro.cme.analyzer import LocalityAnalyzer
+
+__all__ = [
+    "CMESystem",
+    "CompulsoryEquation",
+    "ReplacementEquation",
+    "generate_cmes",
+    "Outcome",
+    "PointClassifier",
+    "CMEEstimate",
+    "estimate_at_points",
+    "estimate_program",
+    "required_sample_size",
+    "sample_original_points",
+    "LocalityAnalyzer",
+]

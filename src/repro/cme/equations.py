@@ -1,0 +1,109 @@
+"""Symbolic Cache Miss Equation systems (§2.1, §2.4).
+
+These objects are the *descriptive* form of the CMEs: one compulsory
+equation set per (reference, reuse vector, convex region) and one
+replacement equation set per (reference, reuse vector, interfering
+reference, ordered region pair).  They exist so the equation structure
+— including the §2.4 blow-up by ``n`` regions for compulsory and ``n²``
+region pairs for replacement equations — is inspectable and testable.
+Solving happens point-wise in :mod:`repro.cme.solver`, which evaluates
+the same conditions without materialising the polyhedra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.affine import AffineExpr
+from repro.reuse.vectors import ReuseCandidate
+
+
+@dataclass(frozen=True)
+class CompulsoryEquation:
+    """First-touch condition for one reference along one reuse vector.
+
+    The iteration point misses "compulsorily" along reuse vector ``r``
+    when the potential source ``p - r`` falls outside the convex region
+    (or outside the whole iteration space): there is no earlier access
+    to reuse from in that direction.
+    """
+
+    ref_position: int
+    reuse: ReuseCandidate
+    region: int
+    constraints: tuple[str, ...] = field(default=())
+
+    def describe(self) -> str:
+        return (
+            f"compulsory[ref={self.ref_position}, r={self.reuse.vector}, "
+            f"region={self.region}]: " + " ∧ ".join(self.constraints)
+        )
+
+
+@dataclass(frozen=True)
+class ReplacementEquation:
+    """Interference condition between a reuse pair and a third reference.
+
+    Encodes ``Cache_Set(addr_B(q)) = Cache_Set(addr_A(p)))`` for ``q``
+    strictly between the reuse source (in ``source_region``) and the use
+    ``p`` (in ``use_region``) in execution order, with ``addr_B(q)`` on
+    a different memory line — i.e. the Diophantine system
+
+        ``addr_B(q) ≡ addr_A(p) - (addr_A(p) mod L) + δ  (mod M)``,
+        ``0 ≤ δ < L``,  ``source ≺ q ≺ p``,  ``q ∈ region``,
+
+    with ``L`` the line size and ``M`` the way size.
+    """
+
+    ref_position: int
+    reuse: ReuseCandidate
+    interferer_position: int
+    use_region: int
+    source_region: int
+    modulus: int
+    window: int
+    constraints: tuple[str, ...] = field(default=())
+
+    def describe(self) -> str:
+        return (
+            f"replacement[ref={self.ref_position}, r={self.reuse.vector}, "
+            f"B={self.interferer_position}, regions="
+            f"{self.source_region}->{self.use_region}]: "
+            f"addr_B(q) mod {self.modulus} ∈ set-window({self.window}B); "
+            + " ∧ ".join(self.constraints)
+        )
+
+
+@dataclass
+class CMESystem:
+    """All equations of one program against one cache."""
+
+    program_name: str
+    num_regions: int
+    compulsory: list[CompulsoryEquation] = field(default_factory=list)
+    replacement: list[ReplacementEquation] = field(default_factory=list)
+    address_exprs: dict[int, AffineExpr] = field(default_factory=dict)
+
+    @property
+    def num_equations(self) -> int:
+        return len(self.compulsory) + len(self.replacement)
+
+    def for_reference(self, position: int) -> "CMESystem":
+        sub = CMESystem(self.program_name, self.num_regions)
+        sub.compulsory = [e for e in self.compulsory if e.ref_position == position]
+        sub.replacement = [e for e in self.replacement if e.ref_position == position]
+        sub.address_exprs = {position: self.address_exprs[position]}
+        return sub
+
+    def describe(self, limit: int = 20) -> str:
+        lines = [
+            f"CME system for {self.program_name}: "
+            f"{len(self.compulsory)} compulsory, "
+            f"{len(self.replacement)} replacement equation sets "
+            f"over {self.num_regions} convex region(s)"
+        ]
+        for eq in self.compulsory[:limit]:
+            lines.append("  " + eq.describe())
+        for eq in self.replacement[:limit]:
+            lines.append("  " + eq.describe())
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""CME generation for an access program (§2.1, §2.4).
+
+Builds the symbolic :class:`~repro.cme.equations.CMESystem` for a
+program: reuse vectors are derived on the original nest, and the
+equation sets are expanded per convex region (compulsory: factor ``n``)
+and per ordered region pair (replacement: factor ``n²``), exactly as
+§2.4 prescribes for tiled iteration spaces.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheConfig
+from repro.cme.equations import CMESystem, CompulsoryEquation, ReplacementEquation
+from repro.ir.program import AccessProgram
+from repro.layout.memory import MemoryLayout
+from repro.reuse.vectors import ReuseCandidate, compute_reuse_candidates
+
+
+def generate_cmes(
+    program: AccessProgram,
+    layout: MemoryLayout,
+    cache: CacheConfig,
+    candidates: dict[int, list[ReuseCandidate]] | None = None,
+) -> CMESystem:
+    """Generate the CME system of ``program`` for ``cache``."""
+    if candidates is None:
+        candidates = compute_reuse_candidates(
+            program.original, layout, cache.line_size
+        )
+    n_regions = len(program.space.regions)
+    system = CMESystem(program.name, n_regions)
+    vars_ = program.space.vars
+
+    for ref in program.refs:
+        addr = layout.address_expr(ref)
+        system.address_exprs[ref.position] = addr
+        for cand in candidates.get(ref.position, []):
+            rvec = cand.vector
+            for gi in range(n_regions):
+                system.compulsory.append(
+                    CompulsoryEquation(
+                        ref_position=ref.position,
+                        reuse=cand,
+                        region=gi,
+                        constraints=(
+                            f"p ∈ region_{gi}",
+                            f"p - {rvec} ∉ iteration space (no source)",
+                        ),
+                    )
+                )
+                for gj in range(n_regions):
+                    for other in program.refs:
+                        system.replacement.append(
+                            ReplacementEquation(
+                                ref_position=ref.position,
+                                reuse=cand,
+                                interferer_position=other.position,
+                                use_region=gi,
+                                source_region=gj,
+                                modulus=cache.way_bytes,
+                                window=cache.line_size,
+                                constraints=(
+                                    f"p ∈ region_{gi}",
+                                    f"p - {rvec} ∈ region_{gj}",
+                                    f"q strictly between (execution order over {vars_})",
+                                ),
+                            )
+                        )
+    return system

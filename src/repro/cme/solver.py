@@ -1,0 +1,321 @@
+"""Per-point CME solving — the fast solver of §2.2–§2.4.
+
+A sampled iteration point is classified independently for every
+reference ("traversing the iteration space"): the reference either
+
+* has no earlier same-line access along any reuse vector → **COLD**
+  (a compulsory-class miss; invariant under tiling),
+* has some reuse source whose interval back to the use is free of
+  interference → **HIT**,
+* or every reuse source is killed by interference → **REPLACEMENT**
+  (the misses loop tiling minimises).
+
+Interference over the (possibly enormous) interval between source and
+use is decided without enumeration: the interval is decomposed into
+integer boxes per convex region, and each (box, reference) pair becomes
+one replacement-equation feasibility query answered by the congruence
+cascade in :mod:`repro.polyhedra.congruence`.  For a ``k``-way cache
+the reuse dies only after ``k`` distinct interfering lines (§2.2), so
+the same machinery counts distinct lines with early exit at ``k``.
+
+Undecidable queries (budget exhaustion) are counted and treated as
+interference — conservative in the direction of over-reporting misses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheConfig
+from repro.ir.program import AccessProgram
+from repro.layout.memory import MemoryLayout
+from repro.polyhedra.box import Box
+from repro.polyhedra.congruence import CongruenceTester
+from repro.polyhedra.lexinterval import lex_between_boxes
+from repro.reuse.vectors import ReuseCandidate, compute_reuse_candidates
+
+
+class Outcome(enum.Enum):
+    HIT = "hit"
+    COLD = "cold"
+    REPLACEMENT = "replacement"
+
+
+@dataclass
+class SolverStats:
+    """Aggregate instrumentation for a classifier's lifetime."""
+
+    points: int = 0
+    ref_tests: int = 0
+    sources_checked: int = 0
+    intervals_decomposed: int = 0
+    boxes_tested: int = 0
+    unknown_conservative: int = 0
+    congruence: dict = field(default_factory=dict)
+
+
+class PointClassifier:
+    """Classify individual iteration points of one program/layout/cache."""
+
+    def __init__(
+        self,
+        program: AccessProgram,
+        layout: MemoryLayout,
+        cache: CacheConfig,
+        candidates: dict[int, list[ReuseCandidate]] | None = None,
+    ):
+        self.program = program
+        self.layout = layout
+        self.cache = cache
+        if candidates is None:
+            candidates = compute_reuse_candidates(
+                program.original, layout, cache.line_size
+            )
+        self.candidates = candidates
+        self.stats = SolverStats()
+        self._tester = CongruenceTester()
+
+        vars_ = program.space.vars
+        self._refs = sorted(program.refs, key=lambda r: r.position)
+        self._coeffs: list[tuple[int, ...]] = []
+        self._consts: list[int] = []
+        for ref in self._refs:
+            expr = layout.address_expr(ref)
+            self._coeffs.append(expr.coeff_vector(vars_))
+            self._consts.append(expr.const)
+        self._regions: tuple[Box, ...] = program.space.regions
+        self._pm = program.point_map
+        orig = program.original
+        self._orig_lo = tuple(l.lower for l in orig.loops)
+        self._orig_hi = tuple(l.upper for l in orig.loops)
+        self._L = cache.line_size
+        self._M = cache.way_bytes
+        self._k = cache.associativity
+
+    # -- address helpers ---------------------------------------------------
+    def _addr(self, ref_idx: int, point: tuple[int, ...]) -> int:
+        total = self._consts[ref_idx]
+        for c, x in zip(self._coeffs[ref_idx], point):
+            if c:
+                total += c * x
+        return total
+
+    # -- public API ----------------------------------------------------------
+    def classify_point(self, point: tuple[int, ...]) -> list[Outcome]:
+        """Outcome per reference (in position order) at one point."""
+        self.stats.points += 1
+        return [self._classify_ref(i, point) for i in range(len(self._refs))]
+
+    def classify_ref(self, position: int, point: tuple[int, ...]) -> Outcome:
+        for i, ref in enumerate(self._refs):
+            if ref.position == position:
+                self.stats.points += 1
+                return self._classify_ref(i, point)
+        raise KeyError(position)
+
+    # -- core ------------------------------------------------------------------
+    def _classify_ref(self, idx: int, p: tuple[int, ...]) -> Outcome:
+        self.stats.ref_tests += 1
+        L = self._L
+        addr = self._addr(idx, p)
+        line0 = addr // L
+        line0_start = line0 * L
+        wlo = line0_start % self._M
+
+        sources = self._reuse_sources(idx, p, line0)
+        if not sources:
+            return Outcome.COLD
+        # Most recent source first: any interference-free source → hit.
+        sources.sort(key=lambda sp: (sp[0], sp[1]), reverse=True)
+        for src, spos in sources:
+            self.stats.sources_checked += 1
+            if not self._reuse_killed(src, spos, p, idx, line0_start, wlo):
+                return Outcome.HIT
+        return Outcome.REPLACEMENT
+
+    def _reuse_sources(
+        self, idx: int, p: tuple[int, ...], line0: int
+    ) -> list[tuple[tuple[int, ...], int]]:
+        """Valid same-line earlier accesses along the reuse candidates.
+
+        Candidates are expressed in original coordinates; both the
+        backward (``p - r``) and forward (``p + r``) original neighbours
+        are considered because tiling reorders execution — an original
+        successor can execute earlier in the tiled order.
+        """
+        pos = self._refs[idx].position
+        pm = self._pm
+        orig_p = pm.to_original(p)
+        lo, hi = self._orig_lo, self._orig_hi
+        L = self._L
+        out = []
+        seen = set()
+        for cand in self.candidates.get(pos, ()):  # noqa: B905
+            sidx = self._position_index(cand.source_position)
+            for sign in (1, -1) if not cand.is_intra_iteration else (1,):
+                q_orig = tuple(
+                    x - sign * r for x, r in zip(orig_p, cand.vector)
+                )
+                if any(q < l or q > h for q, l, h in zip(q_orig, lo, hi)):
+                    continue
+                q = pm.from_original(q_orig)
+                if q == p:
+                    # Intra-iteration reuse: source must precede in body.
+                    if cand.source_position >= pos:
+                        continue
+                elif q > p:
+                    continue
+                key = (q, cand.source_position)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if self._addr(sidx, q) // L != line0:
+                    continue
+                out.append((q, cand.source_position))
+        return out
+
+    def _position_index(self, position: int) -> int:
+        for i, ref in enumerate(self._refs):
+            if ref.position == position:
+                return i
+        raise KeyError(position)
+
+    # -- interference ------------------------------------------------------------
+    def _reuse_killed(
+        self,
+        src: tuple[int, ...],
+        spos: int,
+        use: tuple[int, ...],
+        use_idx: int,
+        line0_start: int,
+        wlo: int,
+    ) -> bool:
+        """Does the interval (src, use) evict line0 from its set?"""
+        if self._k == 1:
+            return self._interference_exists(
+                src, spos, use, use_idx, line0_start, wlo
+            )
+        count = self._count_interfering_lines(
+            src, spos, use, use_idx, line0_start, wlo, cap=self._k
+        )
+        return count >= self._k
+
+    def _endpoint_refs(
+        self, src: tuple[int, ...], spos: int, use: tuple[int, ...], use_pos: int
+    ):
+        """(point, ref_idx) accesses at the boundary iterations.
+
+        At the source iteration, references after the source access run
+        before the reuse completes; at the use iteration, references
+        before the reused access run first.  When source and use are the
+        same iteration only positions strictly between count.
+        """
+        if src == use:
+            for i, ref in enumerate(self._refs):
+                if spos < ref.position < use_pos:
+                    yield src, i
+            return
+        for i, ref in enumerate(self._refs):
+            if ref.position > spos:
+                yield src, i
+        for i, ref in enumerate(self._refs):
+            if ref.position < use_pos:
+                yield use, i
+
+    def _interference_exists(
+        self,
+        src: tuple[int, ...],
+        spos: int,
+        use: tuple[int, ...],
+        use_idx: int,
+        line0_start: int,
+        wlo: int,
+    ) -> bool:
+        L = self._L
+        M = self._M
+        use_pos = self._refs[use_idx].position
+        # Boundary iterations (partial bodies).
+        for point, i in self._endpoint_refs(src, spos, use, use_pos):
+            a = self._addr(i, point)
+            if (a % M) - (a % L) == wlo and a - (a % L) != line0_start:
+                return True
+        if src == use:
+            return False
+        # Strictly-between iterations, region by region.
+        self.stats.intervals_decomposed += 1
+        nrefs = len(self._refs)
+        for region in self._regions:
+            for box in lex_between_boxes(src, use, region):
+                self.stats.boxes_tested += 1
+                for i in range(nrefs):
+                    res = self._tester.exists_interference(
+                        self._coeffs[i],
+                        self._consts[i],
+                        box,
+                        M,
+                        wlo,
+                        L,
+                        line0_start,
+                    )
+                    if res is None:
+                        self.stats.unknown_conservative += 1
+                        return True
+                    if res:
+                        return True
+        return False
+
+    def _count_interfering_lines(
+        self,
+        src: tuple[int, ...],
+        spos: int,
+        use: tuple[int, ...],
+        use_idx: int,
+        line0_start: int,
+        wlo: int,
+        cap: int,
+    ) -> int:
+        """Distinct interfering lines in the interval, capped at ``cap``."""
+        L = self._L
+        M = self._M
+        use_pos = self._refs[use_idx].position
+        lines: set[int] = set()
+        for point, i in self._endpoint_refs(src, spos, use, use_pos):
+            a = self._addr(i, point)
+            if (a % M) - (a % L) == wlo and a - (a % L) != line0_start:
+                lines.add(a // L)
+                if len(lines) >= cap:
+                    return len(lines)
+        if src == use:
+            return len(lines)
+        self.stats.intervals_decomposed += 1
+        nrefs = len(self._refs)
+        # Summing per-box distinct counts can double-count a line seen
+        # in several boxes; the resulting overestimate errs toward
+        # reporting misses, the conservative direction.
+        total = len(lines)
+        for region in self._regions:
+            for box in lex_between_boxes(src, use, region):
+                self.stats.boxes_tested += 1
+                for i in range(nrefs):
+                    n = self._tester.count_interfering_lines(
+                        self._coeffs[i],
+                        self._consts[i],
+                        box,
+                        M,
+                        wlo,
+                        L,
+                        line0_start,
+                        cap=cap,
+                    )
+                    if n is None:
+                        self.stats.unknown_conservative += 1
+                        return cap
+                    total += n
+                    if total >= cap:
+                        return cap
+        return total
+
+    def finalize_stats(self) -> SolverStats:
+        self.stats.congruence = self._tester.stats.as_dict()
+        return self.stats

@@ -1,0 +1,30 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Every module exposes ``run_*`` returning structured rows plus a
+``format_*`` text renderer used by the benchmark harness and the CLI.
+``REPRO_FULL=1`` switches from the quick GA budget to the paper's full
+budget (population 30, 15–25 generations).
+"""
+
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.convergence import run_convergence
+from repro.experiments.solver_speed import run_solver_validation
+from repro.experiments.associativity import run_associativity
+
+__all__ = [
+    "run_associativity",
+    "ExperimentConfig",
+    "format_table",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_figure8",
+    "run_figure9",
+    "run_convergence",
+    "run_solver_validation",
+]

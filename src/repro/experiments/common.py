@@ -1,0 +1,70 @@
+"""Shared experiment configuration and text-table rendering."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.cme.sampling import PAPER_SAMPLE_SIZE
+from repro.ga.engine import GAConfig
+
+
+def full_mode() -> bool:
+    """True when ``REPRO_FULL=1``: run the paper's exact GA budget."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Budget knobs shared by all experiment reproductions.
+
+    The *quick* defaults shrink only the GA budget (population 12,
+    6–10 generations); the CME sampling budget is the paper's 164
+    points in both modes, since per-candidate cost is independent of
+    problem size.  Results in quick mode are slightly less converged
+    but preserve every qualitative shape; EXPERIMENTS.md reports both
+    where they differ.
+    """
+
+    ga: GAConfig = field(default=None)  # type: ignore[assignment]
+    n_samples: int = PAPER_SAMPLE_SIZE
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.ga is None:
+            ga = (
+                GAConfig(seed=self.seed)
+                if full_mode()
+                else GAConfig(
+                    population_size=12,
+                    min_generations=6,
+                    max_generations=10,
+                    seed=self.seed,
+                )
+            )
+            object.__setattr__(self, "ga", ga)
+
+
+def format_table(
+    title: str, headers: list[str], rows: list[list[str]], note: str = ""
+) -> str:
+    """Plain-text table in the style of the paper's tables."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def pct(x: float) -> str:
+    """Render a ratio as the paper's percentage format."""
+    return f"{100.0 * x:.1f}%"

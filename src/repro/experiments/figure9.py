@@ -1,0 +1,14 @@
+"""Figure 9: the 32KB direct-mapped variant of Figure 8."""
+
+from __future__ import annotations
+
+from repro.cache.config import CACHE_32KB_DM
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.figure8 import FigureRow, run_figure
+
+
+def run_figure9(
+    config: ExperimentConfig | None = None,
+    instances: list[tuple[str, int]] | None = None,
+) -> list[FigureRow]:
+    return run_figure(CACHE_32KB_DM, config, instances)

@@ -1,0 +1,77 @@
+"""Table 4: distribution of post-tiling replacement ratios.
+
+Paper values (excluding the Table 3 kernels):
+
+  cache   <1%     <2%     <5%
+  8KB     56.4%   79.5%   100.0%
+  32KB    90.2%   97.6%   100.0%
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentConfig, format_table, pct
+from repro.experiments.figure8 import CONFLICT_KERNELS, FigureRow, run_figure8
+from repro.experiments.figure9 import run_figure9
+
+PAPER_TABLE4 = {
+    8: (0.564, 0.795, 1.0),
+    32: (0.902, 0.976, 1.0),
+}
+
+THRESHOLDS = (0.01, 0.02, 0.05)
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    cache_kb: int
+    fractions: tuple[float, float, float]
+    num_kernels: int
+    paper: tuple[float, float, float]
+
+
+def summarize(rows: list[FigureRow], cache_kb: int) -> Table4Row:
+    """Fraction of instances below each threshold, Table 3 kernels excluded."""
+    eligible = [r for r in rows if r.kernel not in CONFLICT_KERNELS and r.kernel != "ADI"]
+    n = len(eligible)
+    fracs = tuple(
+        sum(1 for r in eligible if r.repl_tiling < t) / n for t in THRESHOLDS
+    )
+    return Table4Row(cache_kb, fracs, n, PAPER_TABLE4[cache_kb])
+
+
+def run_table4(
+    config: ExperimentConfig | None = None,
+    fig8_rows: list[FigureRow] | None = None,
+    fig9_rows: list[FigureRow] | None = None,
+) -> list[Table4Row]:
+    """Aggregate the figure sweeps into the Table 4 percentages.
+
+    Pass precomputed figure rows to avoid re-running the sweeps.
+    """
+    config = config or ExperimentConfig()
+    if fig8_rows is None:
+        fig8_rows = run_figure8(config)
+    if fig9_rows is None:
+        fig9_rows = run_figure9(config)
+    return [summarize(fig8_rows, 8), summarize(fig9_rows, 32)]
+
+
+def format_table4(rows: list[Table4Row]) -> str:
+    return format_table(
+        "Table 4: share of kernels with post-tiling replacement ratio below threshold",
+        ["Cache", "<1%", "(paper)", "<2%", "(paper)", "<5%", "(paper)", "#kernels"],
+        [
+            [
+                f"{r.cache_kb}KB",
+                pct(r.fractions[0]), pct(r.paper[0]),
+                pct(r.fractions[1]), pct(r.paper[1]),
+                pct(r.fractions[2]), pct(r.paper[2]),
+                str(r.num_kernels),
+            ]
+            for r in rows
+        ],
+        note="Table 3 kernels (ADD, BTRIX, VPENTA, ADI) are excluded, as in "
+        "the paper.",
+    )

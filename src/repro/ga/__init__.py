@@ -1,0 +1,46 @@
+"""Genetic algorithm for tile-size and padding search (§3.2–§3.3)."""
+
+from repro.ga.encoding import Genome, bits_for, decode_value
+from repro.ga.operators import (
+    mutate,
+    remainder_stochastic_selection,
+    single_point_crossover,
+)
+from repro.ga.engine import GAConfig, GAResult, GeneticAlgorithm
+from repro.ga.objective import (
+    MemoizedObjective,
+    PaddingObjective,
+    PaddingTilingObjective,
+    SimulatorTilingObjective,
+    TilingObjective,
+)
+from repro.ga.tiling_search import TilingResult, optimize_tiling
+from repro.ga.padding_search import (
+    PaddingResult,
+    optimize_joint_padding_tiling,
+    optimize_padding,
+    optimize_padding_then_tiling,
+)
+
+__all__ = [
+    "Genome",
+    "bits_for",
+    "decode_value",
+    "mutate",
+    "remainder_stochastic_selection",
+    "single_point_crossover",
+    "GAConfig",
+    "GAResult",
+    "GeneticAlgorithm",
+    "MemoizedObjective",
+    "TilingObjective",
+    "PaddingObjective",
+    "PaddingTilingObjective",
+    "SimulatorTilingObjective",
+    "TilingResult",
+    "optimize_tiling",
+    "PaddingResult",
+    "optimize_padding",
+    "optimize_padding_then_tiling",
+    "optimize_joint_padding_tiling",
+]

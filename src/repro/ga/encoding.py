@@ -1,0 +1,115 @@
+"""Chromosome encoding (§3.3).
+
+Each search variable (a tile size ``T_i ∈ [1, U_i]`` or a padding
+amount) becomes one chromosome: a sequence of genes over the base-4
+alphabet ``{00, 01, 10, 11}`` — i.e. ``k`` bits with ``k = ⌈log₂ R⌉``
+rounded up to the next even number (each gene is two bits), where ``R``
+is the number of admissible values.  Decoding maps the binary value
+``x ∈ [0, 2^k - 1]`` onto the value range with the paper's function
+
+    ``g(x) = ⌊x · (hi - lo) / (2^k - 1)⌋ + lo``
+
+(Eq. 2 with general lower bound; the paper uses ``lo = 1``).  Every
+admissible value has at least one pre-image, as the paper notes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def bits_for(num_values: int) -> int:
+    """Bits per chromosome for a variable with ``num_values`` values.
+
+    ``⌈log₂ num_values⌉`` rounded up to even (base-4 genes are 2 bits);
+    a single-valued variable needs no genes.
+    """
+    if num_values < 1:
+        raise ValueError("variables need at least one admissible value")
+    if num_values == 1:
+        return 0
+    k = math.ceil(math.log2(num_values))
+    if k % 2:
+        k += 1
+    return k
+
+
+def decode_value(x: int, lo: int, hi: int, bits: int) -> int:
+    """The paper's ``g``: map ``x ∈ [0, 2^bits - 1]`` onto ``[lo, hi]``."""
+    if bits == 0:
+        return lo
+    span = (1 << bits) - 1
+    return lo + (x * (hi - lo)) // span
+
+
+class Genome:
+    """Bit layout of an individual: one chromosome per search variable."""
+
+    def __init__(self, ranges: list[tuple[int, int]]):
+        """``ranges[i] = (lo, hi)`` inclusive value range of variable i."""
+        self.ranges = [(int(lo), int(hi)) for lo, hi in ranges]
+        for lo, hi in self.ranges:
+            if hi < lo:
+                raise ValueError(f"empty range [{lo}, {hi}]")
+        self.bits = [bits_for(hi - lo + 1) for lo, hi in self.ranges]
+        self.offsets = np.concatenate([[0], np.cumsum(self.bits)])
+        self.total_bits = int(self.offsets[-1])
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.ranges)
+
+    def random_individual(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, 2, size=self.total_bits, dtype=np.uint8)
+
+    def decode(self, bitstring: np.ndarray) -> tuple[int, ...]:
+        """Bitstring → variable values via ``g`` per chromosome."""
+        if len(bitstring) != self.total_bits:
+            raise ValueError("bitstring length mismatch")
+        values = []
+        for i, (lo, hi) in enumerate(self.ranges):
+            b = self.bits[i]
+            x = 0
+            for bit in bitstring[self.offsets[i] : self.offsets[i] + b]:
+                x = (x << 1) | int(bit)
+            values.append(decode_value(x, lo, hi, b))
+        return tuple(values)
+
+    def encode(self, values) -> np.ndarray:
+        """Some bitstring decoding to ``values`` (smallest pre-image).
+
+        ``g`` is non-injective; we pick the least ``x`` with
+        ``g(x) = value``, found in closed form by inverting the floor.
+        """
+        values = list(values)
+        if len(values) != self.num_variables:
+            raise ValueError("value count mismatch")
+        bits = np.zeros(self.total_bits, dtype=np.uint8)
+        for i, ((lo, hi), v) in enumerate(zip(self.ranges, values)):
+            if not lo <= v <= hi:
+                raise ValueError(f"value {v} outside [{lo}, {hi}]")
+            b = self.bits[i]
+            if b == 0:
+                continue
+            span = (1 << b) - 1
+            if hi == lo:
+                x = 0
+            else:
+                # least x with floor(x*(hi-lo)/span) == v - lo
+                x = -(-((v - lo) * span) // (hi - lo))
+            assert decode_value(x, lo, hi, b) == v
+            for pos in range(b - 1, -1, -1):
+                bits[self.offsets[i] + pos] = x & 1
+                x >>= 1
+        return bits
+
+    def genes(self, bitstring: np.ndarray, variable: int) -> list[int]:
+        """The base-4 gene digits of one chromosome (for display/tests)."""
+        b = self.bits[variable]
+        off = self.offsets[variable]
+        return [
+            int(bitstring[off + 2 * g]) * 2 + int(bitstring[off + 2 * g + 1])
+            for g in range(b // 2)
+        ]

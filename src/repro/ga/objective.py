@@ -1,0 +1,93 @@
+"""Objective functions for the GA searches (§3.1).
+
+The paper's objective ``f : (T_1..T_k) → #ReplacementMisses`` is the
+parameterised CME system solved by sampling; we count replacement
+misses over the fixed shared sample (common random numbers make
+candidate comparisons noise-free).  All objectives are memoised — the
+GA revisits genotypes constantly as the population converges, so cached
+hits dominate the paper's "450 evaluations" budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cme.analyzer import LocalityAnalyzer
+from repro.transform.padding import PaddingSearchSpace
+
+
+class MemoizedObjective:
+    """Cache wrapper counting distinct and total evaluations."""
+
+    def __init__(self, fn: Callable[[tuple[int, ...]], float]):
+        self._fn = fn
+        self.cache: dict[tuple[int, ...], float] = {}
+        self.calls = 0
+
+    def __call__(self, values: tuple[int, ...]) -> float:
+        self.calls += 1
+        values = tuple(values)
+        if values not in self.cache:
+            self.cache[values] = self._fn(values)
+        return self.cache[values]
+
+    @property
+    def distinct_evaluations(self) -> int:
+        return len(self.cache)
+
+
+class TilingObjective(MemoizedObjective):
+    """Sampled replacement misses of a tiling candidate."""
+
+    def __init__(self, analyzer: LocalityAnalyzer):
+        self.analyzer = analyzer
+        super().__init__(self._evaluate)
+
+    def _evaluate(self, tiles: tuple[int, ...]) -> float:
+        return float(self.analyzer.estimate(tile_sizes=tiles).replacement)
+
+
+class SimulatorTilingObjective(MemoizedObjective):
+    """Exact replacement misses via trace simulation (small sizes only)."""
+
+    def __init__(self, analyzer: LocalityAnalyzer):
+        self.analyzer = analyzer
+        super().__init__(self._evaluate)
+
+    def _evaluate(self, tiles: tuple[int, ...]) -> float:
+        return float(self.analyzer.simulate(tile_sizes=tiles).replacement)
+
+
+class PaddingObjective(MemoizedObjective):
+    """Sampled replacement misses of a padding candidate (no tiling)."""
+
+    def __init__(self, analyzer: LocalityAnalyzer, space: PaddingSearchSpace):
+        self.analyzer = analyzer
+        self.space = space
+        super().__init__(self._evaluate)
+
+    def _evaluate(self, pads: tuple[int, ...]) -> float:
+        padding = self.space.decode(pads)
+        return float(self.analyzer.estimate(padding=padding).replacement)
+
+
+class PaddingTilingObjective(MemoizedObjective):
+    """Joint padding+tiling objective (the paper's future-work extension).
+
+    The genotype concatenates padding values and tile sizes; both
+    transformations enter the CMEs simultaneously, so the search can
+    exploit interactions that the sequential Table 3 pipeline cannot.
+    """
+
+    def __init__(self, analyzer: LocalityAnalyzer, space: PaddingSearchSpace):
+        self.analyzer = analyzer
+        self.space = space
+        super().__init__(self._evaluate)
+
+    def _evaluate(self, values: tuple[int, ...]) -> float:
+        npad = self.space.num_variables
+        padding = self.space.decode(values[:npad])
+        tiles = values[npad:]
+        return float(
+            self.analyzer.estimate(tile_sizes=tiles, padding=padding).replacement
+        )

@@ -1,0 +1,101 @@
+"""Genetic operators (§3.3, Figs. 5–6).
+
+* **Selection** — remainder stochastic selection *without replacement*
+  (Goldberg): each individual receives ``⌊e_i⌋`` copies deterministically,
+  where ``e_i = N · fitness_i / Σ fitness``, and the fractional parts are
+  used as Bernoulli probabilities (at most one extra copy each) until the
+  new population is full.
+* **Crossover** — single-point: the two parents' bitstrings are cut at a
+  random site and the tails exchanged (Fig. 5), applied to each selected
+  pair with probability 0.9.
+* **Mutation** — independent bit flips with probability 0.001 per bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def remainder_stochastic_selection(
+    fitness: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Indices of the N individuals selected for reproduction.
+
+    ``fitness`` must be non-negative; an all-zero vector degenerates to
+    uniform selection.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    n = len(fitness)
+    total = fitness.sum()
+    if total <= 0:
+        return rng.integers(0, n, size=n)
+    expected = n * fitness / total
+    counts = np.floor(expected).astype(int)
+    fractions = expected - counts
+    remaining = n - int(counts.sum())
+    # Bernoulli trials on the fractional parts, without replacement:
+    # each individual may gain at most one extra copy per sweep.
+    eligible = np.ones(n, dtype=bool)
+    while remaining > 0:
+        order = rng.permutation(n)
+        progressed = False
+        for i in order:
+            if remaining == 0:
+                break
+            if eligible[i] and rng.random() < fractions[i]:
+                counts[i] += 1
+                eligible[i] = False
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            # Degenerate fractions (all ~0): fill uniformly.
+            extra = rng.choice(n, size=remaining, replace=True)
+            for i in extra:
+                counts[i] += 1
+            remaining = 0
+    out = np.repeat(np.arange(n), counts)
+    rng.shuffle(out)
+    return out
+
+
+def tournament_selection(
+    fitness: np.ndarray, rng: np.random.Generator, k: int = 2
+) -> np.ndarray:
+    """k-way tournament selection (comparison baseline, not the paper's).
+
+    Each of the N slots is filled by the fittest of ``k`` uniformly
+    drawn contestants — stronger, rank-based pressure than remainder
+    stochastic selection; used by the selection-scheme ablation.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    n = len(fitness)
+    contestants = rng.integers(0, n, size=(n, k))
+    winners = contestants[np.arange(n), fitness[contestants].argmax(axis=1)]
+    return winners
+
+
+def single_point_crossover(
+    a: np.ndarray, b: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exchange the tails of two bitstrings at a random cross site."""
+    if len(a) != len(b):
+        raise ValueError("parents must have equal length")
+    if len(a) < 2:
+        return a.copy(), b.copy()
+    site = int(rng.integers(1, len(a)))
+    child1 = np.concatenate([a[:site], b[site:]])
+    child2 = np.concatenate([b[:site], a[site:]])
+    return child1, child2
+
+
+def mutate(
+    bits: np.ndarray, prob: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Flip each bit independently with probability ``prob``."""
+    if prob <= 0:
+        return bits
+    mask = rng.random(len(bits)) < prob
+    if mask.any():
+        bits = bits.copy()
+        bits[mask] ^= 1
+    return bits

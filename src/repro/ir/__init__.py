@@ -1,0 +1,43 @@
+"""Loop-nest intermediate representation.
+
+The IR captures exactly what Cache Miss Equations need: rectangular
+perfectly nested loops, affine array subscripts, array shapes/layouts,
+and iteration spaces as unions of integer boxes with lexicographic
+execution order.
+"""
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, ArrayRef, read, write
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.space import IterationSpace
+from repro.ir.program import (
+    AccessProgram,
+    IdentityMap,
+    PointMap,
+    TileMap,
+    program_from_nest,
+)
+from repro.ir.codegen import c_source, fortran_source, python_source
+from repro.ir.validate import ValidationError, is_analyzable, validate_nest
+
+__all__ = [
+    "AffineExpr",
+    "Array",
+    "ArrayRef",
+    "read",
+    "write",
+    "Loop",
+    "LoopNest",
+    "IterationSpace",
+    "AccessProgram",
+    "IdentityMap",
+    "PointMap",
+    "TileMap",
+    "program_from_nest",
+    "c_source",
+    "fortran_source",
+    "python_source",
+    "ValidationError",
+    "is_analyzable",
+    "validate_nest",
+]

@@ -1,0 +1,141 @@
+"""Source-code emission for (tiled) loop nests.
+
+Produces the human-readable Fortran/C shape of Fig. 3: the tiled form
+uses ``do ii = lo, hi, T`` tile loops with ``min(ii+T-1, hi)`` element
+bounds.  This is presentation/codegen only — analysis uses the exact
+box representation from :mod:`repro.transform.tiling`.
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.loops import LoopNest
+
+
+def _subscript_str(expr: AffineExpr) -> str:
+    return repr(expr)
+
+
+def _default_statement(nest: LoopNest, lang: str) -> str:
+    writes = [r for r in nest.refs if r.is_write]
+    reads = [r for r in nest.refs if not r.is_write]
+
+    def fmt(ref):
+        subs = ",".join(_subscript_str(s) for s in ref.subscripts)
+        if lang == "c":
+            idx = "][".join(_subscript_str(s) for s in ref.subscripts)
+            return f"{ref.array.name}[{idx}]"
+        if lang == "python":
+            return f"{ref.array.name}[{subs}]"
+        return f"{ref.array.name}({subs})"
+
+    lhs = fmt(writes[0]) if writes else "tmp"
+    rhs = " + ".join(fmt(r) for r in reads) if reads else "0"
+    end = ";" if lang == "c" else ""
+    return f"{lhs} = {rhs}{end}"
+
+
+def fortran_source(nest: LoopNest, tile_sizes: tuple[int, ...] | None = None) -> str:
+    """Fortran-77-style source for the nest, tiled if sizes are given."""
+    lines: list[str] = []
+    indent = 0
+
+    def emit(s: str) -> None:
+        lines.append("  " * indent + s)
+
+    body = nest.statement or _default_statement(nest, "fortran")
+    if tile_sizes is None:
+        for loop in nest.loops:
+            emit(f"do {loop.var} = {loop.lower}, {loop.upper}")
+            indent += 1
+        emit(body)
+        for _ in nest.loops:
+            indent -= 1
+            emit("enddo")
+    else:
+        if len(tile_sizes) != nest.depth:
+            raise ValueError("one tile size per loop required")
+        for loop, t in zip(nest.loops, tile_sizes):
+            emit(f"do {loop.var}{loop.var} = {loop.lower}, {loop.upper}, {t}")
+            indent += 1
+        for loop, t in zip(nest.loops, tile_sizes):
+            ii = loop.var + loop.var
+            emit(
+                f"do {loop.var} = {ii}, min({ii}+{t}-1, {loop.upper})"
+            )
+            indent += 1
+        emit(body)
+        for _ in range(2 * nest.depth):
+            indent -= 1
+            emit("enddo")
+    return "\n".join(lines) + "\n"
+
+
+def c_source(nest: LoopNest, tile_sizes: tuple[int, ...] | None = None) -> str:
+    """C-style source (0-based loops kept at their Fortran bounds)."""
+    lines: list[str] = []
+    indent = 0
+
+    def emit(s: str) -> None:
+        lines.append("    " * indent + s)
+
+    body = nest.statement or _default_statement(nest, "c")
+    if not body.rstrip().endswith(";"):
+        body = body.rstrip() + ";"
+
+    def for_line(v: str, lo, hi, step=1) -> str:
+        stepstr = f"{v} += {step}" if step != 1 else f"{v}++"
+        return f"for (int {v} = {lo}; {v} <= {hi}; {stepstr}) {{"
+
+    if tile_sizes is None:
+        for loop in nest.loops:
+            emit(for_line(loop.var, loop.lower, loop.upper))
+            indent += 1
+        emit(body)
+        for _ in nest.loops:
+            indent -= 1
+            emit("}")
+    else:
+        for loop, t in zip(nest.loops, tile_sizes):
+            ii = loop.var + loop.var
+            emit(for_line(ii, loop.lower, loop.upper, t))
+            indent += 1
+        for loop, t in zip(nest.loops, tile_sizes):
+            ii = loop.var + loop.var
+            hi = f"({ii}+{t}-1 < {loop.upper} ? {ii}+{t}-1 : {loop.upper})"
+            emit(for_line(loop.var, ii, hi))
+            indent += 1
+        emit(body)
+        for _ in range(2 * nest.depth):
+            indent -= 1
+            emit("}")
+    return "\n".join(lines) + "\n"
+
+
+def python_source(nest: LoopNest, tile_sizes: tuple[int, ...] | None = None) -> str:
+    """Runnable-looking Python (ranges are inclusive-exclusive adjusted)."""
+    lines: list[str] = []
+    indent = 0
+
+    def emit(s: str) -> None:
+        lines.append("    " * indent + s)
+
+    body = nest.statement or _default_statement(nest, "python")
+    if tile_sizes is None:
+        for loop in nest.loops:
+            emit(f"for {loop.var} in range({loop.lower}, {loop.upper + 1}):")
+            indent += 1
+        emit(body)
+    else:
+        for loop, t in zip(nest.loops, tile_sizes):
+            ii = loop.var + loop.var
+            emit(f"for {ii} in range({loop.lower}, {loop.upper + 1}, {t}):")
+            indent += 1
+        for loop, t in zip(nest.loops, tile_sizes):
+            ii = loop.var + loop.var
+            emit(
+                f"for {loop.var} in range({ii}, min({ii}+{t}, {loop.upper + 1})):"
+            )
+            indent += 1
+        emit(body)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,113 @@
+"""Perfectly nested loops with rectangular integer bounds.
+
+The paper analyses perfectly nested loops whose subscripts are affine
+in the induction variables (§4.1); all Table 1 kernels are rectangular.
+Tiling introduces ``min``-shaped inner bounds, which this IR represents
+*exactly* as unions of integer boxes (see :mod:`repro.transform.tiling`)
+rather than as syntactic bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.arrays import Array, ArrayRef
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop level ``do var = lower, upper`` (step 1, inclusive)."""
+
+    var: str
+    lower: int
+    upper: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "lower", int(self.lower))
+        object.__setattr__(self, "upper", int(self.upper))
+        if self.upper < self.lower:
+            raise ValueError(f"loop {self.var}: empty range {self.lower}..{self.upper}")
+
+    @property
+    def extent(self) -> int:
+        return self.upper - self.lower + 1
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A perfectly nested affine loop nest with a single statement body.
+
+    ``loops`` are ordered outermost first — their order *is* the
+    execution (lexicographic) order.  ``refs`` are the array references
+    of the body in access order.
+    """
+
+    name: str
+    loops: tuple[Loop, ...]
+    refs: tuple[ArrayRef, ...]
+    description: str = ""
+    statement: str = ""  # optional pretty-printed body for codegen
+
+    def __post_init__(self):
+        object.__setattr__(self, "loops", tuple(self.loops))
+        refs = []
+        for pos, ref in enumerate(self.refs):
+            if ref.position != pos:
+                ref = ArrayRef(ref.array, ref.subscripts, ref.is_write, pos)
+            refs.append(ref)
+        object.__setattr__(self, "refs", tuple(refs))
+        self._validate()
+
+    def _validate(self) -> None:
+        vars_ = {l.var for l in self.loops}
+        if len(vars_) != len(self.loops):
+            raise ValueError(f"{self.name}: duplicate loop variables")
+        for ref in self.refs:
+            extra = ref.variables() - vars_
+            if extra:
+                raise ValueError(
+                    f"{self.name}: reference {ref} uses non-induction vars {sorted(extra)}"
+                )
+
+    # -- shape ----------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    @property
+    def vars(self) -> tuple[str, ...]:
+        return tuple(l.var for l in self.loops)
+
+    def loop(self, var: str) -> Loop:
+        for l in self.loops:
+            if l.var == var:
+                return l
+        raise KeyError(var)
+
+    def bounds(self) -> dict[str, tuple[int, int]]:
+        return {l.var: (l.lower, l.upper) for l in self.loops}
+
+    @property
+    def num_iterations(self) -> int:
+        n = 1
+        for l in self.loops:
+            n *= l.extent
+        return n
+
+    @property
+    def num_accesses(self) -> int:
+        return self.num_iterations * len(self.refs)
+
+    def arrays(self) -> tuple[Array, ...]:
+        seen: dict[str, Array] = {}
+        for ref in self.refs:
+            prev = seen.setdefault(ref.array.name, ref.array)
+            if prev is not ref.array and prev != ref.array:
+                raise ValueError(
+                    f"{self.name}: conflicting definitions of array {ref.array.name}"
+                )
+        return tuple(seen.values())
+
+    def __repr__(self) -> str:
+        loops = ",".join(f"{l.var}={l.lower}..{l.upper}" for l in self.loops)
+        return f"LoopNest({self.name}; {loops}; {len(self.refs)} refs)"

@@ -1,0 +1,247 @@
+"""A small Fortran-like front end for loop nests.
+
+The paper obtains its nests from the Polaris compiler; as the textual
+equivalent, this module parses a do-loop DSL into the IR, so kernels
+can be written as source rather than constructed by hand::
+
+    real A(100,100), B(100,100)
+    do i = 1, 100
+      do j = 1, 100
+        A(j,i) = B(i,j)
+      enddo
+    enddo
+
+Grammar (line-oriented, case-insensitive keywords):
+
+* ``real NAME(e1, e2, ...)`` — array declarations; ``real*4`` /
+  ``real*8`` select the element width (default 8).  Extents may use
+  previously bound integer parameters.
+* ``parameter (N = 100)`` — integer constants usable in extents,
+  bounds and subscripts.
+* ``do VAR = LO, HI`` / ``enddo`` — rectangular loops (affine constant
+  bounds after parameter substitution).
+* exactly one assignment statement in the innermost body:
+  ``LHS(subs) = expr`` where every array reference in ``expr`` becomes
+  a read.  Subscripts are affine: sums of optionally-scaled induction
+  variables and integer constants (e.g. ``2*k-1``, ``i+1``).
+
+Anything outside this fragment (the same restriction as §4.1's
+perfectly-nested affine class) raises :class:`ParseError` with a line
+number.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, ArrayRef
+from repro.ir.loops import Loop, LoopNest
+
+
+def nest_to_dsl(nest) -> str:
+    """Render a :class:`LoopNest` back into parseable DSL source.
+
+    Inverse of :func:`parse_nest` up to normalisation (lower-cased
+    identifiers, regenerated statement): declarations, loops, body.
+    Used by round-trip tests and for exporting built-in kernels as
+    editable source.
+    """
+    from repro.ir.codegen import fortran_source
+
+    lines = []
+    for arr in nest.arrays():
+        extents = ",".join(str(e) for e in arr.extents)
+        suffix = "" if arr.element_size == 8 else f"*{arr.element_size}"
+        lines.append(f"real{suffix} {arr.name}({extents})")
+    lines.append(fortran_source(nest).rstrip())
+    return "\n".join(lines) + "\n"
+
+
+class ParseError(ValueError):
+    """Syntax or semantic error in nest source."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_DECL_RE = re.compile(r"^real(?:\*(\d+))?\s+(.+)$", re.IGNORECASE)
+_PARAM_RE = re.compile(
+    r"^parameter\s*\(\s*([a-z_]\w*)\s*=\s*(\d+)\s*\)$", re.IGNORECASE
+)
+_DO_RE = re.compile(
+    r"^do\s+([a-z_]\w*)\s*=\s*([^,]+),\s*(.+)$", re.IGNORECASE
+)
+_ENDDO_RE = re.compile(r"^end\s*do$", re.IGNORECASE)
+_ARRAY_DECL_ITEM_RE = re.compile(r"([a-z_]\w*)\s*\(([^)]*)\)", re.IGNORECASE)
+_REF_RE = re.compile(r"([a-z_]\w*)\s*\(([^()]*)\)", re.IGNORECASE)
+
+
+def _parse_int_expr(text: str, params: dict[str, int], line_no: int) -> int:
+    """Evaluate an integer expression of constants and parameters."""
+    expr = _parse_affine(text, params, (), line_no)
+    if not expr.is_constant:
+        raise ParseError(line_no, f"expected a constant expression: {text!r}")
+    return expr.const
+
+
+def _parse_affine(
+    text: str,
+    params: dict[str, int],
+    induction_vars: tuple[str, ...],
+    line_no: int,
+) -> AffineExpr:
+    """Parse ``±c*v ± d ...`` into an affine expression."""
+    s = text.replace(" ", "")
+    if not s:
+        raise ParseError(line_no, "empty expression")
+    # Tokenise into signed terms.
+    terms = re.findall(r"[+-]?[^+-]+", s)
+    expr = AffineExpr.constant(0)
+    for term in terms:
+        sign = 1
+        body = term
+        if body[0] in "+-":
+            sign = -1 if body[0] == "-" else 1
+            body = body[1:]
+        if not body:
+            raise ParseError(line_no, f"dangling sign in {text!r}")
+        m = re.fullmatch(r"(?:(\d+)\*)?([a-zA-Z_]\w*)|(\d+)", body)
+        if not m:
+            raise ParseError(line_no, f"cannot parse term {term!r} in {text!r}")
+        coeff_str, var, const_str = m.groups()
+        if const_str is not None:
+            expr = expr + sign * int(const_str)
+            continue
+        coeff = sign * (int(coeff_str) if coeff_str else 1)
+        lname = var.lower()
+        if lname in params:
+            expr = expr + coeff * params[lname]
+        elif lname in induction_vars:
+            expr = expr + AffineExpr.var(lname, coeff)
+        else:
+            raise ParseError(line_no, f"unknown identifier {var!r}")
+    return expr
+
+
+def parse_nest(source: str, name: str = "parsed") -> LoopNest:
+    """Parse DSL ``source`` into a :class:`~repro.ir.loops.LoopNest`."""
+    params: dict[str, int] = {}
+    arrays: dict[str, Array] = {}
+    loops: list[Loop] = []
+    statement_line: tuple[int, str] | None = None
+    depth_open = 0
+    closed = 0
+
+    lines = source.splitlines()
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.split("!")[0].strip()
+        if not line:
+            continue
+
+        m = _PARAM_RE.match(line)
+        if m:
+            if loops:
+                raise ParseError(line_no, "parameter after loops began")
+            params[m.group(1).lower()] = int(m.group(2))
+            continue
+
+        m = _DECL_RE.match(line)
+        if m:
+            if loops:
+                raise ParseError(line_no, "declaration after loops began")
+            esize = int(m.group(1)) if m.group(1) else 8
+            body = m.group(2)
+            items = _ARRAY_DECL_ITEM_RE.findall(body)
+            if not items:
+                raise ParseError(line_no, f"no array declarators in {body!r}")
+            for arr_name, extents_text in items:
+                extents = tuple(
+                    _parse_int_expr(e, params, line_no)
+                    for e in extents_text.split(",")
+                )
+                lname = arr_name.lower()
+                if lname in arrays:
+                    raise ParseError(line_no, f"array {arr_name!r} redeclared")
+                arrays[lname] = Array(lname, extents, element_size=esize)
+            continue
+
+        m = _DO_RE.match(line)
+        if m:
+            if statement_line is not None:
+                raise ParseError(line_no, "loop after the body statement "
+                                 "(only perfectly nested loops are supported)")
+            var = m.group(1).lower()
+            if any(l.var == var for l in loops):
+                raise ParseError(line_no, f"duplicate loop variable {var!r}")
+            lo = _parse_int_expr(m.group(2), params, line_no)
+            hi = _parse_int_expr(m.group(3), params, line_no)
+            if hi < lo:
+                raise ParseError(line_no, f"empty loop range {lo}..{hi}")
+            loops.append(Loop(var, lo, hi))
+            depth_open += 1
+            continue
+
+        if _ENDDO_RE.match(line):
+            closed += 1
+            if closed > depth_open:
+                raise ParseError(line_no, "enddo without matching do")
+            continue
+
+        if "=" in line:
+            if statement_line is not None:
+                raise ParseError(
+                    line_no, "multiple body statements (single statement only)"
+                )
+            if closed:
+                raise ParseError(line_no, "statement outside the innermost loop")
+            statement_line = (line_no, line)
+            continue
+
+        raise ParseError(line_no, f"cannot parse: {raw.strip()!r}")
+
+    if not loops:
+        raise ParseError(len(lines), "no loops found")
+    if statement_line is None:
+        raise ParseError(len(lines), "no body statement found")
+    if closed != depth_open:
+        raise ParseError(len(lines), f"{depth_open - closed} unclosed do loop(s)")
+
+    line_no, stmt = statement_line
+    lhs_text, rhs_text = stmt.split("=", 1)
+    induction = tuple(l.var for l in loops)
+
+    def build_ref(arr_name: str, subs_text: str, is_write: bool, pos: int) -> ArrayRef:
+        lname = arr_name.lower()
+        if lname in params:
+            raise ParseError(line_no, f"{arr_name!r} is a parameter, not an array")
+        if lname not in arrays:
+            raise ParseError(line_no, f"undeclared array {arr_name!r}")
+        subs = tuple(
+            _parse_affine(s, params, induction, line_no)
+            for s in subs_text.split(",")
+        )
+        return ArrayRef(arrays[lname], subs, is_write=is_write, position=pos)
+
+    refs: list[ArrayRef] = []
+    pos = 0
+    for arr_name, subs_text in _REF_RE.findall(rhs_text):
+        refs.append(build_ref(arr_name, subs_text, False, pos))
+        pos += 1
+
+    lhs_matches = _REF_RE.findall(lhs_text)
+    if len(lhs_matches) != 1:
+        raise ParseError(line_no, f"left-hand side must be one reference: {lhs_text!r}")
+    lhs_name, lhs_subs = lhs_matches[0]
+    refs.append(build_ref(lhs_name, lhs_subs, True, pos))
+
+    if not refs:
+        raise ParseError(line_no, "statement contains no array references")
+
+    return LoopNest(
+        name=name,
+        loops=tuple(loops),
+        refs=tuple(refs),
+        statement=stmt,
+    )

@@ -1,0 +1,118 @@
+"""Iteration spaces as unions of disjoint integer boxes.
+
+Before tiling, a rectangular nest's space is a single box.  After
+tiling ``n`` dimensions it is a union of up to ``2^n`` convex regions
+(§2.4 of the paper, Fig. 2): one box per combination of "full tile" /
+"boundary tile" along each dimension.  Execution order is global
+lexicographic order on the coordinate tuple, *not* region-by-region —
+all order-sensitive computations (reuse intervals, trace generation)
+go through the coordinates, so region interleaving is handled exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.polyhedra.box import Box
+
+
+@dataclass(frozen=True)
+class IterationSpace:
+    """A finite union of disjoint integer boxes with named dimensions."""
+
+    vars: tuple[str, ...]
+    regions: tuple[Box, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "vars", tuple(self.vars))
+        regions = tuple(r for r in self.regions if not r.is_empty)
+        object.__setattr__(self, "regions", regions)
+        for r in regions:
+            if r.rank != len(self.vars):
+                raise ValueError("region rank mismatch")
+
+    @staticmethod
+    def single_box(vars: tuple[str, ...], lo, hi) -> "IterationSpace":
+        return IterationSpace(tuple(vars), (Box(tuple(lo), tuple(hi)),))
+
+    # -- size ------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self.vars)
+
+    @property
+    def num_points(self) -> int:
+        return sum(r.volume for r in self.regions)
+
+    def bounding_box(self) -> Box:
+        lo = tuple(min(r.lo[d] for r in self.regions) for d in range(self.rank))
+        hi = tuple(max(r.hi[d] for r in self.regions) for d in range(self.rank))
+        return Box(lo, hi)
+
+    # -- membership --------------------------------------------------------
+    def contains(self, point: tuple[int, ...]) -> bool:
+        return any(r.contains(point) for r in self.regions)
+
+    def region_index(self, point: tuple[int, ...]) -> int:
+        for i, r in enumerate(self.regions):
+            if r.contains(point):
+                return i
+        raise ValueError(f"{point} not in iteration space")
+
+    # -- sampling ----------------------------------------------------------
+    def unrank(self, index: int) -> tuple[int, ...]:
+        """The ``index``-th point in *region-major* order.
+
+        Used for uniform sampling (every point has exactly one index);
+        the order is not execution order, which samplers don't need.
+        """
+        for r in self.regions:
+            v = r.volume
+            if index < v:
+                return r.unrank(index)
+            index -= v
+        raise IndexError("index out of range")
+
+    def sample_points(self, n: int, rng: np.random.Generator) -> list[tuple[int, ...]]:
+        """Simple random sample (with replacement) of ``n`` points."""
+        total = self.num_points
+        idx = rng.integers(0, total, size=n)
+        return [self.unrank(int(i)) for i in idx]
+
+    # -- enumeration ---------------------------------------------------------
+    def all_points_lex(self) -> list[tuple[int, ...]]:
+        """All points in execution (lexicographic) order.
+
+        Only for small spaces (tests, exact solving, trace generation).
+        """
+        pts: list[tuple[int, ...]] = []
+        for r in self.regions:
+            pts.extend(r.points())
+        pts.sort()
+        return pts
+
+    def coordinate_matrix_lex(self) -> np.ndarray:
+        """(num_points, rank) int64 matrix of points in execution order.
+
+        Vectorised: enumerates each region with meshgrid then performs a
+        single global lexsort, because regions interleave in execution
+        order after tiling.
+        """
+        blocks = []
+        for r in self.regions:
+            axes = [np.arange(l, h + 1, dtype=np.int64) for l, h in zip(r.lo, r.hi)]
+            grid = np.meshgrid(*axes, indexing="ij")
+            blocks.append(np.stack([g.ravel() for g in grid], axis=1))
+        coords = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+        if len(blocks) > 1:
+            order = np.lexsort(tuple(coords[:, d] for d in range(self.rank - 1, -1, -1)))
+            coords = coords[order]
+        return coords
+
+    def __repr__(self) -> str:
+        return (
+            f"IterationSpace(vars={self.vars}, regions={len(self.regions)}, "
+            f"points={self.num_points})"
+        )

@@ -1,0 +1,42 @@
+"""Eligibility checks mirroring the paper's CME restrictions (§4.1).
+
+Only perfectly nested loops whose subscripts are affine functions of
+the induction variables are analysable.  The IR enforces affinity by
+construction; these checks add the cross-cutting conditions a compiler
+front end would verify before invoking the tiling pass.
+"""
+
+from __future__ import annotations
+
+from repro.ir.loops import LoopNest
+
+
+class ValidationError(ValueError):
+    """Raised when a nest is outside the analysable class."""
+
+
+def validate_nest(nest: LoopNest) -> None:
+    """Raise :class:`ValidationError` if the nest is not analysable."""
+    if nest.depth == 0:
+        raise ValidationError(f"{nest.name}: no loops")
+    if not nest.refs:
+        raise ValidationError(f"{nest.name}: no array references")
+    for ref in nest.refs:
+        for d, sub in enumerate(ref.subscripts):
+            lo, hi = sub.range_over(nest.bounds())
+            lb = ref.array.lower_bounds[d]
+            ub = lb + ref.array.extents[d] - 1
+            if lo < lb or hi > ub:
+                raise ValidationError(
+                    f"{nest.name}: subscript {d} of {ref} ranges [{lo},{hi}] "
+                    f"outside array bounds [{lb},{ub}]"
+                )
+
+
+def is_analyzable(nest: LoopNest) -> bool:
+    """Non-raising variant of :func:`validate_nest`."""
+    try:
+        validate_nest(nest)
+    except ValidationError:
+        return False
+    return True

@@ -1,0 +1,46 @@
+"""The evaluated kernel suite (Table 1).
+
+Builders return :class:`~repro.ir.loops.LoopNest` instances
+parameterised by problem size.  Kernels whose Fortran source is not in
+the paper (the NAS and BIHAR codes) are *representative models*: loop
+depth, reference mix and layout pathologies follow Table 1 and the
+reported miss behaviour; each builder's docstring states the
+approximation (see DESIGN.md §3).
+"""
+
+from repro.kernels.linalg import make_add, make_matmul, make_mm, make_t2d, make_t3dikj, make_t3djik
+from repro.kernels.stencil import make_adi, make_jacobi3d
+from repro.kernels.nas import make_btrix, make_vpenta1, make_vpenta2
+from repro.kernels.bihar import (
+    make_dpssb,
+    make_dpssf,
+    make_dradbg1,
+    make_dradbg2,
+    make_dradfg1,
+    make_dradfg2,
+)
+from repro.kernels.registry import KERNELS, KernelSpec, get_kernel, kernel_names
+
+__all__ = [
+    "make_t2d",
+    "make_t3djik",
+    "make_t3dikj",
+    "make_jacobi3d",
+    "make_matmul",
+    "make_mm",
+    "make_adi",
+    "make_add",
+    "make_btrix",
+    "make_vpenta1",
+    "make_vpenta2",
+    "make_dpssb",
+    "make_dpssf",
+    "make_dradbg1",
+    "make_dradbg2",
+    "make_dradfg1",
+    "make_dradfg2",
+    "KERNELS",
+    "KernelSpec",
+    "get_kernel",
+    "kernel_names",
+]

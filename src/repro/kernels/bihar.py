@@ -1,0 +1,174 @@
+"""BIHAR (biharmonic solver) transform kernels — representative models.
+
+BIHAR's transforms come from FFTPACK-style routines.  Their exact
+sources are not in the paper, so we model each kernel with the
+documented depth (3 nested loops, Table 1) and the access-pattern
+family of the real code:
+
+* **DPSSF / DPSSB** — forward / inverse transform of a complex periodic
+  sequence, modelled as the dense transform over a batch of sequences
+  stored sequence-major (the simultaneous-transform layout), with a
+  twiddle table walked column-wise (forward) or row-wise (inverse).
+  The interleaved complex storage is modelled with stride-2 subscripts.
+* **DRADBG1/2, DRADFG1/2** — radix-g butterfly passes over a real
+  coefficient array: plane shuffles ``ch(i,k,j) ← cc(i,j,k)`` combined
+  with a neighbouring plane (the butterfly) and per-pass twiddles.
+  The cross-plane reuse distance is a full plane sweep, far beyond the
+  cache, so untiled runs lose it — exactly the capacity-miss structure
+  loop tiling recovers.
+
+Auxiliary dimensions (batch count, twiddle leading dimension) are
+deliberately *not* powers of two — as in real Fortran codes, where
+work arrays carry odd leading dimensions — so the kernels are
+capacity-dominated, matching the paper's placement of the BIHAR
+kernels outside the conflict-bound Table 3 set.  These are documented
+substitutions (DESIGN.md §3): what the CME/GA pipeline observes —
+affine subscripts, strides, footprints — matches the kernels'
+character even though the arithmetic differs.
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, read, write
+from repro.ir.loops import Loop, LoopNest
+
+
+def _v(name: str) -> AffineExpr:
+    return AffineExpr.var(name)
+
+
+def make_dpssf(n: int = 256, batch: int = 60) -> LoopNest:
+    """Forward transform of a complex periodic sequence (DPSSF).
+
+    The forward twiddle walk ``w(k,j)`` is unit-stride in the inner
+    loop; only the strided sequence gather pays capacity misses.
+    """
+    c = Array("c", (batch, 2 * n))
+    x = Array("x", (batch, 2 * n))
+    w = Array("w", (n + 5, n))
+    l, j, k = _v("l"), _v("j"), _v("k")
+    return LoopNest(
+        name=f"DPSSF_{n}",
+        loops=(Loop("j", 1, n), Loop("l", 1, batch), Loop("k", 1, n)),
+        refs=(
+            read(c, l, 2 * j - 1, position=0),
+            read(x, l, 2 * k - 1, position=1),
+            read(w, k, j, position=2),
+            write(c, l, 2 * j - 1, position=3),
+        ),
+        description="BIHAR: forward transform of a complex periodic sequence",
+        statement="c(l,2*j-1) = c(l,2*j-1) + x(l,2*k-1) * w(k,j)",
+    )
+
+
+def make_dpssb(n: int = 256, batch: int = 60) -> LoopNest:
+    """Unnormalised inverse transform (DPSSB).
+
+    Like :func:`make_dpssf` but with the transposed twiddle walk
+    ``w(j,k)``: both the sequence gather and the twiddle table stride
+    in the inner loop, reproducing the paper's ~55% untiled replacement
+    ratio for this kernel (§6) that tiling nearly eliminates.
+    """
+    c = Array("c", (batch, 2 * n))
+    x = Array("x", (batch, 2 * n))
+    w = Array("w", (n + 5, n))
+    l, j, k = _v("l"), _v("j"), _v("k")
+    return LoopNest(
+        name=f"DPSSB_{n}",
+        loops=(Loop("j", 1, n), Loop("l", 1, batch), Loop("k", 1, n)),
+        refs=(
+            read(c, l, 2 * j - 1, position=0),
+            read(x, l, 2 * k - 1, position=1),
+            read(w, j, k, position=2),
+            write(c, l, 2 * j - 1, position=3),
+        ),
+        description="BIHAR: unnormalized inverse transform of a complex periodic sequence",
+        statement="c(l,2*j-1) = c(l,2*j-1) + x(l,2*k-1) * w(j,k)",
+    )
+
+
+def _radix_arrays(ido: int, ip: int, l1: int) -> tuple[Array, Array, Array]:
+    cc = Array("cc", (ido, ip, l1))
+    ch = Array("ch", (ido, l1, ip))
+    wa = Array("wa", (ido + 3, ip))
+    return cc, ch, wa
+
+
+def make_dradbg1(ido: int = 100, ip: int = 7, l1: int = 62) -> LoopNest:
+    """Backward radix-g pass, loop 1: butterfly gather ``cc → ch``.
+
+    ``cc(i,j,k)`` is combined with its neighbouring radix plane
+    ``cc(i,j-1,k)``; the cross-plane reuse distance is one full
+    ``(k,i)`` sweep (≈``l1·ido`` iterations, a ~50KB footprint), which
+    only survives under tiling.
+    """
+    cc, ch, wa = _radix_arrays(ido, ip, l1)
+    j, k, i = _v("j"), _v("k"), _v("i")
+    return LoopNest(
+        name=f"DRADBG1_{ido}",
+        loops=(Loop("j", 2, ip), Loop("k", 1, l1), Loop("i", 1, ido)),
+        refs=(
+            read(cc, i, j, k, position=0),
+            read(cc, i, j - 1, k, position=1),
+            read(wa, i, j, position=2),
+            write(ch, i, k, j, position=3),
+        ),
+        description="BIHAR: backward transform of real coefficient array, loop 1",
+        statement="ch(i,k,j) = cc(i,j,k) + wa(i,j) * cc(i,j-1,k)",
+    )
+
+
+def make_dradbg2(ido: int = 100, ip: int = 7, l1: int = 62) -> LoopNest:
+    """Backward radix-g pass, loop 2: combine within ``ch``, scatter to
+    ``cc`` — the same butterfly with the plane roles swapped."""
+    cc, ch, wa = _radix_arrays(ido, ip, l1)
+    j, k, i = _v("j"), _v("k"), _v("i")
+    return LoopNest(
+        name=f"DRADBG2_{ido}",
+        loops=(Loop("k", 1, l1), Loop("j", 2, ip), Loop("i", 1, ido)),
+        refs=(
+            read(ch, i, k, j, position=0),
+            read(ch, i, k, j - 1, position=1),
+            read(wa, i, j, position=2),
+            write(cc, i, j, k, position=3),
+        ),
+        description="BIHAR: backward transform of real coefficient array, loop 2",
+        statement="cc(i,j,k) = ch(i,k,j) + wa(i,j) * ch(i,k,j-1)",
+    )
+
+
+def make_dradfg1(ido: int = 100, ip: int = 7, l1: int = 62) -> LoopNest:
+    """Forward radix-g pass, loop 1: twiddled butterfly ``ch → cc``."""
+    cc, ch, wa = _radix_arrays(ido, ip, l1)
+    j, k, i = _v("j"), _v("k"), _v("i")
+    return LoopNest(
+        name=f"DRADFG1_{ido}",
+        loops=(Loop("j", 2, ip), Loop("k", 1, l1), Loop("i", 1, ido)),
+        refs=(
+            read(ch, i, k, j, position=0),
+            read(ch, i, k, j - 1, position=1),
+            read(wa, i, j, position=2),
+            write(cc, i, j, k, position=3),
+        ),
+        description="BIHAR: forward transform of real periodic sequence, loop 1",
+        statement="cc(i,j,k) = ch(i,k,j) + wa(i,j) * ch(i,k,j-1)",
+    )
+
+
+def make_dradfg2(ido: int = 100, ip: int = 7, l1: int = 62) -> LoopNest:
+    """Forward radix-g pass, loop 2: cross-plane accumulation."""
+    cc, ch, wa = _radix_arrays(ido, ip, l1)
+    j, k, i = _v("j"), _v("k"), _v("i")
+    return LoopNest(
+        name=f"DRADFG2_{ido}",
+        loops=(Loop("k", 1, l1), Loop("j", 2, ip), Loop("i", 1, ido)),
+        refs=(
+            read(cc, i, j, k, position=0),
+            read(cc, i, j - 1, k, position=1),
+            read(wa, i, j, position=2),
+            write(ch, i, k, j, position=3),
+        ),
+        description="BIHAR: forward transform of real periodic sequence, loop 2",
+        statement="ch(i,k,j) = cc(i,j,k) + wa(i,j) * cc(i,j-1,k)",
+    )

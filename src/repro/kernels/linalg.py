@@ -1,0 +1,156 @@
+"""Dense linear-algebra kernels: transpositions, matmul, NAS ADD.
+
+All arrays are Fortran REAL (4 bytes), column-major, 1-based — the
+conventions of the paper's experimental framework.
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, read, write
+from repro.ir.loops import Loop, LoopNest
+
+
+def _v(name: str) -> AffineExpr:
+    return AffineExpr.var(name)
+
+
+def make_t2d(n: int) -> LoopNest:
+    """2-D matrix transposition: ``A(i2,i1) = B(i1,i2)`` (Fig. 3a).
+
+    The canonical tiling showcase: either A or B is traversed along the
+    large stride, so untiled runs stream one array with no line reuse.
+    """
+    a = Array("A", (n, n))
+    b = Array("B", (n, n))
+    i1, i2 = _v("i1"), _v("i2")
+    return LoopNest(
+        name=f"T2D_{n}",
+        loops=(Loop("i1", 1, n), Loop("i2", 1, n)),
+        refs=(read(b, i1, i2, position=0), write(a, i2, i1, position=1)),
+        description="2D matrix transposition",
+        statement="A(i2,i1) = B(i1,i2)",
+    )
+
+
+def make_t3djik(n: int) -> LoopNest:
+    """3-D transposition ``a(k,j,i) = b(j,i,k)``, loops named inner-first.
+
+    The suffix lists induction variables from the innermost loop out
+    (J inner, I middle, K outer) — the interpretation under which the
+    published untiled ratios (total 63.4%, replacement 36.7% at N=200)
+    are reproduced: ``b`` is read with its contiguous dimension inner
+    (spatial locality only) while ``a`` is written along a large stride
+    whose line reuse spans the whole inner space.
+    """
+    a = Array("a", (n, n, n))
+    b = Array("b", (n, n, n))
+    i, j, k = _v("i"), _v("j"), _v("k")
+    return LoopNest(
+        name=f"T3DJIK_{n}",
+        loops=(Loop("k", 1, n), Loop("i", 1, n), Loop("j", 1, n)),
+        refs=(read(b, j, i, k, position=0), write(a, k, j, i, position=1)),
+        description="3D matrix transposition a[k,j,i] = b[j,i,k]",
+        statement="a(k,j,i) = b(j,i,k)",
+    )
+
+
+def make_t3dikj(n: int) -> LoopNest:
+    """3-D transposition ``a(k,j,i) = b(i,k,j)`` (milder than T3DJIK).
+
+    The paper reports markedly lower untiled ratios for this variant
+    (34.6% total, 7.0% replacement at N=200).  No loop order / element
+    width of the modelled arrays reproduces those exact values (an
+    exhaustive scan is in the test suite); we use the J-I-K order,
+    whose profile (≈54% total, ≈27% replacement) is the closest mild
+    variant and preserves the qualitative contrast with T3DJIK and the
+    after-tiling collapse to ≈0 — the deviation is recorded in
+    EXPERIMENTS.md.
+    """
+    a = Array("a", (n, n, n))
+    b = Array("b", (n, n, n))
+    i, j, k = _v("i"), _v("j"), _v("k")
+    return LoopNest(
+        name=f"T3DIKJ_{n}",
+        loops=(Loop("j", 1, n), Loop("i", 1, n), Loop("k", 1, n)),
+        refs=(read(b, i, k, j, position=0), write(a, k, j, i, position=1)),
+        description="3D matrix transposition a[k,j,i] = b[i,k,j]",
+        statement="a(k,j,i) = b(i,k,j)",
+    )
+
+
+def make_mm(n: int) -> LoopNest:
+    """Matrix multiplication (Fig. 1): ``a(i,j) += b(i,k) * c(k,j)``."""
+    a = Array("a", (n, n))
+    b = Array("b", (n, n))
+    c = Array("c", (n, n))
+    i, j, k = _v("i"), _v("j"), _v("k")
+    return LoopNest(
+        name=f"MM_{n}",
+        loops=(Loop("i", 1, n), Loop("j", 1, n), Loop("k", 1, n)),
+        refs=(
+            read(a, i, j, position=0),
+            read(b, i, k, position=1),
+            read(c, k, j, position=2),
+            write(a, i, j, position=3),
+        ),
+        description="matrix multiplication (LIVERMORE MM)",
+        statement="a(i,j) = a(i,j) + b(i,k) * c(k,j)",
+    )
+
+
+def make_matmul(n: int, repeats: int = 8) -> LoopNest:
+    """Matrix-by-vector multiplication, 3-deep (Table 1 MATMUL).
+
+    Table 1 lists MATMUL as a three-level nest; a plain mat-vec is
+    two-deep, so we model the common time-stepped form — an outer
+    repetition loop around ``y(i) += a(i,j) * x(j)`` — which preserves
+    the depth and the vector-reuse structure tiling exploits
+    (substitution documented in DESIGN.md).
+    """
+    a = Array("a", (n, n))
+    x = Array("x", (n,))
+    y = Array("y", (n,))
+    r, i, j = _v("r"), _v("i"), _v("j")
+    return LoopNest(
+        name=f"MATMUL_{n}",
+        loops=(Loop("r", 1, repeats), Loop("i", 1, n), Loop("j", 1, n)),
+        refs=(
+            read(y, i, position=0),
+            read(a, i, j, position=1),
+            read(x, j, position=2),
+            write(y, i, position=3),
+        ),
+        description="matrix by vector multiplication (time-stepped)",
+        statement="y(i) = y(i) + a(i,j) * x(j)",
+    )
+
+
+def make_add(n: int = 64, ncomp: int = 5) -> LoopNest:
+    """NAS BT ``add``: ``u(m,i,j,k) += rhs(m,i,j,k)``, 4-deep.
+
+    Model of the NPB BT update routine (Table 1 "addition of update to
+    a matrix", 4 nested loops).  With the default ``n = 64`` the two
+    arrays are ``5·64³`` elements — an exact multiple of the 8KB way
+    size — so every ``u``/``rhs`` pair collides in the same cache set
+    and the untiled replacement ratio approaches the paper's 60%.
+    """
+    u = Array("u", (ncomp, n, n, n))
+    rhs = Array("rhs", (ncomp, n, n, n))
+    m, i, j, k = _v("m"), _v("i"), _v("j"), _v("k")
+    return LoopNest(
+        name=f"ADD_{n}",
+        loops=(
+            Loop("k", 1, n),
+            Loop("j", 1, n),
+            Loop("i", 1, n),
+            Loop("m", 1, ncomp),
+        ),
+        refs=(
+            read(u, m, i, j, k, position=0),
+            read(rhs, m, i, j, k, position=1),
+            write(u, m, i, j, k, position=2),
+        ),
+        description="NAS BT: addition of update to a matrix",
+        statement="u(m,i,j,k) = u(m,i,j,k) + rhs(m,i,j,k)",
+    )

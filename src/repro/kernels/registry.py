@@ -1,0 +1,151 @@
+"""Kernel registry: Table 1 kernels by name with their problem sizes.
+
+``KERNELS`` maps the paper's kernel names to builders and to the
+problem sizes used in the figures; ``FIGURE_INSTANCES`` lists the 27
+bars of Figs. 8–9 in their published order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ir.loops import LoopNest
+from repro.kernels.bihar import (
+    make_dpssb,
+    make_dpssf,
+    make_dradbg1,
+    make_dradbg2,
+    make_dradfg1,
+    make_dradfg2,
+)
+from repro.kernels.linalg import (
+    make_add,
+    make_matmul,
+    make_mm,
+    make_t2d,
+    make_t3dikj,
+    make_t3djik,
+)
+from repro.kernels.nas import make_btrix, make_vpenta1, make_vpenta2
+from repro.kernels.stencil import make_adi, make_jacobi3d
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One Table 1 row: builder plus the paper's evaluated sizes."""
+
+    name: str
+    program: str
+    depth: int
+    build: Callable[..., LoopNest]
+    sizes: tuple[int, ...]
+    description: str
+    sized: bool = True  # False: the figures show it without a size suffix
+
+
+KERNELS: dict[str, KernelSpec] = {
+    "T2D": KernelSpec(
+        "T2D", "-", 2, make_t2d, (100, 500, 2000), "2D matrix transposition"
+    ),
+    "T3DJIK": KernelSpec(
+        "T3DJIK", "-", 3, make_t3djik, (20, 100, 200),
+        "3D matrix transposition a[k,j,i] = b[j,i,k]",
+    ),
+    "T3DIKJ": KernelSpec(
+        "T3DIKJ", "-", 3, make_t3dikj, (20, 100, 200),
+        "3D matrix transposition a[k,j,i] = b[i,k,j]",
+    ),
+    "JACOBI3D": KernelSpec(
+        "JACOBI3D", "-", 3, make_jacobi3d, (20, 100, 200),
+        "partial differential equations solver",
+    ),
+    "MATMUL": KernelSpec(
+        "MATMUL", "-", 3, make_matmul, (100, 500, 2000),
+        "matrix by vector multiplication",
+    ),
+    "MM": KernelSpec(
+        "MM", "LIVERMORE", 3, make_mm, (100, 500, 2000), "matrix multiplication"
+    ),
+    "ADI": KernelSpec(
+        "ADI", "LIVERMORE", 2, make_adi, (100, 500, 1000, 2000),
+        "2D ADI integration",
+    ),
+    "ADD": KernelSpec(
+        "ADD", "NAS", 4, make_add, (64,),
+        "addition of update to a matrix", sized=False,
+    ),
+    "BTRIX": KernelSpec(
+        "BTRIX", "NAS", 3, make_btrix, (64,),
+        "block tri-diagonal solver, backward block sweep", sized=False,
+    ),
+    "VPENTA1": KernelSpec(
+        "VPENTA1", "NAS", 2, make_vpenta1, (128,),
+        "invert 3 pentadiagonals simultaneously, loop 1", sized=False,
+    ),
+    "VPENTA2": KernelSpec(
+        "VPENTA2", "NAS", 2, make_vpenta2, (128,),
+        "invert 3 pentadiagonals simultaneously, loop 2", sized=False,
+    ),
+    "DPSSB": KernelSpec(
+        "DPSSB", "BIHAR", 3, make_dpssb, (256,),
+        "unnormalized inverse transform of a complex periodic sequence",
+        sized=False,
+    ),
+    "DPSSF": KernelSpec(
+        "DPSSF", "BIHAR", 3, make_dpssf, (256,),
+        "forward transform of a complex periodic sequence", sized=False,
+    ),
+    "DRADBG1": KernelSpec(
+        "DRADBG1", "BIHAR", 3, make_dradbg1, (100,),
+        "backward transform of a real coefficient array, loop 1", sized=False,
+    ),
+    "DRADBG2": KernelSpec(
+        "DRADBG2", "BIHAR", 3, make_dradbg2, (100,),
+        "backward transform of a real coefficient array, loop 2", sized=False,
+    ),
+    "DRADFG1": KernelSpec(
+        "DRADFG1", "BIHAR", 3, make_dradfg1, (100,),
+        "forward transform of a real periodic sequence, loop 1", sized=False,
+    ),
+    "DRADFG2": KernelSpec(
+        "DRADFG2", "BIHAR", 3, make_dradfg2, (100,),
+        "forward transform of a real periodic sequence, loop 2", sized=False,
+    ),
+}
+
+#: The 27 kernel instances of Figures 8 and 9, in published order.
+FIGURE_INSTANCES: list[tuple[str, int]] = (
+    [("T2D", n) for n in (100, 500, 2000)]
+    + [("T3DJIK", n) for n in (20, 100, 200)]
+    + [("T3DIKJ", n) for n in (20, 100, 200)]
+    + [("JACOBI3D", n) for n in (20, 100, 200)]
+    + [("MATMUL", n) for n in (100, 500, 2000)]
+    + [("MM", n) for n in (100, 500, 2000)]
+    + [("ADI", n) for n in (100, 500, 2000)]
+    + [
+        ("ADD", 64),
+        ("BTRIX", 64),
+        ("VPENTA2", 128),
+        ("DPSSB", 256),
+        ("DRADBG1", 100),
+        ("DRADFG1", 100),
+    ]
+)
+
+
+def kernel_names() -> list[str]:
+    return list(KERNELS)
+
+
+def get_kernel(name: str, size: int | None = None) -> LoopNest:
+    """Build a kernel by Table 1 name, using its default size if omitted."""
+    spec = KERNELS[name]
+    if size is None:
+        size = spec.sizes[0]
+    return spec.build(size)
+
+
+def instance_label(name: str, size: int) -> str:
+    """Figure axis label (sizes omitted for the NAS/BIHAR kernels)."""
+    return f"{name}_{size}" if KERNELS[name].sized else name

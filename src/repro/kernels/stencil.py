@@ -1,0 +1,80 @@
+"""Stencil / PDE kernels: JACOBI3D and the ADI integration fragment."""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, read, write
+from repro.ir.loops import Loop, LoopNest
+
+
+def _v(name: str) -> AffineExpr:
+    return AffineExpr.var(name)
+
+
+def make_jacobi3d(n: int) -> LoopNest:
+    """3-D Jacobi relaxation (Table 1 "partial differential equations
+    solver", 3 nested loops).
+
+    ``a(i,j,k) = Σ b(i±1, j±1, k±1 neighbours)`` over the interior,
+    in the Fortran-natural (k, j, i) order with ``i`` contiguous.  The
+    replacement misses come from the plane-distance group reuse
+    (``b(i,j,k±1)``) whose footprint exceeds the cache.
+    """
+    a = Array("a", (n, n, n))
+    b = Array("b", (n, n, n))
+    i, j, k = _v("i"), _v("j"), _v("k")
+    return LoopNest(
+        name=f"JACOBI3D_{n}",
+        loops=(Loop("k", 2, n - 1), Loop("j", 2, n - 1), Loop("i", 2, n - 1)),
+        refs=(
+            read(b, i - 1, j, k, position=0),
+            read(b, i + 1, j, k, position=1),
+            read(b, i, j - 1, k, position=2),
+            read(b, i, j + 1, k, position=3),
+            read(b, i, j, k - 1, position=4),
+            read(b, i, j, k + 1, position=5),
+            write(a, i, j, k, position=6),
+        ),
+        description="3D Jacobi PDE solver sweep",
+        statement=(
+            "a(i,j,k) = c1*(b(i-1,j,k)+b(i+1,j,k)+b(i,j-1,k)"
+            "+b(i,j+1,k)+b(i,j,k-1)+b(i,j,k+1))"
+        ),
+    )
+
+
+def make_adi(n: int) -> LoopNest:
+    """2-D ADI integration sweep (Table 1 "2D ADI integration", 2 loops).
+
+    Representative model of the alternating-direction fragment: the
+    column sweep (recurrence ``u1(j, i-1)``) consumes the previous
+    *row*-direction result ``u2(i, j)`` transposed — the essence of
+    ADI's direction alternation.  The transposed read walks a large
+    stride (no line reuse within a sweep), and the ``N·8B`` columns sit
+    just under the 8KB way size, so conflicts appear for the larger
+    problem sizes — reproducing Table 3's pattern where both padding
+    and tiling contribute for ADI_1000/2000 but the 32KB cache needs
+    neither.
+    """
+    u1 = Array("u1", (n, n))
+    u2 = Array("u2", (n, n))
+    u3 = Array("u3", (n, n))
+    ca = Array("ca", (n, n))
+    cb = Array("cb", (n, n))
+    i, j = _v("i"), _v("j")
+    return LoopNest(
+        name=f"ADI_{n}",
+        loops=(Loop("i", 2, n), Loop("j", 1, n)),
+        refs=(
+            read(u1, j, i - 1, position=0),
+            read(ca, j, i, position=1),
+            read(u2, i, j, position=2),
+            read(cb, j, i, position=3),
+            read(u3, j, i - 1, position=4),
+            write(u1, j, i, position=5),
+        ),
+        description="2D ADI integration sweep (alternating directions)",
+        statement=(
+            "u1(j,i) = u1(j,i-1) + ca(j,i)*u2(i,j) + cb(j,i)*u3(j,i-1)"
+        ),
+    )

@@ -1,0 +1,5 @@
+"""Memory layout: base addresses, strides and padding."""
+
+from repro.layout.memory import MemoryLayout, PaddingSpec
+
+__all__ = ["MemoryLayout", "PaddingSpec"]

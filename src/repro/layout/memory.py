@@ -1,0 +1,101 @@
+"""Memory layout assignment and the paper's padding transformation.
+
+The CMEs depend on concrete base addresses and strides (§2.1).  A
+:class:`MemoryLayout` assigns every array a base byte address —
+contiguously in declaration order by default, mimicking Fortran common
+blocks — and owns the two padding knobs of §4.3 / Table 3:
+
+* **inter-array padding**: extra bytes inserted before an array's base;
+* **intra-array padding**: extra elements added to an array dimension's
+  extent, changing the strides of all higher dimensions (the classic
+  "pad the leading dimension" transformation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, ArrayRef
+
+
+@dataclass(frozen=True)
+class PaddingSpec:
+    """Padding parameters for a set of arrays.
+
+    ``inter[name]`` is the number of *elements* inserted before array
+    ``name``'s base; ``intra[name][d]`` the number of elements appended
+    to dimension ``d`` of array ``name``.  Missing entries mean zero.
+    """
+
+    inter: dict[str, int] = field(default_factory=dict)
+    intra: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for name, pad in self.inter.items():
+            if pad < 0:
+                raise ValueError(f"negative inter pad for {name}")
+        for name, pads in self.intra.items():
+            if any(p < 0 for p in pads):
+                raise ValueError(f"negative intra pad for {name}")
+
+    def intra_for(self, array: Array) -> tuple[int, ...]:
+        pads = self.intra.get(array.name)
+        if pads is None:
+            return (0,) * array.rank
+        if len(pads) != array.rank:
+            raise ValueError(f"intra pad rank mismatch for {array.name}")
+        return tuple(pads)
+
+    def inter_for(self, array: Array) -> int:
+        return self.inter.get(array.name, 0)
+
+
+class MemoryLayout:
+    """Concrete placement of a program's arrays in a flat byte space."""
+
+    def __init__(
+        self,
+        arrays: tuple[Array, ...],
+        padding: PaddingSpec | None = None,
+        base_address: int = 0,
+        alignment: int = 1,
+    ):
+        self.arrays = tuple(arrays)
+        self.padding = padding or PaddingSpec()
+        self.alignment = int(alignment)
+        if self.alignment < 1:
+            raise ValueError("alignment must be >= 1")
+        self._bases: dict[str, int] = {}
+        addr = int(base_address)
+        for arr in self.arrays:
+            addr += self.padding.inter_for(arr) * arr.element_size
+            if self.alignment > 1:
+                addr = -(-addr // self.alignment) * self.alignment
+            self._bases[arr.name] = addr
+            addr += arr.size_bytes(self.padding.intra_for(arr))
+        self._end = addr
+
+    @property
+    def total_bytes(self) -> int:
+        """Footprint of the laid-out arrays including padding."""
+        return self._end
+
+    def base(self, array: Array | str) -> int:
+        name = array if isinstance(array, str) else array.name
+        return self._bases[name]
+
+    def strides(self, array: Array) -> tuple[int, ...]:
+        return array.strides_bytes(self.padding.intra_for(array))
+
+    def address_expr(self, ref: ArrayRef) -> AffineExpr:
+        """Byte address of a reference as an affine expression."""
+        return ref.offset_expr(self.padding.intra_for(ref.array)) + self.base(ref.array)
+
+    def with_padding(self, padding: PaddingSpec) -> "MemoryLayout":
+        """A new layout over the same arrays with different padding."""
+        return MemoryLayout(self.arrays, padding, alignment=self.alignment)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{a.name}@{self._bases[a.name]}" for a in self.arrays)
+        return f"MemoryLayout({parts}; {self.total_bytes}B)"

@@ -1,0 +1,28 @@
+"""Integer-box polyhedra toolkit specialised for Cache Miss Equations.
+
+The CME solver never needs general convex polyhedra: iteration spaces
+(before and after tiling) are finite unions of integer boxes, the
+interval between a reuse source and its use decomposes into boxes, and
+replacement equations reduce to testing whether an affine form over a
+box hits a residue window modulo the cache-way size.  This package
+implements exactly those primitives, mirroring the special-cased
+polyhedra solver of Bermudo/Vera that the paper builds on.
+"""
+
+from repro.polyhedra.box import Box
+from repro.polyhedra.lexinterval import lex_between_boxes, lex_gt_boxes, lex_lt_boxes
+from repro.polyhedra.congruence import (
+    CongruenceTester,
+    exists_absolute_interval,
+    exists_mod_window,
+)
+
+__all__ = [
+    "Box",
+    "lex_between_boxes",
+    "lex_gt_boxes",
+    "lex_lt_boxes",
+    "CongruenceTester",
+    "exists_absolute_interval",
+    "exists_mod_window",
+]

@@ -1,0 +1,101 @@
+"""Finite integer boxes (products of inclusive integer intervals)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned integer box ``lo[d] <= x[d] <= hi[d]``.
+
+    Dimensions are positional; the owning iteration space supplies the
+    variable names.  An empty box (some ``lo > hi``) is representable
+    and reports ``volume == 0``.
+    """
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "lo", tuple(int(v) for v in self.lo))
+        object.__setattr__(self, "hi", tuple(int(v) for v in self.hi))
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo/hi rank mismatch")
+
+    @property
+    def rank(self) -> int:
+        return len(self.lo)
+
+    @property
+    def is_empty(self) -> bool:
+        return any(l > h for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        v = 1
+        for l, h in zip(self.lo, self.hi):
+            if h < l:
+                return 0
+            v *= h - l + 1
+        return v
+
+    def extents(self) -> tuple[int, ...]:
+        return tuple(max(0, h - l + 1) for l, h in zip(self.lo, self.hi))
+
+    def contains(self, point: tuple[int, ...]) -> bool:
+        return all(l <= x <= h for x, l, h in zip(point, self.lo, self.hi))
+
+    def intersect(self, other: "Box") -> "Box":
+        return Box(
+            tuple(max(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(min(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def fix(self, dim: int, value: int) -> "Box":
+        """Return the box with dimension ``dim`` pinned to ``value``."""
+        lo = list(self.lo)
+        hi = list(self.hi)
+        lo[dim] = hi[dim] = value
+        return Box(tuple(lo), tuple(hi))
+
+    def clamp_dim(self, dim: int, lo: int, hi: int) -> "Box":
+        """Intersect one dimension with ``[lo, hi]``."""
+        nlo = list(self.lo)
+        nhi = list(self.hi)
+        nlo[dim] = max(nlo[dim], lo)
+        nhi[dim] = min(nhi[dim], hi)
+        return Box(tuple(nlo), tuple(nhi))
+
+    def points(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all points in lexicographic order (small boxes only)."""
+        if self.is_empty:
+            return iter(())
+        return product(*(range(l, h + 1) for l, h in zip(self.lo, self.hi)))
+
+    def unrank(self, index: int) -> tuple[int, ...]:
+        """The ``index``-th point in lexicographic order (mixed radix)."""
+        if not 0 <= index < self.volume:
+            raise IndexError(index)
+        exts = self.extents()
+        coords = [0] * self.rank
+        for d in range(self.rank - 1, -1, -1):
+            index, r = divmod(index, exts[d])
+            coords[d] = self.lo[d] + r
+        return tuple(coords)
+
+    def rank_of(self, point: tuple[int, ...]) -> int:
+        """Inverse of :meth:`unrank`."""
+        if not self.contains(point):
+            raise ValueError(f"{point} not in {self}")
+        exts = self.extents()
+        idx = 0
+        for d in range(self.rank):
+            idx = idx * exts[d] + (point[d] - self.lo[d])
+        return idx
+
+    def __repr__(self) -> str:
+        dims = "x".join(f"[{l},{h}]" for l, h in zip(self.lo, self.hi))
+        return f"Box({dims})"

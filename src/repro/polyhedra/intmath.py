@@ -1,0 +1,77 @@
+"""Elementary integer arithmetic used by the congruence machinery."""
+
+from __future__ import annotations
+
+from math import gcd
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended gcd: returns ``(g, x, y)`` with ``a*x + b*y == g``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    return old_r, old_s, old_t
+
+
+def count_congruent_in_range(lo: int, hi: int, residue: int, modulus: int) -> int:
+    """Number of integers ``x`` in ``[lo, hi]`` with ``x ≡ residue (mod modulus)``."""
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    if hi < lo:
+        return 0
+    first = lo + ((residue - lo) % modulus)
+    if first > hi:
+        return 0
+    return (hi - first) // modulus + 1
+
+
+def first_congruent_in_range(lo: int, hi: int, residue: int, modulus: int) -> int | None:
+    """Smallest ``x`` in ``[lo, hi]`` with ``x ≡ residue (mod modulus)``, else None."""
+    if hi < lo:
+        return None
+    first = lo + ((residue - lo) % modulus)
+    return first if first <= hi else None
+
+
+def solve_linear_congruence(
+    a: int, b: int, m: int
+) -> tuple[int, int] | None:
+    """Solve ``a*x ≡ b (mod m)``.
+
+    Returns ``(x0, period)`` describing the full solution set
+    ``{x0 + k*period}`` with ``0 <= x0 < period``, or ``None`` when no
+    solution exists.
+    """
+    if m <= 0:
+        raise ValueError("modulus must be positive")
+    a %= m
+    b %= m
+    g = gcd(a, m)
+    if b % g:
+        return None
+    if a == 0:
+        # Any x works (b must be 0 mod m, checked above since g == m).
+        return (0, 1)
+    m_ = m // g
+    a_ = (a // g) % m_
+    b_ = (b // g) % m_
+    _, inv, _ = egcd(a_, m_)
+    x0 = (b_ * inv) % m_
+    return (x0, m_)
+
+
+def gcd_all(values) -> int:
+    """gcd of an iterable of ints (0 for an empty iterable)."""
+    g = 0
+    for v in values:
+        g = gcd(g, v)
+        if g == 1:
+            return 1
+    return g

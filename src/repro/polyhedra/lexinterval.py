@@ -1,0 +1,89 @@
+"""Decompose lexicographic order constraints over integer boxes.
+
+Execution order of a (possibly tiled) loop nest is lexicographic order
+on the iteration vector.  The set of iterations strictly between a
+reuse source ``s`` and its use ``p`` — the domain of the paper's
+*replacement equations* — is therefore ``{q : s ≺ q ≺ p}`` intersected
+with the iteration space.  Within one convex region (an integer box)
+this set decomposes exactly into at most ``O(rank²)`` disjoint boxes,
+which is what these helpers produce.
+
+The comparison points ``s``/``p`` need not lie inside the box: after
+tiling the source and the use frequently sit in *different* convex
+regions, and the decomposition remains exact in that case.
+"""
+
+from __future__ import annotations
+
+from repro.polyhedra.box import Box
+
+
+def lex_gt_boxes(point: tuple[int, ...], box: Box) -> list[Box]:
+    """Disjoint boxes covering ``{q ∈ box : q ≻_lex point}``."""
+    if box.is_empty:
+        return []
+    d = box.rank
+    if len(point) != d:
+        raise ValueError("point rank mismatch")
+    out: list[Box] = []
+    lo = list(box.lo)
+    hi = list(box.hi)
+    for level in range(d):
+        s = point[level]
+        if s < box.lo[level]:
+            # Any q agreeing with the prefix is already greater.
+            out.append(Box(tuple(lo), tuple(hi)))
+            return out
+        if s + 1 <= box.hi[level]:
+            blo = list(lo)
+            bhi = list(hi)
+            blo[level] = max(s + 1, box.lo[level])
+            out.append(Box(tuple(blo), tuple(bhi)))
+        if s > box.hi[level]:
+            # Prefix can never match inside the box; deeper levels moot.
+            return out
+        # Fix this coordinate to s and descend.
+        lo[level] = hi[level] = s
+    return out  # q == point exactly is excluded (strict order)
+
+
+def lex_lt_boxes(point: tuple[int, ...], box: Box) -> list[Box]:
+    """Disjoint boxes covering ``{q ∈ box : q ≺_lex point}``."""
+    if box.is_empty:
+        return []
+    d = box.rank
+    if len(point) != d:
+        raise ValueError("point rank mismatch")
+    out: list[Box] = []
+    lo = list(box.lo)
+    hi = list(box.hi)
+    for level in range(d):
+        s = point[level]
+        if s > box.hi[level]:
+            out.append(Box(tuple(lo), tuple(hi)))
+            return out
+        if s - 1 >= box.lo[level]:
+            blo = list(lo)
+            bhi = list(hi)
+            bhi[level] = min(s - 1, box.hi[level])
+            out.append(Box(tuple(blo), tuple(bhi)))
+        if s < box.lo[level]:
+            return out
+        lo[level] = hi[level] = s
+    return out
+
+
+def lex_between_boxes(
+    src: tuple[int, ...], use: tuple[int, ...], box: Box
+) -> list[Box]:
+    """Disjoint boxes covering ``{q ∈ box : src ≺_lex q ≺_lex use}``.
+
+    ``src ≺ use`` is assumed (callers establish it); the result is empty
+    otherwise.
+    """
+    out: list[Box] = []
+    for gt in lex_gt_boxes(src, box):
+        for between in lex_lt_boxes(use, gt):
+            if not between.is_empty:
+                out.append(between)
+    return out

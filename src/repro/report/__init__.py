@@ -1,0 +1,17 @@
+"""Result rendering and export: ASCII charts, JSON records."""
+
+from repro.report.charts import bar_chart, paired_bar_chart, sparkline
+from repro.report.export import (
+    figure_rows_to_json,
+    results_to_json,
+    write_json,
+)
+
+__all__ = [
+    "bar_chart",
+    "paired_bar_chart",
+    "sparkline",
+    "figure_rows_to_json",
+    "results_to_json",
+    "write_json",
+]

@@ -1,0 +1,89 @@
+"""Plain-text charts for terminal-friendly figure reproduction.
+
+The paper's Figures 8–9 are grouped bar charts (two bars per kernel);
+:func:`paired_bar_chart` renders the same comparison in ASCII so the
+benchmark harness can show the *shape* of the result, not just numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / vmax))
+    cells = frac * width
+    full = int(cells)
+    rem = cells - full
+    bar = "█" * full
+    if rem > 1e-9 and full < width:
+        bar += BLOCKS[int(rem * (len(BLOCKS) - 1))]
+    return bar
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    fmt: str = "{:6.1%}",
+) -> str:
+    """One horizontal bar per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    vmax = max(values, default=0.0) or 1.0
+    lw = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        lines.append(f"{label:<{lw}} {fmt.format(v)} {_bar(v, vmax, width)}")
+    return "\n".join(lines)
+
+
+def paired_bar_chart(
+    labels: Sequence[str],
+    first: Sequence[float],
+    second: Sequence[float],
+    first_name: str = "NO tiling",
+    second_name: str = "tiling",
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Two bars per label — the Figs. 8–9 layout."""
+    if not (len(labels) == len(first) == len(second)):
+        raise ValueError("length mismatch")
+    vmax = max(list(first) + list(second), default=0.0) or 1.0
+    lw = max((len(l) for l in labels), default=0)
+    nw = max(len(first_name), len(second_name))
+    lines = [title, "=" * len(title)] if title else []
+    for label, a, b in zip(labels, first, second):
+        lines.append(
+            f"{label:<{lw}} {first_name:<{nw}} {a:6.1%} {_bar(a, vmax, width)}"
+        )
+        lines.append(
+            f"{'':<{lw}} {second_name:<{nw}} {b:6.1%} {_bar(b, vmax, width)}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Compact single-line trend (e.g. a GA convergence trace)."""
+    ticks = "▁▂▃▄▅▆▇█"
+    vals = list(values)
+    if not vals:
+        return ""
+    if width is not None and len(vals) > width:
+        # Downsample by striding.
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span == 0:
+        return ticks[0] * len(vals)
+    return "".join(
+        ticks[min(len(ticks) - 1, int((v - lo) / span * (len(ticks) - 1)))]
+        for v in vals
+    )

@@ -1,0 +1,52 @@
+"""JSON export of experiment results.
+
+Downstream tooling (plotting, regression tracking) wants structured
+records rather than text tables; every experiment row type serialises
+through :func:`results_to_json` by virtue of being a flat dataclass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+
+def _jsonable(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def results_to_json(rows: list, indent: int = 2) -> str:
+    """Serialise a list of experiment-row dataclasses to JSON text."""
+    return json.dumps([_jsonable(r) for r in rows], indent=indent)
+
+
+def figure_rows_to_json(rows: list, cache_name: str) -> str:
+    """Figure 8/9 rows with their cache tag, ready for plotting."""
+    payload = {
+        "cache": cache_name,
+        "bars": [_jsonable(r) for r in rows],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def write_json(path: str | pathlib.Path, rows: list) -> pathlib.Path:
+    """Write rows as JSON; returns the path written."""
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(results_to_json(rows) + "\n")
+    return p

@@ -1,0 +1,11 @@
+"""Reuse analysis (Wolf & Lam reuse vectors) for affine references."""
+
+from repro.reuse.lattice import kernel_basis, lex_positive
+from repro.reuse.vectors import ReuseCandidate, compute_reuse_candidates
+
+__all__ = [
+    "kernel_basis",
+    "lex_positive",
+    "ReuseCandidate",
+    "compute_reuse_candidates",
+]

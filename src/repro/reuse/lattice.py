@@ -1,0 +1,53 @@
+"""Integer kernel bases for linear address functionals.
+
+A reference's byte address is a single integer linear functional of the
+iteration vector, so its temporal self-reuse directions form the
+integer kernel of a 1×d row.  A convenient basis consists of the unit
+vectors of variables the address ignores plus one "exchange" vector per
+consecutive pair of participating variables; we normalise every basis
+vector to be lexicographically positive (pointing back in time).
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+
+def lex_positive(vector: tuple[int, ...]) -> tuple[int, ...]:
+    """Negate the vector if its leading nonzero entry is negative."""
+    for x in vector:
+        if x > 0:
+            return vector
+        if x < 0:
+            return tuple(-v for v in vector)
+    return vector
+
+
+def is_lex_positive(vector: tuple[int, ...]) -> bool:
+    for x in vector:
+        if x:
+            return x > 0
+    return False
+
+
+def kernel_basis(coeffs: tuple[int, ...]) -> list[tuple[int, ...]]:
+    """Basis of the kernel of ``x → Σ coeffs·x``, lex-positive entries.
+
+    Returns ``d-1`` vectors when the row is nonzero, ``d`` unit vectors
+    when it is identically zero (every direction is temporal reuse).
+    """
+    d = len(coeffs)
+    basis: list[tuple[int, ...]] = []
+    nonzero = [j for j in range(d) if coeffs[j]]
+    for j in range(d):
+        if coeffs[j] == 0:
+            vec = [0] * d
+            vec[j] = 1
+            basis.append(tuple(vec))
+    for a, b in zip(nonzero, nonzero[1:]):
+        g = gcd(abs(coeffs[a]), abs(coeffs[b]))
+        vec = [0] * d
+        vec[a] = coeffs[b] // g
+        vec[b] = -coeffs[a] // g
+        basis.append(lex_positive(tuple(vec)))
+    return basis

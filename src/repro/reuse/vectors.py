@@ -1,0 +1,135 @@
+"""Reuse-vector candidate generation (§2.1).
+
+For every reference of a nest we derive the finite set of reuse vectors
+the CMEs are generated from:
+
+* **self-temporal** — integer kernel basis of the reference's address
+  functional (the data touched at ``p`` was touched at ``p - r``);
+* **self-spatial** — one unit vector per induction variable whose
+  address stride is smaller than a cache line (neighbouring iterations
+  may fall in the same line; the solver verifies the same-line
+  condition per point, which keeps boundary iterations exact);
+* **group-temporal / group-spatial** — between uniformly generated
+  references (same coefficient vector, different constant): the zero
+  vector for intra-iteration reuse, plus single-variable translations
+  whenever the constant gap is a multiple of that variable's stride,
+  and line-distance unit vectors for the spatial case.
+
+Reuse vectors live in the *original* iteration space.  After tiling,
+candidate sources are obtained by mapping the transformed point back to
+original coordinates, subtracting the vector, and mapping forward
+again; this follows reuse across tile boundaries and convex regions
+without recomputing vectors per tiling — the geometric content of the
+paper's per-region equation sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.loops import LoopNest
+from repro.layout.memory import MemoryLayout
+from repro.reuse.lattice import is_lex_positive, kernel_basis, lex_positive
+
+
+@dataclass(frozen=True)
+class ReuseCandidate:
+    """One potential reuse source for a reference.
+
+    The source of reference ``position`` at iteration ``p`` is the
+    access of reference ``source_position`` at iteration ``p - vector``
+    (original coordinates).  ``kind`` records the classic reuse class,
+    for reporting and tests.
+    """
+
+    vector: tuple[int, ...]
+    source_position: int
+    kind: str
+
+    @property
+    def is_intra_iteration(self) -> bool:
+        return all(v == 0 for v in self.vector)
+
+
+def _unit(d: int, j: int) -> tuple[int, ...]:
+    v = [0] * d
+    v[j] = 1
+    return tuple(v)
+
+
+def compute_reuse_candidates(
+    nest: LoopNest, layout: MemoryLayout, line_size: int
+) -> dict[int, list[ReuseCandidate]]:
+    """Reuse candidates per reference position.
+
+    Candidates are deduplicated; their validity (source inside the
+    iteration space, genuinely same memory line, earlier in execution
+    order) is established per iteration point by the CME solver.
+    """
+    vars_ = nest.vars
+    d = len(vars_)
+    exprs = {
+        ref.position: layout.address_expr(ref) for ref in nest.refs
+    }
+    out: dict[int, list[ReuseCandidate]] = {}
+    for ref in nest.refs:
+        pos = ref.position
+        expr = exprs[pos]
+        coeffs = expr.coeff_vector(vars_)
+        cands: list[ReuseCandidate] = []
+
+        for r in kernel_basis(coeffs):
+            if is_lex_positive(r):
+                cands.append(ReuseCandidate(r, pos, "self-temporal"))
+
+        for j in range(d):
+            if 0 < abs(coeffs[j]) < line_size:
+                cands.append(ReuseCandidate(_unit(d, j), pos, "self-spatial"))
+
+        for other in nest.refs:
+            if other.position == pos or other.array.name != ref.array.name:
+                continue
+            ocoeffs = exprs[other.position].coeff_vector(vars_)
+            if ocoeffs != coeffs:
+                continue  # not uniformly generated
+            # Source at q = p - r with addr_other(q) == addr_A(p) requires
+            # coeffs·r = const_other - const_A along a single variable.
+            delta = exprs[other.position].const - expr.const
+            # Intra-iteration reuse: other's access at the same point.
+            cands.append(
+                ReuseCandidate((0,) * d, other.position, "group-temporal")
+            )
+            for j in range(d):
+                c = coeffs[j]
+                if not c:
+                    continue
+                if delta % c == 0:
+                    steps = delta // c
+                    if steps:
+                        r = [0] * d
+                        r[j] = steps
+                        # Stored lex-positive; the solver probes both
+                        # directions (tiling may reverse execution order).
+                        cands.append(
+                            ReuseCandidate(
+                                lex_positive(tuple(r)), other.position, "group-temporal"
+                            )
+                        )
+                if abs(c) < line_size:
+                    # Group-spatial: the other reference's access at a
+                    # neighbouring iteration may sit in the same line
+                    # (e.g. a read-modify-write pair walking a line).
+                    cands.append(
+                        ReuseCandidate(_unit(d, j), other.position, "group-spatial")
+                    )
+
+        # Deduplicate, preserving the first kind recorded.
+        seen: set[tuple[tuple[int, ...], int]] = set()
+        uniq: list[ReuseCandidate] = []
+        for c in cands:
+            key = (c.vector, c.source_position)
+            if key not in seen:
+                seen.add(key)
+                uniq.append(c)
+        out[pos] = uniq
+    return out

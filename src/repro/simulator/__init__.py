@@ -1,0 +1,33 @@
+"""Trace-driven cache simulation substrate.
+
+The paper evaluates its tiling through the CME model itself; we add an
+exact simulator as ground truth so the analytical model can be
+validated (and as an alternative objective function for small problem
+sizes).  Address traces are generated vectorised from the IR — the
+loop body is never interpreted, so Python-level execution speed does
+not mask cache effects.
+"""
+
+from repro.simulator.trace import address_trace, ref_address_matrix
+from repro.simulator.cachesim import (
+    compulsory_mask,
+    simulate_direct_mapped,
+    simulate_lru,
+    simulate_trace,
+)
+from repro.simulator.stats import SimulationResult
+from repro.simulator.classify import simulate_program
+from repro.simulator.hierarchy import HierarchyResult, simulate_hierarchy
+
+__all__ = [
+    "HierarchyResult",
+    "simulate_hierarchy",
+    "address_trace",
+    "ref_address_matrix",
+    "simulate_direct_mapped",
+    "simulate_lru",
+    "simulate_trace",
+    "compulsory_mask",
+    "SimulationResult",
+    "simulate_program",
+]

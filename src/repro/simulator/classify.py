@@ -1,0 +1,45 @@
+"""End-to-end exact simulation of an access program."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.ir.program import AccessProgram
+from repro.layout.memory import MemoryLayout
+from repro.simulator.cachesim import compulsory_mask, simulate_trace
+from repro.simulator.stats import SimulationResult
+from repro.simulator.trace import ref_address_matrix
+
+
+def simulate_program(
+    program: AccessProgram, layout: MemoryLayout, cache: CacheConfig
+) -> SimulationResult:
+    """Simulate every access of ``program`` and classify the misses."""
+    addr = ref_address_matrix(program, layout)
+    npoints, nrefs = addr.shape
+    trace = addr.ravel()
+    miss = simulate_trace(trace, cache)
+    cold = compulsory_mask(trace, cache)
+    repl = miss & ~cold
+
+    refs = sorted(program.refs, key=lambda r: r.position)
+    per_acc: dict[str, int] = {}
+    per_miss: dict[str, int] = {}
+    per_repl: dict[str, int] = {}
+    miss2 = miss.reshape(npoints, nrefs)
+    repl2 = repl.reshape(npoints, nrefs)
+    for col, ref in enumerate(refs):
+        key = f"{ref.array.name}@{ref.position}"
+        per_acc[key] = npoints
+        per_miss[key] = int(miss2[:, col].sum())
+        per_repl[key] = int(repl2[:, col].sum())
+
+    return SimulationResult(
+        accesses=npoints * nrefs,
+        misses=int(miss.sum()),
+        compulsory=int(cold.sum()),
+        per_ref_accesses=per_acc,
+        per_ref_misses=per_miss,
+        per_ref_replacement=per_repl,
+    )

@@ -1,0 +1,46 @@
+"""Result records for simulation and analytical estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Miss statistics of one program run against one cache.
+
+    ``replacement`` counts misses that are not compulsory (capacity +
+    conflict, the paper's "replacement misses").  Per-reference
+    breakdowns are keyed ``"name@position"`` because a kernel can
+    reference the same array several times.
+    """
+
+    accesses: int
+    misses: int
+    compulsory: int
+    per_ref_accesses: dict[str, int] = field(default_factory=dict)
+    per_ref_misses: dict[str, int] = field(default_factory=dict)
+    per_ref_replacement: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def replacement(self) -> int:
+        return self.misses - self.compulsory
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def replacement_ratio(self) -> float:
+        return self.replacement / self.accesses if self.accesses else 0.0
+
+    @property
+    def compulsory_ratio(self) -> float:
+        return self.compulsory / self.accesses if self.accesses else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"accesses={self.accesses} miss={self.miss_ratio:.2%} "
+            f"(compulsory={self.compulsory_ratio:.2%}, "
+            f"replacement={self.replacement_ratio:.2%})"
+        )

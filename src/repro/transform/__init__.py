@@ -1,0 +1,14 @@
+"""Program transformations: strip-mining, interchange, tiling, padding."""
+
+from repro.transform.tiling import tile_program, tile_regions
+from repro.transform.stripmine import strip_mine
+from repro.transform.interchange import interchange
+from repro.transform.padding import PaddingSearchSpace
+
+__all__ = [
+    "tile_program",
+    "tile_regions",
+    "strip_mine",
+    "interchange",
+    "PaddingSearchSpace",
+]

@@ -1,0 +1,29 @@
+"""Loop interchange (permutation of the nesting order).
+
+Tiling is strip-mining plus interchange (§3); interchange is also
+useful on its own for constructing kernel variants such as the paper's
+T3DJIK vs T3DIKJ transpositions.  Interchanging rectangular loops with
+a single-statement body is always legal for the *cache analysis*
+performed here (we do not check data dependences; callers transforming
+real programs should).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.ir.loops import LoopNest
+
+
+def interchange(nest: LoopNest, order: Sequence[str]) -> LoopNest:
+    """Reorder the loops of ``nest`` into the given variable order."""
+    if sorted(order) != sorted(nest.vars):
+        raise ValueError(f"order {order} is not a permutation of {nest.vars}")
+    loops = tuple(nest.loop(v) for v in order)
+    return LoopNest(
+        name=f"{nest.name}_{''.join(order)}",
+        loops=loops,
+        refs=nest.refs,
+        description=nest.description,
+        statement=nest.statement,
+    )

@@ -1,0 +1,197 @@
+"""Dependence analysis and tiling legality.
+
+The paper applies tiling to kernels where it is known legal; a compiler
+needs the check.  For the affine single-statement nests of this IR,
+data dependences between uniformly generated references (equal
+coefficient vectors) have *constant distance vectors*, and the classic
+legality condition applies:
+
+* a loop nest is **fully permutable** — hence tilable with rectangular
+  tiles — iff every dependence distance vector is component-wise
+  non-negative;
+* an **interchange** permutation is legal iff every permuted distance
+  vector remains lexicographically positive (or zero).
+
+Non-uniform dependences (coefficient mismatch, e.g. a transposition
+writing ``A(j,i)`` while reading ``A(i,j)``) are reported with unknown
+distance; we treat them conservatively unless the reference pair can
+be proven independent (disjoint arrays).  All Table 1 kernels are
+either dependence-free across iterations or carry non-negative
+distances, which the test suite verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.loops import LoopNest
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A data dependence between two references of the nest.
+
+    ``distance`` is the constant iteration-distance vector for uniform
+    dependences (the second reference at ``p + distance`` touches the
+    element the first touches at ``p``), or ``None`` when the pair is
+    non-uniform.  ``free_dims`` lists dimensions the subscripts do not
+    constrain: the dependence is a *family* over those dimensions
+    (e.g. MM's ``a(i,j)`` pair recurs at every ``k`` distance).
+    """
+
+    source_position: int
+    sink_position: int
+    kind: str  # "flow", "anti", "output"
+    distance: tuple[int, ...] | None
+    free_dims: tuple[int, ...] = ()
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.distance is not None
+
+    @property
+    def is_loop_independent(self) -> bool:
+        return (
+            self.distance is not None
+            and all(d == 0 for d in self.distance)
+            and not self.free_dims
+        )
+
+
+def _kind(src_write: bool, sink_write: bool) -> str:
+    if src_write and sink_write:
+        return "output"
+    if src_write:
+        return "flow"
+    return "anti"
+
+
+def find_dependences(nest: LoopNest) -> list[Dependence]:
+    """All pairwise dependences involving at least one write.
+
+    For uniformly generated pairs the distance vector solves
+    ``coeffs·d = const_sink - const_src`` along single variables when
+    the gap is carried by exactly one stride (the common case in
+    Table 1 kernels: ``u(…,i-1)`` vs ``u(…,i)``); a zero gap is the
+    loop-independent dependence.  Pairs with mismatched coefficients
+    yield a non-uniform (unknown-distance) dependence.
+    """
+    vars_ = nest.vars
+    d = len(vars_)
+    out: list[Dependence] = []
+    refs = sorted(nest.refs, key=lambda r: r.position)
+
+    def solve_pair(a, b):
+        """Distance d with b(p + d) touching a(p)'s element, per subscript.
+
+        Returns (distance, free_dims), "independent", or None (non-uniform).
+        """
+        fixed: dict[int, int] = {}
+        constrained: set[int] = set()
+        for sa, sb in zip(a.subscripts, b.subscripts):
+            cva = sa.coeff_vector(vars_)
+            cvb = sb.coeff_vector(vars_)
+            if cva != cvb:
+                return None  # non-uniform subscript pair
+            gap = sa.const - sb.const  # cv·d = gap
+            nz = [j for j in range(d) if cva[j]]
+            constrained.update(nz)
+            if not nz:
+                if gap != 0:
+                    return "independent"
+                continue
+            if len(nz) > 1:
+                if gap == 0:
+                    # d = 0 on these dims is one consistent solution, but
+                    # other solutions exist; treat as non-uniform.
+                    return None
+                return None
+            j = nz[0]
+            c = cva[j]
+            if gap % c:
+                return "independent"
+            val = gap // c
+            if j in fixed and fixed[j] != val:
+                return "independent"
+            fixed[j] = val
+        distance = tuple(fixed.get(j, 0) for j in range(d))
+        free = tuple(j for j in range(d) if j not in constrained)
+        return distance, free
+
+    for a in refs:
+        for b in refs:
+            if a.position >= b.position:
+                continue
+            if not (a.is_write or b.is_write):
+                continue
+            if a.array.name != b.array.name:
+                continue
+            kind = _kind(a.is_write, b.is_write)
+            solved = solve_pair(a, b)
+            if solved == "independent":
+                continue
+            if solved is None:
+                out.append(Dependence(a.position, b.position, kind, None))
+            else:
+                distance, free = solved
+                out.append(
+                    Dependence(a.position, b.position, kind, distance, free)
+                )
+    return out
+
+
+def _oriented(vec: tuple[int, ...]) -> tuple[int, ...]:
+    """Flip a distance vector to be lexicographically non-negative."""
+    for x in vec:
+        if x > 0:
+            return vec
+        if x < 0:
+            return tuple(-v for v in vec)
+    return vec
+
+
+def is_tiling_legal(nest: LoopNest) -> bool:
+    """Is rectangular tiling of every dimension legal?
+
+    A dependence *family* (with free dimensions) has concrete members
+    of both signs along the free dimensions; it is safe only when its
+    constrained part is entirely zero (the member pairs are then
+    ordered along a single free dimension, which tiling preserves).
+    A fixed dependence must be component-wise non-negative once
+    oriented (full permutability).  Unknown distances veto.
+    """
+    for dep in find_dependences(nest):
+        if not dep.is_uniform:
+            return False
+        vec = _oriented(dep.distance)
+        if dep.free_dims:
+            if any(x != 0 for x in vec):
+                return False
+        elif any(x < 0 for x in vec):
+            return False
+    return True
+
+
+def is_interchange_legal(nest: LoopNest, order) -> bool:
+    """Is permuting the loops into ``order`` legal?
+
+    Every oriented, fixed distance vector must stay lexicographically
+    non-negative under the permutation; families are safe only with a
+    zero constrained part (as for tiling).
+    """
+    perm = [nest.vars.index(v) for v in order]
+    for dep in find_dependences(nest):
+        if not dep.is_uniform:
+            return False
+        vec = _oriented(dep.distance)
+        if dep.free_dims:
+            if any(x != 0 for x in vec):
+                return False
+            continue
+        permuted = tuple(vec[p] for p in perm)
+        for x in permuted:
+            if x > 0:
+                break
+            if x < 0:
+                return False
+    return True

@@ -1,0 +1,108 @@
+"""Search space for the padding transformation (§4.3, Table 3).
+
+Padding parameters "are obtained in a similar way to tiling ones: they
+are introduced in the CMEs and a GA is used to find near-optimal
+solutions" (§4.3).  A :class:`PaddingSearchSpace` enumerates the
+padding variables of a nest — one inter-array pad per array and one
+intra-array pad per non-terminal dimension — together with their value
+ranges, and decodes a flat integer vector into a
+:class:`~repro.layout.memory.PaddingSpec`.  The same flat-vector
+interface is what the GA's chromosome decoding produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.arrays import Array
+from repro.layout.memory import PaddingSpec
+
+
+@dataclass(frozen=True)
+class PaddingVariable:
+    """One searchable padding parameter."""
+
+    kind: str  # "inter" or "intra"
+    array: str
+    dim: int  # meaningful for intra pads
+    upper: int  # values range over [0, upper]
+
+    @property
+    def num_values(self) -> int:
+        return self.upper + 1
+
+
+class PaddingSearchSpace:
+    """The padding parameters of a set of arrays and their ranges.
+
+    ``max_inter`` defaults to one way of the target cache in elements
+    (shifting a base by a full way is a no-op for set mapping, so larger
+    pads are redundant); ``max_intra`` defaults to one cache line of
+    elements per padded dimension.
+    """
+
+    def __init__(
+        self,
+        arrays: tuple[Array, ...],
+        max_inter: int | None = None,
+        max_intra: int | None = None,
+        way_bytes: int = 8192,
+        line_bytes: int = 32,
+        pad_intra: bool = True,
+    ):
+        self.arrays = tuple(arrays)
+        self.variables: list[PaddingVariable] = []
+        for arr in self.arrays:
+            inter_hi = (
+                max_inter
+                if max_inter is not None
+                else max(1, way_bytes // arr.element_size - 1)
+            )
+            self.variables.append(PaddingVariable("inter", arr.name, -1, inter_hi))
+            if pad_intra:
+                intra_hi = (
+                    max_intra
+                    if max_intra is not None
+                    else max(1, (line_bytes // arr.element_size) * 2 - 1)
+                )
+                # Padding the last dimension never changes a stride.
+                for d in range(arr.rank - 1):
+                    self.variables.append(
+                        PaddingVariable("intra", arr.name, d, intra_hi)
+                    )
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    def value_ranges(self) -> list[int]:
+        """Number of admissible values per variable (for GA encoding)."""
+        return [v.num_values for v in self.variables]
+
+    def decode(self, values) -> PaddingSpec:
+        """Turn a flat vector of pad amounts into a :class:`PaddingSpec`."""
+        values = list(values)
+        if len(values) != self.num_variables:
+            raise ValueError(
+                f"expected {self.num_variables} padding values, got {len(values)}"
+            )
+        inter: dict[str, int] = {}
+        intra: dict[str, list[int]] = {
+            a.name: [0] * a.rank for a in self.arrays
+        }
+        for var, val in zip(self.variables, values):
+            val = int(val)
+            if not 0 <= val <= var.upper:
+                raise ValueError(f"padding value {val} outside [0, {var.upper}]")
+            if var.kind == "inter":
+                inter[var.array] = val
+            else:
+                intra[var.array][var.dim] = val
+        return PaddingSpec(
+            inter={name: v for name, v in inter.items() if v},
+            intra={name: tuple(p) for name, p in intra.items() if any(p)},
+        )
+
+    def zero(self) -> PaddingSpec:
+        """The identity padding."""
+        return self.decode([0] * self.num_variables)

@@ -1,0 +1,24 @@
+"""Strip-mining: tiling restricted to a single dimension.
+
+Strip-mining is the building block of tiling (§3): it splits one loop
+into a tile loop and an element loop.  We express it as a degenerate
+call to :func:`repro.transform.tiling.tile_program` where every other
+dimension keeps a single full-extent tile, which reproduces Fig. 2's
+one-dimensional example exactly (including the boundary region when the
+strip width does not divide the trip count).
+"""
+
+from __future__ import annotations
+
+from repro.ir.loops import LoopNest
+from repro.ir.program import AccessProgram
+from repro.transform.tiling import tile_program
+
+
+def strip_mine(nest: LoopNest, var: str, width: int) -> AccessProgram:
+    """Strip-mine loop ``var`` with the given strip ``width``."""
+    if var not in nest.vars:
+        raise KeyError(f"no loop {var} in {nest.name}")
+    sizes = {l.var: l.extent for l in nest.loops}
+    sizes[var] = width
+    return tile_program(nest, sizes)

@@ -1,0 +1,6 @@
+"""Small shared utilities (deterministic RNG construction, timing)."""
+
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.timing import Timer
+
+__all__ = ["make_rng", "spawn_rng", "Timer"]

@@ -1,0 +1,31 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component of the library (sampling, GA operators,
+baseline searches) takes an explicit seed or ``numpy.random.Generator``
+so that experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    or ``None`` (fresh OS entropy — only appropriate for interactive use).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, key: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng`` and an integer key.
+
+    Used to give sub-components (e.g. each GA restart) their own stream
+    without consuming state from the parent in an order-dependent way.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (key * 0x9E3779B97F4A7C15 % 2**63)
+    return np.random.default_rng(seed)

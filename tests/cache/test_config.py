@@ -1,0 +1,54 @@
+"""Cache configuration tests."""
+
+import pytest
+
+from repro.cache.config import CACHE_8KB_DM, CACHE_32KB_DM, CacheConfig
+
+
+def test_paper_caches():
+    assert CACHE_8KB_DM.num_sets == 256
+    assert CACHE_8KB_DM.way_bytes == 8192
+    assert CACHE_32KB_DM.num_sets == 1024
+    assert CACHE_8KB_DM.num_lines == 256
+
+
+def test_set_associative_geometry():
+    c = CacheConfig(8 * 1024, 32, 2)
+    assert c.num_sets == 128
+    assert c.way_bytes == 4096
+    assert c.num_lines == 256
+
+
+def test_address_mapping():
+    c = CACHE_8KB_DM
+    assert c.line_of(0) == 0
+    assert c.line_of(31) == 0
+    assert c.line_of(32) == 1
+    assert c.set_of(0) == 0
+    assert c.set_of(8192) == 0  # wraps a way
+    assert c.set_of(8192 + 32) == 1
+    assert c.set_window(8192 + 40) == 32
+
+
+def test_same_set_iff_congruent_mod_way():
+    c = CACHE_8KB_DM
+    for addr in (0, 100, 8191, 12345):
+        assert c.set_of(addr) == c.set_of(addr + c.way_bytes)
+        assert c.set_window(addr) == c.set_window(addr + c.way_bytes)
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        CacheConfig(1000, 32, 1)  # not a power of two
+    with pytest.raises(ValueError):
+        CacheConfig(1024, 33, 1)
+    with pytest.raises(ValueError):
+        CacheConfig(1024, 32, 0)
+    with pytest.raises(ValueError):
+        CacheConfig(1024, 512, 3)  # not divisible
+
+
+def test_repr_mentions_geometry():
+    assert "8KB" in repr(CACHE_8KB_DM)
+    assert "DM" in repr(CACHE_8KB_DM)
+    assert "2-way" in repr(CacheConfig(1024, 32, 2))

@@ -1,0 +1,61 @@
+"""LocalityAnalyzer facade tests."""
+
+from repro.cache.config import CacheConfig
+from repro.cme.analyzer import LocalityAnalyzer
+from repro.layout.memory import PaddingSpec
+from tests.conftest import make_small_mm, make_small_transpose
+
+
+def test_estimate_untiled_and_tiled():
+    nest = make_small_transpose(32)
+    an = LocalityAnalyzer(nest, CacheConfig(1024, 32, 1), seed=0)
+    before = an.estimate()
+    after = an.estimate(tile_sizes=(4, 4))
+    assert 0 <= after.replacement_ratio <= 1
+    assert before.sampled_points == after.sampled_points == 164
+
+
+def test_estimate_with_padding_uses_padded_layout():
+    nest = make_small_mm(16)
+    an = LocalityAnalyzer(nest, CacheConfig(1024, 32, 1), seed=0)
+    plain = an.estimate()
+    padded = an.estimate(padding=PaddingSpec(inter={"b": 64}))
+    # Different layouts generally give different counts; at minimum the
+    # call must succeed and be internally consistent.
+    assert padded.sampled_accesses == plain.sampled_accesses
+
+
+def test_layout_cache_reuses_objects():
+    nest = make_small_mm(8)
+    an = LocalityAnalyzer(nest, CacheConfig(1024, 32, 1))
+    p = PaddingSpec(inter={"b": 8})
+    l1 = an.layout_with(p)
+    l2 = an.layout_with(PaddingSpec(inter={"b": 8}))
+    assert l1 is l2
+    assert an.layout_with(None) is an.layout
+
+
+def test_simulate_agrees_with_direct_call():
+    nest = make_small_transpose(16)
+    an = LocalityAnalyzer(nest, CacheConfig(1024, 32, 1), seed=0)
+    sim = an.simulate(tile_sizes=(4, 4))
+    assert sim.accesses == nest.num_accesses
+
+
+def test_resample_changes_points():
+    nest = make_small_mm(16)
+    an = LocalityAnalyzer(nest, CacheConfig(1024, 32, 1), seed=0)
+    first = an.estimate().replacement
+    an.resample()
+    # Not guaranteed different, but the sample itself must change.
+    assert an.seed == 1
+    an.resample(seed=99)
+    assert an.seed == 99
+
+
+def test_custom_sample_points():
+    nest = make_small_mm(8)
+    an = LocalityAnalyzer(nest, CacheConfig(1024, 32, 1), seed=0)
+    pts = [(1, 1, 1), (2, 2, 2)]
+    est = an.estimate(points=pts)
+    assert est.sampled_points == 2

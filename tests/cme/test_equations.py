@@ -1,0 +1,59 @@
+"""Symbolic CME system tests — the §2.4 scaling laws."""
+
+from repro.cache.config import CacheConfig
+from repro.cme.generator import generate_cmes
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from repro.transform.tiling import tile_program
+from tests.conftest import make_small_transpose
+
+
+def build(nest, tiles=None):
+    layout = MemoryLayout(nest.arrays())
+    prog = program_from_nest(nest) if tiles is None else tile_program(nest, tiles)
+    return generate_cmes(prog, layout, CacheConfig(1024, 32, 1))
+
+
+def test_counts_single_region():
+    nest = make_small_transpose(8)
+    sys = build(nest)
+    assert sys.num_regions == 1
+    # one compulsory set per (ref, reuse vector); replacement ×refs.
+    assert len(sys.replacement) == len(sys.compulsory) * len(nest.refs)
+
+
+def test_region_scaling_factors():
+    """§2.4: n regions ⇒ compulsory ×n, replacement ×n² equation sets."""
+    nest = make_small_transpose(8)
+    base = build(nest)
+    tiled = build(nest, (3, 3))  # 8 = 2·3+2 → both dims boundary → 4 regions
+    n = tiled.num_regions
+    assert n == 4
+    assert len(tiled.compulsory) == n * len(base.compulsory)
+    assert len(tiled.replacement) == n * n * len(base.replacement)
+
+
+def test_dividing_tiles_fewer_regions():
+    nest = make_small_transpose(8)
+    tiled = build(nest, (4, 2))  # exact division → single region
+    assert tiled.num_regions == 1
+
+
+def test_describe_and_filter():
+    nest = make_small_transpose(8)
+    sys = build(nest)
+    text = sys.describe()
+    assert "compulsory" in text and "replacement" in text
+    sub = sys.for_reference(0)
+    assert all(e.ref_position == 0 for e in sub.compulsory)
+    assert all(e.ref_position == 0 for e in sub.replacement)
+    assert sub.num_equations < sys.num_equations
+
+
+def test_replacement_equation_mentions_modulus():
+    nest = make_small_transpose(8)
+    sys = build(nest)
+    eq = sys.replacement[0]
+    assert eq.modulus == 1024  # way size of the direct-mapped 1KB cache
+    assert eq.window == 32
+    assert "mod 1024" in eq.describe()

@@ -1,0 +1,70 @@
+"""Order-preservation invariants of the CME pipeline.
+
+Two tilings leave the execution order untouched: ``T_i = extent_i``
+(one full tile per dimension) and ``T_i = 1`` (tile loops *are* the
+original loops).  Classification through the tiled representation must
+then agree exactly with the untiled analysis — a strong end-to-end
+consistency check of the TileMap, region construction, interval
+decomposition and solver.
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cme.sampling import estimate_at_points, sample_original_points
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from repro.simulator.classify import simulate_program
+from repro.transform.tiling import tile_program
+from tests.conftest import make_small_mm, make_small_transpose
+
+CACHE = CacheConfig(1024, 32, 1)
+
+
+def classify(nest, tiles, points):
+    layout = MemoryLayout(nest.arrays())
+    prog = program_from_nest(nest) if tiles is None else tile_program(nest, tiles)
+    est = estimate_at_points(prog, layout, CACHE, points)
+    return est.hits, est.cold, est.replacement
+
+
+@pytest.mark.parametrize("make,extent", [(make_small_transpose, 20), (make_small_mm, 8)])
+def test_full_extent_tiles_preserve_classification(make, extent):
+    nest = make(extent)
+    points = sample_original_points(nest, 120, 3)
+    untiled = classify(nest, None, points)
+    full = classify(nest, tuple(l.extent for l in nest.loops), points)
+    assert untiled == full
+
+
+@pytest.mark.parametrize("make,extent", [(make_small_transpose, 20), (make_small_mm, 8)])
+def test_unit_tiles_preserve_classification(make, extent):
+    nest = make(extent)
+    points = sample_original_points(nest, 120, 3)
+    untiled = classify(nest, None, points)
+    unit = classify(nest, (1,) * nest.depth, points)
+    assert untiled == unit
+
+
+@pytest.mark.parametrize("tiles", [(20, 20), (1, 1)])
+def test_order_preserving_tiles_identical_simulation(tiles):
+    nest = make_small_transpose(20)
+    layout = MemoryLayout(nest.arrays())
+    base = simulate_program(program_from_nest(nest), layout, CACHE)
+    tiled = simulate_program(tile_program(nest, tiles), layout, CACHE)
+    assert base.misses == tiled.misses
+    assert base.compulsory == tiled.compulsory
+    assert base.per_ref_misses == tiled.per_ref_misses
+
+
+def test_layout_shift_invariance():
+    """Shifting every array by a whole way leaves set mappings intact."""
+    nest = make_small_transpose(24)
+    points = sample_original_points(nest, 100, 5)
+    prog = program_from_nest(nest)
+    base = estimate_at_points(prog, MemoryLayout(nest.arrays()), CACHE, points)
+    shifted_layout = MemoryLayout(
+        nest.arrays(), base_address=CACHE.way_bytes * 3
+    )
+    shifted = estimate_at_points(prog, shifted_layout, CACHE, points)
+    assert (base.hits, base.replacement) == (shifted.hits, shifted.replacement)

@@ -1,0 +1,83 @@
+"""Sampling estimator tests (§2.3)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cme.sampling import (
+    PAPER_SAMPLE_SIZE,
+    estimate_program,
+    required_sample_size,
+    sample_original_points,
+)
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from tests.conftest import make_small_mm
+
+
+def test_paper_sample_size_reproduced():
+    """Width 0.1 at 90% confidence → the paper's 164 points."""
+    assert required_sample_size(width=0.1, confidence=0.90) == 164
+    assert PAPER_SAMPLE_SIZE == 164
+
+
+def test_sample_size_monotonicity():
+    assert required_sample_size(width=0.05) > required_sample_size(width=0.1)
+    assert required_sample_size(confidence=0.99) > required_sample_size(confidence=0.9)
+    with pytest.raises(ValueError):
+        required_sample_size(width=0.0)
+    with pytest.raises(ValueError):
+        required_sample_size(confidence=1.0)
+
+
+def test_sample_points_in_bounds_and_deterministic():
+    nest = make_small_mm(10)
+    pts1 = sample_original_points(nest, 50, 9)
+    pts2 = sample_original_points(nest, 50, 9)
+    assert pts1 == pts2
+    for p in pts1:
+        assert all(1 <= x <= 10 for x in p)
+
+
+def test_estimate_accounting():
+    nest = make_small_mm(16)
+    layout = MemoryLayout(nest.arrays())
+    est = estimate_program(
+        program_from_nest(nest), layout, CacheConfig(1024, 32, 1),
+        n_samples=64, seed=0,
+    )
+    assert est.sampled_points == 64
+    assert est.sampled_accesses == 64 * 4
+    assert est.hits + est.cold + est.replacement == est.sampled_accesses
+    assert abs(est.miss_ratio - (est.cold + est.replacement) / est.sampled_accesses) < 1e-12
+    assert est.total_accesses == nest.num_accesses
+    per_ref_total = sum(sum(v.values()) for v in est.per_ref.values())
+    assert per_ref_total == est.sampled_accesses
+
+
+def test_ci_halfwidth_shrinks_with_samples():
+    nest = make_small_mm(16)
+    layout = MemoryLayout(nest.arrays())
+    cache = CacheConfig(1024, 32, 1)
+    small = estimate_program(program_from_nest(nest), layout, cache, n_samples=32, seed=0)
+    large = estimate_program(program_from_nest(nest), layout, cache, n_samples=256, seed=0)
+    assert large.ci_halfwidth(0.3) < small.ci_halfwidth(0.3)
+
+
+def test_estimated_replacement_misses_scales():
+    nest = make_small_mm(16)
+    layout = MemoryLayout(nest.arrays())
+    est = estimate_program(
+        program_from_nest(nest), layout, CacheConfig(1024, 32, 1), n_samples=64, seed=1
+    )
+    expected = est.replacement_ratio * nest.num_accesses
+    assert abs(est.estimated_replacement_misses - expected) < 1e-9
+
+
+def test_summary_readable():
+    nest = make_small_mm(8)
+    layout = MemoryLayout(nest.arrays())
+    est = estimate_program(
+        program_from_nest(nest), layout, CacheConfig(1024, 32, 1), n_samples=16
+    )
+    s = est.summary()
+    assert "miss=" in s and "repl=" in s

@@ -1,0 +1,83 @@
+"""Integration: the CME classifier against the exact simulator.
+
+These are the accuracy tests behind the paper's claim that CMEs are "a
+very accurate analytical model": classifying *every* iteration point of
+small kernels must land close to the trace-simulated miss ratios, both
+untiled and tiled (multi-region spaces), for two cache sizes.
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cme.sampling import estimate_at_points
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from repro.simulator.classify import simulate_program
+from repro.transform.tiling import tile_program
+from tests.conftest import make_small_mm, make_small_transpose
+
+
+def full_point_estimate(nest, tiles, cache):
+    layout = MemoryLayout(nest.arrays())
+    prog = program_from_nest(nest) if tiles is None else tile_program(nest, tiles)
+    points = [
+        tuple(p)
+        for p in program_from_nest(nest).space.all_points_lex()
+    ]
+    est = estimate_at_points(prog, layout, cache, points)
+    sim = simulate_program(prog, layout, cache)
+    return est, sim
+
+
+CASES = [
+    (make_small_transpose(24), None),
+    (make_small_transpose(24), (6, 6)),
+    (make_small_transpose(24), (5, 7)),   # non-dividing: 4 regions
+    (make_small_mm(12), None),
+    (make_small_mm(12), (4, 4, 4)),
+    (make_small_mm(12), (5, 12, 3)),
+]
+
+
+@pytest.mark.parametrize("cache_bytes", [1024, 2048])
+@pytest.mark.parametrize("nest,tiles", CASES, ids=lambda c: getattr(c, "name", str(c)))
+def test_cme_tracks_simulator(nest, tiles, cache_bytes):
+    cache = CacheConfig(cache_bytes, 32, 1)
+    est, sim = full_point_estimate(nest, tiles, cache)
+    # The CME model is conservative (unknown → miss; candidate reuse set
+    # is finite), so allow a one-sided band plus a small absolute slack.
+    assert est.miss_ratio >= sim.miss_ratio - 0.06
+    assert est.miss_ratio <= sim.miss_ratio + 0.15
+    assert est.replacement_ratio <= sim.replacement_ratio + 0.15
+
+
+def test_cme_exactness_on_streaming_kernel():
+    """Pure streaming (transpose) has analytically known ratios."""
+    nest = make_small_transpose(32)
+    cache = CacheConfig(1024, 32, 1)
+    est, sim = full_point_estimate(nest, None, cache)
+    assert abs(est.miss_ratio - sim.miss_ratio) < 0.05
+
+
+def test_tiling_improvement_agrees():
+    """CME and simulator must agree on the *direction* of a tiling."""
+    nest = make_small_transpose(48)
+    cache = CacheConfig(1024, 32, 1)
+    est_u, sim_u = full_point_estimate(nest, None, cache)
+    est_t, sim_t = full_point_estimate(nest, (4, 4), cache)
+    assert sim_t.replacement < sim_u.replacement
+    assert est_t.replacement_ratio < est_u.replacement_ratio
+
+
+def test_associative_cache_tracked_too():
+    """The k-way path (distinct-line counting) also follows the simulator."""
+    nest = make_small_transpose(24)
+    layout = MemoryLayout(nest.arrays())
+    prog = program_from_nest(nest)
+    cache = CacheConfig(1024, 32, 2)
+    points = [tuple(p) for p in prog.space.all_points_lex()]
+    est = estimate_at_points(prog, layout, cache, points)
+    sim = simulate_program(prog, layout, cache)
+    # k-way counting is deliberately conservative (over-reports misses).
+    assert est.miss_ratio >= sim.miss_ratio - 0.06
+    assert est.miss_ratio <= sim.miss_ratio + 0.20

@@ -1,0 +1,72 @@
+"""Shared fixtures: small kernels and caches used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, read, write
+from repro.ir.loops import Loop, LoopNest
+from repro.layout.memory import MemoryLayout
+
+
+def make_small_mm(n: int = 24) -> LoopNest:
+    a = Array("a", (n, n))
+    b = Array("b", (n, n))
+    c = Array("c", (n, n))
+    i, j, k = AffineExpr.var("i"), AffineExpr.var("j"), AffineExpr.var("k")
+    return LoopNest(
+        name=f"mm{n}",
+        loops=(Loop("i", 1, n), Loop("j", 1, n), Loop("k", 1, n)),
+        refs=(
+            read(a, i, j, position=0),
+            read(b, i, k, position=1),
+            read(c, k, j, position=2),
+            write(a, i, j, position=3),
+        ),
+    )
+
+
+def make_small_transpose(n: int = 32) -> LoopNest:
+    a = Array("A", (n, n))
+    b = Array("B", (n, n))
+    i1, i2 = AffineExpr.var("i1"), AffineExpr.var("i2")
+    return LoopNest(
+        name=f"t2d{n}",
+        loops=(Loop("i1", 1, n), Loop("i2", 1, n)),
+        refs=(read(b, i1, i2, position=0), write(a, i2, i1, position=1)),
+    )
+
+
+def make_copy_1d(n: int = 7) -> LoopNest:
+    """Fig. 2's one-dimensional loop: ``a[i] = 0`` for i in 1..n."""
+    a = Array("a", (n,))
+    i = AffineExpr.var("i")
+    return LoopNest(name=f"copy{n}", loops=(Loop("i", 1, n),), refs=(write(a, i),))
+
+
+@pytest.fixture
+def small_mm() -> LoopNest:
+    return make_small_mm()
+
+
+@pytest.fixture
+def small_transpose() -> LoopNest:
+    return make_small_transpose()
+
+
+@pytest.fixture
+def tiny_cache() -> CacheConfig:
+    """A 1KB direct-mapped cache: conflicts appear at tiny sizes."""
+    return CacheConfig(1024, 32, 1)
+
+
+@pytest.fixture
+def cache_8kb() -> CacheConfig:
+    return CacheConfig(8 * 1024, 32, 1)
+
+
+@pytest.fixture
+def mm_layout(small_mm) -> MemoryLayout:
+    return MemoryLayout(small_mm.arrays())

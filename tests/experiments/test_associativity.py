@@ -1,0 +1,31 @@
+"""Associativity extension experiment tests."""
+
+from repro.experiments.associativity import format_associativity, run_associativity
+from repro.experiments.common import ExperimentConfig
+from repro.ga.engine import GAConfig
+
+TINY = ExperimentConfig(
+    ga=GAConfig(population_size=6, min_generations=2, max_generations=3, seed=0),
+    n_samples=48,
+)
+
+
+def test_associativity_rows_complete():
+    rows = run_associativity(
+        TINY, kernels=[("MM", 100)], associativities=(1, 2)
+    )
+    assert [r.associativity for r in rows] == [1, 2]
+    for r in rows:
+        assert 0 <= r.repl_tiling <= 1
+        assert r.repl_tiling <= r.repl_no_tiling + 0.05
+    text = format_associativity(rows)
+    assert "Ways" in text and "MM_100" in text
+
+
+def test_higher_associativity_helps_conflicts():
+    """VPENTA's aliasing conflicts shrink as ways absorb contenders."""
+    rows = run_associativity(
+        TINY, kernels=[("VPENTA2", 128)], associativities=(1, 4)
+    )
+    by_ways = {r.associativity: r for r in rows}
+    assert by_ways[4].repl_no_tiling <= by_ways[1].repl_no_tiling + 0.02

@@ -1,0 +1,98 @@
+"""Experiment harness smoke tests (tiny budgets, real pipelines)."""
+
+import pytest
+
+from repro.cache.config import CACHE_8KB_DM
+from repro.experiments.common import ExperimentConfig, format_table, full_mode, pct
+from repro.experiments.convergence import format_convergence, run_convergence
+from repro.experiments.figure8 import (
+    CONFLICT_KERNELS,
+    FigureRow,
+    format_figure,
+    run_figure,
+)
+from repro.experiments.solver_speed import format_validation, run_solver_validation
+from repro.experiments.table2 import PAPER_TABLE2, format_table2, run_table2
+from repro.experiments.table3 import PAPER_TABLE3, format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4, summarize
+from repro.ga.engine import GAConfig
+
+TINY = ExperimentConfig(
+    ga=GAConfig(population_size=6, min_generations=2, max_generations=3, seed=0),
+    n_samples=48,
+)
+
+
+def test_format_table_alignment():
+    out = format_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]], note="n")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "333" in out and "n" in out
+    assert pct(0.1234) == "12.3%"
+
+
+def test_full_mode_env(monkeypatch):
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert full_mode()
+    monkeypatch.setenv("REPRO_FULL", "0")
+    assert not full_mode()
+
+
+def test_table2_runs_and_formats():
+    rows = run_table2(TINY)
+    assert len(rows) == len(PAPER_TABLE2)
+    for r in rows:
+        assert 0 <= r.repl_after <= r.repl_before + 0.05
+        assert r.paper in PAPER_TABLE2.values()
+    text = format_table2(rows)
+    assert "T2D" in text and "paper" in text
+
+
+def test_figure_runner_subset():
+    rows = run_figure(CACHE_8KB_DM, TINY, instances=[("T2D", 100), ("MM", 100)])
+    assert [r.label for r in rows] == ["T2D_100", "MM_100"]
+    for r in rows:
+        assert r.repl_tiling <= r.repl_no_tiling + 0.05
+    assert "T2D_100" in format_figure(rows, "t")
+
+
+def test_table3_single_entry():
+    rows = run_table3(TINY, entries=[("BTRIX", 64, 8)])
+    r = rows[0]
+    assert r.kernel == "BTRIX"
+    # padding must remove most of BTRIX's (pure-conflict) misses
+    assert r.padding < r.original
+    assert "BTRIX" in format_table3(rows)
+
+
+def test_table4_summarise():
+    rows = [
+        FigureRow("A_1", "A", 1, 0.5, 0.005, (1,)),
+        FigureRow("B_1", "B", 1, 0.5, 0.015, (1,)),
+        FigureRow("C_1", "C", 1, 0.5, 0.04, (1,)),
+        FigureRow("ADD", "ADD", 64, 0.6, 0.5, (1,)),  # excluded
+    ]
+    t = summarize(rows, 8)
+    assert t.num_kernels == 3
+    assert t.fractions == (pytest.approx(1 / 3), pytest.approx(2 / 3), pytest.approx(1.0))
+    assert "8KB" in format_table4([t])
+
+
+def test_convergence_paper_budget_schedule():
+    rows = run_convergence(kernels=[("MM", 32)], config=TINY, paper_budget=True)
+    r = rows[0]
+    assert 15 <= r.generations <= 25
+    assert r.evaluations == r.generations * 30
+    assert r.distinct_evaluations <= r.evaluations
+    assert "Generations" in format_convergence(rows)
+
+
+def test_solver_validation_within_ci():
+    rows = run_solver_validation(cases=[("MM", 32), ("T2D", 64)])
+    for r in rows:
+        assert r.within_ci, (r.label, r.exact_miss, r.sampled_miss)
+    assert "164" in format_validation(rows)
+
+
+def test_conflict_kernel_set_matches_table3():
+    assert CONFLICT_KERNELS == {k for (k, _, _) in PAPER_TABLE3 if k != "ADI"}

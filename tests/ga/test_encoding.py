@@ -1,0 +1,85 @@
+"""Encoding tests — including the paper's §3.3 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.ga.encoding import Genome, bits_for, decode_value
+
+
+def test_paper_example_bit_widths():
+    """§3.3: U=10 → k=4; U=100 → ceil(log2 100)=7, odd → 8."""
+    assert bits_for(10) == 4
+    assert bits_for(100) == 8
+
+
+def test_paper_example_decodings():
+    """§3.3: g1(12)=8 for U=10; g2(74)=29 for U=100."""
+    assert decode_value(12, 1, 10, 4) == 8
+    assert decode_value(74, 1, 100, 8) == 29
+
+
+def test_paper_example_genes():
+    """12 = '1100' → genes (3,0); 74 = '01001010' → genes (1,0,2,2)."""
+    g = Genome([(1, 10), (1, 100)])
+    bits = np.array([1, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0], dtype=np.uint8)
+    assert g.decode(bits) == (8, 29)
+    assert g.genes(bits, 0) == [3, 0]
+    assert g.genes(bits, 1) == [1, 0, 2, 2]
+
+
+def test_every_value_reachable():
+    """The paper notes every tile size has at least one representation."""
+    for upper in (2, 3, 7, 10, 100, 127):
+        b = bits_for(upper)
+        reachable = {decode_value(x, 1, upper, b) for x in range(1 << b)}
+        assert reachable == set(range(1, upper + 1))
+
+
+def test_decode_endpoints():
+    b = bits_for(100)
+    assert decode_value(0, 1, 100, b) == 1
+    assert decode_value((1 << b) - 1, 1, 100, b) == 100
+
+
+def test_zero_based_ranges():
+    b = bits_for(17)
+    vals = {decode_value(x, 0, 16, b) for x in range(1 << b)}
+    assert vals == set(range(17))
+
+
+def test_single_value_range_needs_no_bits():
+    g = Genome([(1, 1), (1, 8)])
+    assert g.bits[0] == 0
+    ind = g.random_individual(np.random.default_rng(0))
+    assert g.decode(ind)[0] == 1
+
+
+def test_encode_decode_roundtrip():
+    g = Genome([(1, 10), (1, 100), (0, 63)])
+    rng = np.random.default_rng(5)
+    for _ in range(200):
+        values = (
+            int(rng.integers(1, 11)),
+            int(rng.integers(1, 101)),
+            int(rng.integers(0, 64)),
+        )
+        assert g.decode(g.encode(values)) == values
+
+
+def test_encode_validates():
+    g = Genome([(1, 10)])
+    with pytest.raises(ValueError):
+        g.encode((11,))
+    with pytest.raises(ValueError):
+        g.encode((1, 2))
+
+
+def test_genome_rejects_empty_range():
+    with pytest.raises(ValueError):
+        Genome([(5, 4)])
+
+
+def test_decode_requires_exact_length():
+    g = Genome([(1, 10)])
+    with pytest.raises(ValueError):
+        g.decode(np.zeros(3, dtype=np.uint8))

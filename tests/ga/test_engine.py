@@ -1,0 +1,105 @@
+"""GA engine tests: the Fig. 7 schedule and optimisation sanity."""
+
+import numpy as np
+import pytest
+
+from repro.ga.encoding import Genome
+from repro.ga.engine import GAConfig, GeneticAlgorithm
+
+
+def quadratic_objective(target):
+    def fn(values):
+        return float(sum((v - t) ** 2 for v, t in zip(values, target)))
+    return fn
+
+
+def test_minimises_separable_quadratic():
+    genome = Genome([(1, 64), (1, 64)])
+    ga = GeneticAlgorithm(
+        genome, quadratic_objective((17, 42)),
+        GAConfig(population_size=30, seed=3),
+    )
+    res = ga.run()
+    assert res.best_objective <= 9  # within ±3 per coordinate
+
+
+def test_respects_generation_schedule():
+    """Fig. 7: at least 15 generations, at most 25."""
+    genome = Genome([(1, 8)])
+    flat = GeneticAlgorithm(genome, lambda v: 0.0, GAConfig(seed=0))
+    res = flat.run()
+    assert res.generations == 15  # converges immediately once allowed
+    assert res.converged_early
+
+    rng = np.random.default_rng(0)
+    noisy_values = {}
+
+    def noisy(v):
+        if v not in noisy_values:
+            noisy_values[v] = float(rng.random() * 100)
+        return noisy_values[v]
+
+    genome2 = Genome([(1, 512)])
+    res2 = GeneticAlgorithm(genome2, noisy, GAConfig(seed=1)).run()
+    assert 15 <= res2.generations <= 25
+
+
+def test_convergence_criterion_2_percent():
+    """Population converged ⇔ best within 2% of the generation average."""
+    genome = Genome([(1, 4)])
+    ga = GeneticAlgorithm(genome, lambda v: 100.0, GAConfig(seed=0))
+    objs = np.array([100.0, 101.0])
+    assert ga._converged(objs)  # (100.5-100)/100.5 < 2%
+    objs2 = np.array([100.0, 110.0])
+    assert not ga._converged(objs2)
+
+
+def test_history_recorded():
+    genome = Genome([(1, 16)])
+    res = GeneticAlgorithm(
+        genome, quadratic_objective((5,)), GAConfig(population_size=10, seed=2)
+    ).run()
+    assert len(res.history) == res.generations
+    for rec in res.history:
+        assert rec.best <= rec.average
+    assert res.evaluations == res.generations * 10
+
+
+def test_best_ever_tracked_across_generations():
+    genome = Genome([(1, 128)])
+    res = GeneticAlgorithm(
+        genome, quadratic_objective((64,)), GAConfig(population_size=10, seed=4)
+    ).run()
+    assert res.best_objective == min(r.best for r in res.history)
+
+
+def test_initial_values_seeding():
+    genome = Genome([(1, 10_000)])
+    target = 7777
+
+    def fn(values):
+        return abs(values[0] - target)
+
+    cfg = GAConfig(population_size=10, min_generations=2, max_generations=3, seed=5)
+    unseeded = GeneticAlgorithm(genome, fn, cfg).run()
+    seeded = GeneticAlgorithm(genome, fn, cfg, initial_values=[(target,)]).run()
+    assert seeded.best_objective == 0
+    assert seeded.best_objective <= unseeded.best_objective
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GAConfig(population_size=1)
+    with pytest.raises(ValueError):
+        GAConfig(population_size=7)  # odd
+    with pytest.raises(ValueError):
+        GAConfig(min_generations=10, max_generations=5)
+
+
+def test_determinism():
+    genome = Genome([(1, 100), (1, 100)])
+    fn = quadratic_objective((30, 60))
+    r1 = GeneticAlgorithm(genome, fn, GAConfig(seed=11)).run()
+    r2 = GeneticAlgorithm(genome, fn, GAConfig(seed=11)).run()
+    assert r1.best_values == r2.best_values
+    assert r1.convergence_trace == r2.convergence_trace

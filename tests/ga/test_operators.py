@@ -1,0 +1,89 @@
+"""Genetic operator tests (Figs. 5–6)."""
+
+import numpy as np
+
+from repro.ga.operators import (
+    mutate,
+    remainder_stochastic_selection,
+    single_point_crossover,
+)
+
+
+def test_selection_returns_population_size():
+    rng = np.random.default_rng(0)
+    fitness = np.array([1.0, 2.0, 3.0, 4.0])
+    sel = remainder_stochastic_selection(fitness, rng)
+    assert len(sel) == 4
+    assert set(sel) <= {0, 1, 2, 3}
+
+
+def test_selection_deterministic_integer_parts():
+    """An individual with e_i >= 2 must appear at least floor(e_i) times."""
+    rng = np.random.default_rng(1)
+    fitness = np.array([6.0, 1.0, 1.0, 0.0])  # e = [3, 0.5, 0.5, 0]
+    counts = np.bincount(remainder_stochastic_selection(fitness, rng), minlength=4)
+    assert counts[0] >= 3
+    assert counts[3] <= 1  # zero fitness: only a degenerate filler could pick it
+
+
+def test_selection_zero_fitness_uniform():
+    rng = np.random.default_rng(2)
+    sel = remainder_stochastic_selection(np.zeros(6), rng)
+    assert len(sel) == 6
+
+
+def test_selection_bias_statistical():
+    rng = np.random.default_rng(3)
+    fitness = np.array([9.0, 1.0])
+    counts = np.zeros(2)
+    for _ in range(200):
+        counts += np.bincount(
+            remainder_stochastic_selection(fitness, rng), minlength=2
+        )
+    assert counts[0] > 4 * counts[1]
+
+
+def test_crossover_exchanges_tails():
+    rng = np.random.default_rng(4)
+    a = np.zeros(16, dtype=np.uint8)
+    b = np.ones(16, dtype=np.uint8)
+    c1, c2 = single_point_crossover(a, b, rng)
+    # Each child is a prefix of one parent + suffix of the other.
+    site = int(np.argmax(c1 != a[0]))  # first position where c1 switches
+    assert (c1[:site] == 0).all() and (c1[site:] == 1).all()
+    assert (c2[:site] == 1).all() and (c2[site:] == 0).all()
+    assert 1 <= site <= 15
+
+
+def test_crossover_preserves_material():
+    rng = np.random.default_rng(5)
+    a = np.array([0, 1, 0, 1, 1, 0], dtype=np.uint8)
+    b = np.array([1, 1, 1, 0, 0, 0], dtype=np.uint8)
+    c1, c2 = single_point_crossover(a, b, rng)
+    assert (c1 + c2 == a + b).all()  # column-wise material conserved
+
+
+def test_crossover_short_individuals():
+    rng = np.random.default_rng(6)
+    a = np.array([0], dtype=np.uint8)
+    b = np.array([1], dtype=np.uint8)
+    c1, c2 = single_point_crossover(a, b, rng)
+    assert list(c1) == [0] and list(c2) == [1]
+
+
+def test_mutation_rates():
+    rng = np.random.default_rng(7)
+    bits = np.zeros(10_000, dtype=np.uint8)
+    assert mutate(bits, 0.0, rng) is bits  # no copy when p=0
+    flipped = mutate(bits, 1.0, rng)
+    assert flipped.sum() == 10_000
+    assert bits.sum() == 0  # original untouched
+    some = mutate(bits, 0.01, rng)
+    assert 30 <= some.sum() <= 300  # ~100 expected
+
+
+def test_mutation_determinism():
+    b = np.zeros(64, dtype=np.uint8)
+    m1 = mutate(b, 0.1, np.random.default_rng(9))
+    m2 = mutate(b, 0.1, np.random.default_rng(9))
+    assert (m1 == m2).all()

@@ -1,0 +1,111 @@
+"""Unit tests for integer affine expressions."""
+
+import pytest
+
+from repro.ir.affine import AffineExpr
+
+
+def test_construction_drops_zero_coeffs():
+    e = AffineExpr({"i": 0, "j": 2}, 5)
+    assert e.coeffs == {"j": 2}
+    assert e.const == 5
+
+
+def test_var_and_constant_constructors():
+    assert AffineExpr.var("i").coeff("i") == 1
+    assert AffineExpr.var("i", 3).coeff("i") == 3
+    assert AffineExpr.constant(7).is_constant
+    assert AffineExpr.as_expr(4) == AffineExpr.constant(4)
+    assert AffineExpr.as_expr(AffineExpr.var("x")) == AffineExpr.var("x")
+
+
+def test_addition_merges_terms():
+    i, j = AffineExpr.var("i"), AffineExpr.var("j")
+    e = i * 2 + j - i + 3
+    assert e.coeff("i") == 1
+    assert e.coeff("j") == 1
+    assert e.const == 3
+
+
+def test_addition_cancels_to_constant():
+    i = AffineExpr.var("i")
+    e = i - i + 1
+    assert e.is_constant
+    assert e.const == 1
+
+
+def test_scalar_multiplication():
+    i = AffineExpr.var("i")
+    e = (i + 2) * 3
+    assert e.coeff("i") == 3
+    assert e.const == 6
+    assert (2 * i).coeff("i") == 2
+
+
+def test_negation_and_rsub():
+    i = AffineExpr.var("i")
+    e = 5 - i
+    assert e.coeff("i") == -1
+    assert e.const == 5
+    assert (-e).coeff("i") == 1
+
+
+def test_evaluate():
+    i, j = AffineExpr.var("i"), AffineExpr.var("j")
+    e = 3 * i + 2 * j + 1
+    assert e.evaluate({"i": 4, "j": 5}) == 23
+
+
+def test_evaluate_requires_bindings():
+    e = AffineExpr.var("i")
+    with pytest.raises(KeyError):
+        e.evaluate({})
+
+
+def test_substitute_with_expression():
+    i, t, u = AffineExpr.var("i"), AffineExpr.var("t"), AffineExpr.var("u")
+    e = 5 * i + 1
+    sub = e.substitute({"i": 4 * t + u})
+    assert sub.coeff("t") == 20
+    assert sub.coeff("u") == 5
+    assert sub.const == 1
+
+
+def test_substitute_with_int():
+    e = AffineExpr.var("i") * 3 + AffineExpr.var("j")
+    sub = e.substitute({"i": 2})
+    assert sub == AffineExpr.var("j") + 6
+
+
+def test_coeff_vector_order():
+    e = AffineExpr({"i": 1, "k": 3})
+    assert e.coeff_vector(("i", "j", "k")) == (1, 0, 3)
+
+
+def test_range_over_signs():
+    e = AffineExpr({"i": 2, "j": -3}, 1)
+    lo, hi = e.range_over({"i": (0, 4), "j": (1, 2)})
+    assert lo == 0 + 2 * 0 - 3 * 2 + 1
+    assert hi == 2 * 4 - 3 * 1 + 1
+
+
+def test_equality_and_hash():
+    a = AffineExpr({"i": 1}, 2)
+    b = AffineExpr.var("i") + 2
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != AffineExpr.var("i")
+    assert AffineExpr.constant(3) == 3
+
+
+def test_immutability():
+    e = AffineExpr.var("i")
+    with pytest.raises(AttributeError):
+        e.const = 5
+
+
+def test_repr_roundtrip_readability():
+    e = AffineExpr({"i": 1, "j": -2}, 3)
+    s = repr(e)
+    assert "i" in s and "j" in s and "3" in s
+    assert repr(AffineExpr.constant(0)) == "0"

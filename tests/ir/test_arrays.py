@@ -1,0 +1,87 @@
+"""Unit tests for arrays, layouts and references."""
+
+import pytest
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, ArrayRef, read, write
+
+
+def test_column_major_strides():
+    a = Array("a", (10, 20), element_size=8, order="F")
+    assert a.strides_bytes() == (8, 80)
+
+
+def test_row_major_strides():
+    a = Array("a", (10, 20), element_size=8, order="C")
+    assert a.strides_bytes() == (160, 8)
+
+
+def test_strides_with_intra_padding():
+    a = Array("a", (10, 20), element_size=8, order="F")
+    assert a.strides_bytes((3, 0)) == (8, 8 * 13)
+
+
+def test_size_bytes_includes_padding():
+    a = Array("a", (10, 10), element_size=4)
+    assert a.size_bytes() == 400
+    assert a.size_bytes((2, 0)) == 4 * 12 * 10
+
+
+def test_default_element_size_is_real8():
+    assert Array("a", (4,)).element_size == 8
+
+
+def test_lower_bounds_default_fortran():
+    a = Array("a", (5, 5))
+    assert a.lower_bounds == (1, 1)
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ValueError):
+        Array("a", (0,))
+    with pytest.raises(ValueError):
+        Array("a", (4,), element_size=0)
+    with pytest.raises(ValueError):
+        Array("a", (4,), order="X")
+    with pytest.raises(ValueError):
+        Array("a", (4, 4), lower_bounds=(1,))
+
+
+def test_ref_rank_checked():
+    a = Array("a", (4, 4))
+    with pytest.raises(ValueError):
+        ArrayRef(a, (AffineExpr.var("i"),))
+
+
+def test_offset_expr_column_major():
+    a = Array("a", (10, 10), element_size=8)
+    i, j = AffineExpr.var("i"), AffineExpr.var("j")
+    ref = read(a, i, j)
+    off = ref.offset_expr()
+    # (i-1)*8 + (j-1)*80
+    assert off.coeff("i") == 8
+    assert off.coeff("j") == 80
+    assert off.const == -88
+    assert off.evaluate({"i": 1, "j": 1}) == 0
+
+
+def test_offset_expr_with_padding_changes_strides():
+    a = Array("a", (10, 10), element_size=8)
+    ref = read(a, AffineExpr.var("i"), AffineExpr.var("j"))
+    off = ref.offset_expr((2, 0))
+    assert off.coeff("j") == 8 * 12
+
+
+def test_read_write_helpers():
+    a = Array("a", (4,))
+    r = read(a, AffineExpr.var("i"), position=2)
+    w = write(a, AffineExpr.var("i"))
+    assert not r.is_write and r.position == 2
+    assert w.is_write
+    assert r.variables() == frozenset({"i"})
+
+
+def test_int_subscripts_coerced():
+    a = Array("a", (4, 4))
+    r = read(a, 2, AffineExpr.var("i"))
+    assert r.subscripts[0] == AffineExpr.constant(2)

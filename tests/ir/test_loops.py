@@ -1,0 +1,66 @@
+"""Unit tests for loops and loop nests."""
+
+import pytest
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, read, write
+from repro.ir.loops import Loop, LoopNest
+
+
+def test_loop_extent():
+    assert Loop("i", 1, 10).extent == 10
+    assert Loop("i", 2, 2).extent == 1
+
+
+def test_empty_loop_rejected():
+    with pytest.raises(ValueError):
+        Loop("i", 5, 4)
+
+
+def _nest(n=8):
+    a = Array("a", (n, n))
+    i, j = AffineExpr.var("i"), AffineExpr.var("j")
+    return LoopNest(
+        "t", (Loop("i", 1, n), Loop("j", 1, n)),
+        (read(a, i, j, position=0), write(a, j, i, position=1)),
+    )
+
+
+def test_nest_shape_properties():
+    nest = _nest(8)
+    assert nest.depth == 2
+    assert nest.vars == ("i", "j")
+    assert nest.num_iterations == 64
+    assert nest.num_accesses == 128
+    assert nest.bounds() == {"i": (1, 8), "j": (1, 8)}
+    assert nest.loop("j").upper == 8
+    with pytest.raises(KeyError):
+        nest.loop("z")
+
+
+def test_positions_normalised():
+    a = Array("a", (4, 4))
+    i, j = AffineExpr.var("i"), AffineExpr.var("j")
+    nest = LoopNest(
+        "t", (Loop("i", 1, 4), Loop("j", 1, 4)),
+        (read(a, i, j, position=7), write(a, i, j, position=9)),
+    )
+    assert [r.position for r in nest.refs] == [0, 1]
+
+
+def test_duplicate_loop_vars_rejected():
+    a = Array("a", (4,))
+    with pytest.raises(ValueError):
+        LoopNest("t", (Loop("i", 1, 4), Loop("i", 1, 4)),
+                 (read(a, AffineExpr.var("i")),))
+
+
+def test_foreign_variable_rejected():
+    a = Array("a", (4,))
+    with pytest.raises(ValueError):
+        LoopNest("t", (Loop("i", 1, 4),), (read(a, AffineExpr.var("q")),))
+
+
+def test_arrays_deduplicated():
+    nest = _nest()
+    assert [arr.name for arr in nest.arrays()] == ["a"]

@@ -1,0 +1,60 @@
+"""Parser/exporter idempotence: parse → export → parse is stable."""
+
+import pytest
+
+from repro.ir.parser import nest_to_dsl, parse_nest
+
+SOURCES = [
+    """
+    parameter (N = 9)
+    real A(N,N), B(N,N)
+    do i = 1, N
+      do j = 1, N
+        A(j,i) = B(i,j)
+      enddo
+    enddo
+    """,
+    """
+    real*4 x(32), y(32), z(32)
+    do k = 2, 30
+      z(k) = x(k-1) + y(k+1)
+    enddo
+    """,
+    """
+    real u(8,8,8)
+    do a = 1, 8
+      do b = 1, 8
+        do c = 1, 8
+          u(c,b,a) = u(c,b,a)
+        enddo
+      enddo
+    enddo
+    """,
+]
+
+
+@pytest.mark.parametrize("src", SOURCES)
+def test_parse_export_parse_fixed_point(src):
+    n1 = parse_nest(src)
+    exported = nest_to_dsl(n1)
+    n2 = parse_nest(exported)
+    assert n2.vars == n1.vars
+    assert [(l.lower, l.upper) for l in n2.loops] == [
+        (l.lower, l.upper) for l in n1.loops
+    ]
+    assert [a.extents for a in n2.arrays()] == [a.extents for a in n1.arrays()]
+    assert [a.element_size for a in n2.arrays()] == [
+        a.element_size for a in n1.arrays()
+    ]
+    # Second export is bit-identical (true fixed point).
+    assert nest_to_dsl(n2) == exported
+
+
+@pytest.mark.parametrize("src", SOURCES)
+def test_roundtrip_reference_structure(src):
+    n1 = parse_nest(src)
+    n2 = parse_nest(nest_to_dsl(n1))
+    assert len(n1.refs) == len(n2.refs)
+    w1 = [r.array.name for r in n1.refs if r.is_write]
+    w2 = [r.array.name for r in n2.refs if r.is_write]
+    assert w1 == w2

@@ -1,0 +1,68 @@
+"""Unit tests for iteration spaces (unions of boxes)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.space import IterationSpace
+from repro.polyhedra.box import Box
+
+
+def two_region_space() -> IterationSpace:
+    # Fig. 2(b): strip-mining 1..7 by 3 → full region + boundary region.
+    return IterationSpace(
+        ("t", "u"),
+        (Box((0, 1), (1, 3)), Box((2, 1), (2, 1))),
+    )
+
+
+def test_num_points_and_contains():
+    sp = two_region_space()
+    assert sp.num_points == 7
+    assert sp.contains((0, 1)) and sp.contains((2, 1))
+    assert not sp.contains((2, 2))
+    assert sp.region_index((1, 3)) == 0
+    assert sp.region_index((2, 1)) == 1
+    with pytest.raises(ValueError):
+        sp.region_index((5, 5))
+
+
+def test_unrank_covers_every_point_once():
+    sp = two_region_space()
+    pts = {sp.unrank(i) for i in range(sp.num_points)}
+    assert len(pts) == 7
+    assert all(sp.contains(p) for p in pts)
+    with pytest.raises(IndexError):
+        sp.unrank(7)
+
+
+def test_all_points_lex_sorted_globally():
+    sp = two_region_space()
+    pts = sp.all_points_lex()
+    assert pts == sorted(pts)
+    assert len(pts) == 7
+
+
+def test_coordinate_matrix_matches_point_list():
+    sp = two_region_space()
+    mat = sp.coordinate_matrix_lex()
+    assert mat.shape == (7, 2)
+    assert [tuple(r) for r in mat] == sp.all_points_lex()
+
+
+def test_sample_points_deterministic():
+    sp = two_region_space()
+    rng1 = np.random.default_rng(7)
+    rng2 = np.random.default_rng(7)
+    assert sp.sample_points(10, rng1) == sp.sample_points(10, rng2)
+
+
+def test_single_box_constructor():
+    sp = IterationSpace.single_box(("i", "j"), (1, 1), (3, 4))
+    assert sp.num_points == 12
+    assert sp.bounding_box() == Box((1, 1), (3, 4))
+
+
+def test_empty_regions_dropped():
+    sp = IterationSpace(("i",), (Box((1,), (0,)), Box((1,), (2,))))
+    assert len(sp.regions) == 1
+    assert sp.num_points == 2

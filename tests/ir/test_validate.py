@@ -1,0 +1,38 @@
+"""Validation tests (§4.1 restrictions)."""
+
+import pytest
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, read
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.validate import ValidationError, is_analyzable, validate_nest
+from tests.conftest import make_small_mm
+
+
+def test_valid_nest_passes():
+    validate_nest(make_small_mm(8))
+    assert is_analyzable(make_small_mm(8))
+
+
+def test_out_of_bounds_subscript_rejected():
+    a = Array("a", (4,))
+    i = AffineExpr.var("i")
+    nest = LoopNest("t", (Loop("i", 1, 4),), (read(a, i + 1),))
+    with pytest.raises(ValidationError):
+        validate_nest(nest)
+    assert not is_analyzable(nest)
+
+
+def test_below_lower_bound_rejected():
+    a = Array("a", (4,))
+    i = AffineExpr.var("i")
+    nest = LoopNest("t", (Loop("i", 1, 4),), (read(a, i - 1),))
+    with pytest.raises(ValidationError):
+        validate_nest(nest)
+
+
+def test_interior_stencil_accepted():
+    a = Array("a", (6,))
+    i = AffineExpr.var("i")
+    nest = LoopNest("t", (Loop("i", 2, 5),), (read(a, i - 1), read(a, i + 1)))
+    validate_nest(nest)

@@ -1,0 +1,77 @@
+"""Behavioural calibration tests: kernels reproduce the paper's profiles.
+
+These assert the *untiled* miss structure each kernel was modelled to
+exhibit (Table 2 / Table 3 / §6 values, within a modelling band) and
+that known-good tilings reduce the tileable kernels — the properties
+the experiment reproductions depend on.
+"""
+
+import pytest
+
+from repro.cache.config import CACHE_8KB_DM
+from repro.cme.analyzer import LocalityAnalyzer
+from repro.kernels.registry import get_kernel
+
+
+def repl(name, size=None, tiles=None, seed=1):
+    nest = get_kernel(name, size)
+    an = LocalityAnalyzer(nest, CACHE_8KB_DM, seed=seed)
+    return an.estimate(tile_sizes=tiles).replacement_ratio
+
+
+@pytest.mark.parametrize(
+    "name,size,paper,band",
+    [
+        ("T2D", 2000, 0.364, 0.06),      # Table 2
+        ("T3DJIK", 200, 0.367, 0.06),    # Table 2
+        ("JACOBI3D", 200, 0.072, 0.04),  # Table 2
+        ("ADD", 64, 0.602, 0.10),        # Table 3
+        ("BTRIX", 64, 0.501, 0.08),      # Table 3
+        ("VPENTA1", 128, 0.783, 0.12),   # Table 3
+        ("VPENTA2", 128, 0.860, 0.25),   # Table 3
+        ("DPSSB", 256, 0.555, 0.10),     # §6
+    ],
+)
+def test_untiled_replacement_matches_paper(name, size, paper, band):
+    measured = repl(name, size)
+    assert abs(measured - paper) <= band, (name, measured, paper)
+
+
+@pytest.mark.parametrize(
+    "name,size,tiles,factor",
+    [
+        ("T2D", 2000, (128, 8), 0.3),
+        ("T3DJIK", 200, (4, 4, 4), 0.3),
+        ("MM", 500, (20, 20, 20), 0.3),
+        ("DPSSB", 256, (16, 30, 4), 0.3),
+        ("DRADBG1", 100, (6, 4, 4), 0.75),
+        ("DRADFG1", 100, (6, 8, 4), 0.75),
+    ],
+)
+def test_known_tiles_reduce_tileable_kernels(name, size, tiles, factor):
+    untiled = repl(name, size)
+    tiled = repl(name, size, tiles=tiles)
+    assert tiled < untiled * factor, (name, untiled, tiled)
+
+
+@pytest.mark.parametrize("name", ["VPENTA1", "VPENTA2", "ADD"])
+def test_conflict_kernels_resist_tiling(name):
+    """Table 3's premise: these kernels' misses are conflicts, so no
+    tiling helps much — padding is required."""
+    untiled = repl(name)
+    best = min(
+        repl(name, tiles=t)
+        for t in [(4, 4), (16, 16), (32, 8)]
+        if len(t) == get_kernel(name).depth
+    ) if get_kernel(name).depth == 2 else min(
+        repl(name, tiles=t)
+        for t in [(4, 4, 4, 4), (16, 16, 16, 5), (8, 8, 8, 5)]
+        if len(t) == get_kernel(name).depth
+    )
+    assert best > untiled * 0.5, (name, untiled, best)
+
+
+def test_jacobi_matches_table2_after_known_tiling():
+    untiled = repl("JACOBI3D", 200)
+    tiled = repl("JACOBI3D", 200, tiles=(8, 8, 198))
+    assert tiled <= untiled

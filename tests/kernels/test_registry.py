@@ -1,0 +1,93 @@
+"""Kernel suite tests against Table 1's inventory."""
+
+import pytest
+
+from repro.ir.validate import validate_nest
+from repro.kernels.registry import (
+    FIGURE_INSTANCES,
+    KERNELS,
+    get_kernel,
+    instance_label,
+    kernel_names,
+)
+
+TABLE1_DEPTHS = {
+    "T2D": 2, "T3DJIK": 3, "T3DIKJ": 3, "JACOBI3D": 3, "MATMUL": 3,
+    "MM": 3, "ADI": 2, "ADD": 4, "BTRIX": 3, "VPENTA1": 2, "VPENTA2": 2,
+    "DPSSB": 3, "DPSSF": 3, "DRADBG1": 3, "DRADBG2": 3, "DRADFG1": 3,
+    "DRADFG2": 3,
+}
+
+
+def test_all_table1_kernels_present():
+    assert set(kernel_names()) == set(TABLE1_DEPTHS)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_DEPTHS))
+def test_kernel_builds_and_validates(name):
+    nest = get_kernel(name)
+    validate_nest(nest)
+    assert nest.depth == TABLE1_DEPTHS[name], f"{name} depth vs Table 1"
+    assert nest.refs, name
+    assert any(r.is_write for r in nest.refs), f"{name} has no write"
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_DEPTHS))
+def test_kernels_use_real8_fortran_layout(name):
+    nest = get_kernel(name)
+    for arr in nest.arrays():
+        assert arr.element_size == 8
+        assert arr.order == "F"
+        assert arr.lower_bounds == (1,) * arr.rank
+
+
+def test_figure_instances_match_paper_count():
+    """Figs. 8-9 show 27 bars in a fixed order."""
+    assert len(FIGURE_INSTANCES) == 27
+    assert FIGURE_INSTANCES[0] == ("T2D", 100)
+    assert FIGURE_INSTANCES[-1] == ("DRADFG1", 100)
+    for name, size in FIGURE_INSTANCES:
+        assert name in KERNELS
+
+
+def test_instance_labels():
+    assert instance_label("T2D", 2000) == "T2D_2000"
+    assert instance_label("ADD", 64) == "ADD"  # figures omit NAS sizes
+
+
+def test_sized_kernels_scale():
+    small = get_kernel("MM", 10)
+    large = get_kernel("MM", 20)
+    assert large.num_iterations == 8 * small.num_iterations
+
+
+def test_mm_matches_fig1():
+    """Fig. 1: a(i,j) = a(i,j) + b(i,k) * c(k,j), loops i,j,k."""
+    nest = get_kernel("MM", 8)
+    assert nest.vars == ("i", "j", "k")
+    names = [(r.array.name, r.is_write) for r in nest.refs]
+    assert names == [("a", False), ("b", False), ("c", False), ("a", True)]
+
+
+def test_default_sizes_are_papers():
+    assert KERNELS["T2D"].sizes == (100, 500, 2000)
+    assert KERNELS["T3DJIK"].sizes == (20, 100, 200)
+    assert KERNELS["VPENTA1"].sizes == (128,)
+
+
+def test_add_aliases_in_8kb_way():
+    """The ADD model's u/rhs base distance is a way-size multiple."""
+    from repro.layout.memory import MemoryLayout
+
+    nest = get_kernel("ADD", 64)
+    layout = MemoryLayout(nest.arrays())
+    assert (layout.base("rhs") - layout.base("u")) % 8192 == 0
+
+
+def test_vpenta_arrays_align():
+    from repro.layout.memory import MemoryLayout
+
+    nest = get_kernel("VPENTA1", 128)
+    layout = MemoryLayout(nest.arrays())
+    bases = [layout.base(a) for a in nest.arrays()]
+    assert all((b - bases[0]) % 8192 == 0 for b in bases)

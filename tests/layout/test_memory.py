@@ -1,0 +1,69 @@
+"""Memory layout and padding tests."""
+
+import pytest
+
+from repro.ir.affine import AffineExpr
+from repro.ir.arrays import Array, read
+from repro.layout.memory import MemoryLayout, PaddingSpec
+
+
+def arrays():
+    return (
+        Array("a", (10, 10), element_size=8),
+        Array("b", (10, 10), element_size=8),
+    )
+
+
+def test_contiguous_bases():
+    layout = MemoryLayout(arrays())
+    assert layout.base("a") == 0
+    assert layout.base("b") == 800
+    assert layout.total_bytes == 1600
+
+
+def test_inter_padding_shifts_base():
+    pad = PaddingSpec(inter={"b": 4})
+    layout = MemoryLayout(arrays(), pad)
+    assert layout.base("a") == 0
+    assert layout.base("b") == 800 + 32
+
+
+def test_intra_padding_changes_strides_and_footprint():
+    pad = PaddingSpec(intra={"a": (2, 0)})
+    layout = MemoryLayout(arrays(), pad)
+    assert layout.strides(arrays()[0]) == (8, 96)
+    assert layout.base("b") == 12 * 10 * 8
+
+
+def test_address_expr_includes_base():
+    a, b = arrays()
+    layout = MemoryLayout((a, b))
+    ref = read(b, AffineExpr.var("i"), AffineExpr.var("j"))
+    expr = layout.address_expr(ref)
+    assert expr.evaluate({"i": 1, "j": 1}) == 800
+
+
+def test_with_padding_returns_new_layout():
+    layout = MemoryLayout(arrays())
+    padded = layout.with_padding(PaddingSpec(inter={"a": 1}))
+    assert padded.base("a") == 8
+    assert layout.base("a") == 0  # original untouched
+
+
+def test_alignment_rounds_bases():
+    layout = MemoryLayout(arrays(), alignment=256)
+    assert layout.base("a") % 256 == 0
+    assert layout.base("b") % 256 == 0
+
+
+def test_negative_padding_rejected():
+    with pytest.raises(ValueError):
+        PaddingSpec(inter={"a": -1})
+    with pytest.raises(ValueError):
+        PaddingSpec(intra={"a": (-1, 0)})
+
+
+def test_intra_rank_mismatch_rejected():
+    pad = PaddingSpec(intra={"a": (1,)})
+    with pytest.raises(ValueError):
+        MemoryLayout(arrays(), pad)

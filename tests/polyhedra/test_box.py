@@ -1,0 +1,67 @@
+"""Unit tests for integer boxes."""
+
+import pytest
+
+from repro.polyhedra.box import Box
+
+
+def test_volume_and_extents():
+    b = Box((1, 2), (3, 2))
+    assert b.volume == 3
+    assert b.extents() == (3, 1)
+    assert not b.is_empty
+
+
+def test_empty_box():
+    b = Box((2,), (1,))
+    assert b.is_empty
+    assert b.volume == 0
+    assert list(b.points()) == []
+
+
+def test_contains():
+    b = Box((0, 0), (2, 2))
+    assert b.contains((0, 0)) and b.contains((2, 2))
+    assert not b.contains((3, 0))
+
+
+def test_intersect():
+    a = Box((0, 0), (4, 4))
+    b = Box((2, 3), (9, 9))
+    assert a.intersect(b) == Box((2, 3), (4, 4))
+    assert a.intersect(Box((5, 5), (6, 6))).is_empty
+
+
+def test_points_lexicographic():
+    b = Box((0, 0), (1, 2))
+    pts = list(b.points())
+    assert pts == sorted(pts)
+    assert len(pts) == b.volume
+
+
+def test_unrank_rank_inverse():
+    b = Box((2, -1, 0), (4, 1, 2))
+    for idx in range(b.volume):
+        p = b.unrank(idx)
+        assert b.rank_of(p) == idx
+    with pytest.raises(IndexError):
+        b.unrank(b.volume)
+    with pytest.raises(ValueError):
+        b.rank_of((0, 0, 0))
+
+
+def test_unrank_is_lexicographic():
+    b = Box((0, 0), (3, 3))
+    pts = [b.unrank(i) for i in range(b.volume)]
+    assert pts == sorted(pts)
+
+
+def test_fix_and_clamp():
+    b = Box((0, 0), (5, 5))
+    assert b.fix(0, 3) == Box((3, 0), (3, 5))
+    assert b.clamp_dim(1, 2, 4) == Box((0, 2), (5, 4))
+
+
+def test_rank_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Box((0,), (1, 2))

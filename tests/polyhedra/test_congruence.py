@@ -1,0 +1,137 @@
+"""Congruence machinery: exactness against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.polyhedra.box import Box
+from repro.polyhedra.congruence import (
+    CongruenceTester,
+    count_distinct_lines_in_window,
+    exists_absolute_interval,
+    exists_mod_window,
+)
+
+
+def brute_mod_window(coeffs, const, box, m, wlo, wlen):
+    for q in box.points():
+        f = const + sum(c * x for c, x in zip(coeffs, q))
+        if (f - wlo) % m < wlen:
+            return True
+    return False
+
+
+def brute_abs(coeffs, const, box, lo, hi):
+    for q in box.points():
+        f = const + sum(c * x for c, x in zip(coeffs, q))
+        if lo <= f <= hi:
+            return True
+    return False
+
+
+def brute_lines(coeffs, const, box, m, wlo, line, exclude):
+    lines = set()
+    for q in box.points():
+        f = const + sum(c * x for c, x in zip(coeffs, q))
+        if (f - wlo) % m < line:
+            ln = f // line
+            if exclude is None or ln != exclude // line:
+                lines.add(ln)
+    return lines
+
+
+CASES = [
+    # (coeffs, const, box, m)
+    ((8,), 0, Box((0,), (99,)), 256),
+    ((8, 120), 40, Box((0, 0), (15, 9)), 256),
+    ((32, 1024), 0, Box((1, 1), (8, 8)), 1024),
+    ((7, 13), 5, Box((0, 0), (20, 20)), 64),
+    ((0, 0), 17, Box((0, 0), (5, 5)), 32),
+    ((256, -8), 100, Box((0, 0), (31, 31)), 512),
+    ((1000,), 3, Box((0,), (50,)), 8192),
+]
+
+
+@pytest.mark.parametrize("coeffs,const,box,m", CASES)
+def test_exists_mod_window_matches_bruteforce(coeffs, const, box, m):
+    rng = np.random.default_rng(42)
+    for _ in range(25):
+        wlo = int(rng.integers(0, m))
+        wlen = int(rng.integers(1, max(2, m // 4)))
+        got = exists_mod_window(coeffs, const, box, m, wlo, wlen)
+        assert got is not None
+        assert got == brute_mod_window(coeffs, const, box, m, wlo, wlen)
+
+
+def test_exists_mod_window_full_window_always_true():
+    assert exists_mod_window((8,), 0, Box((0,), (3,)), 32, 5, 32) is True
+
+
+def test_exists_mod_window_empty_box():
+    assert exists_mod_window((8,), 0, Box((1,), (0,)), 32, 0, 8) is False
+
+
+def test_subgroup_path_exercised_exactly():
+    # Extent covers the full period: dimension collapses to gcd subgroup.
+    # coeff 48, m 256 → g=16, period 16; extent 100 >= 16 → full.
+    box = Box((0, 0), (99, 3))
+    coeffs = (48, 1024)  # second dim: 1024 % 256 == 0 → contributes only c0
+    for wlo in range(0, 256, 8):
+        got = exists_mod_window(coeffs, 0, box, 256, wlo, 8)
+        assert got == brute_mod_window(coeffs, 0, box, 256, wlo, 8)
+
+
+@pytest.mark.parametrize("coeffs,const,box,m", CASES)
+def test_exists_absolute_interval_matches_bruteforce(coeffs, const, box, m):
+    rng = np.random.default_rng(7)
+    vals = [
+        const + sum(c * x for c, x in zip(coeffs, q)) for q in box.points()
+    ]
+    lo0, hi0 = min(vals), max(vals)
+    for _ in range(25):
+        lo = int(rng.integers(lo0 - 50, hi0 + 50))
+        hi = lo + int(rng.integers(0, 64))
+        got = exists_absolute_interval(coeffs, const, box, lo, hi)
+        assert got is not None
+        assert got == brute_abs(coeffs, const, box, lo, hi)
+
+
+def test_count_distinct_lines_matches_bruteforce():
+    coeffs, const, box, m, line = (8, 120), 16, Box((0, 0), (15, 9)), 256, 32
+    for wlo in range(0, m, 32):
+        expected = brute_lines(coeffs, const, box, m, wlo, line, None)
+        got = count_distinct_lines_in_window(
+            coeffs, const, box, m, wlo, line, cap=100
+        )
+        assert got == min(len(expected), 100)
+
+
+def test_count_distinct_lines_cap_and_exclusion():
+    coeffs, const, box = (32,), 0, Box((0,), (63,))
+    m, line = 256, 32
+    # every access hits window [0,32) when f ≡ 0 (mod 256): f = 32x → x ≡ 0 mod 8
+    got = count_distinct_lines_in_window(coeffs, const, box, m, 0, line, cap=3)
+    assert got == 3  # capped
+    full = brute_lines(coeffs, const, box, m, 0, line, None)
+    excl = sorted(full)[0] * line
+    got2 = count_distinct_lines_in_window(
+        coeffs, const, box, m, 0, line, cap=100, exclude_line_start=excl
+    )
+    assert got2 == len(full) - 1
+
+
+def test_tester_exists_interference_excludes_own_line():
+    tester = CongruenceTester()
+    # Single access walking one line only: that line is line0 → no interference.
+    coeffs, const, box = (8,), 0, Box((0,), (3,))  # f in [0, 24] — one line
+    res = tester.exists_interference(coeffs, const, box, 256, 0, 32, 0)
+    assert res is False
+    # Same walk but line0 elsewhere → the touched line interferes.
+    res2 = tester.exists_interference(coeffs, const, box, 256, 0, 32, 256 * 4)
+    assert res2 is True
+
+
+def test_tester_interference_across_way_multiple():
+    tester = CongruenceTester()
+    # f takes values 0 and 256 → lines 0 and 8, both in set-window 0.
+    coeffs, const, box = (256,), 0, Box((0,), (1,))
+    assert tester.exists_interference(coeffs, const, box, 256, 0, 32, 0) is True

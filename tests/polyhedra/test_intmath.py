@@ -1,0 +1,62 @@
+"""Unit tests for the integer arithmetic helpers."""
+
+from math import gcd
+
+import pytest
+
+from repro.polyhedra.intmath import (
+    count_congruent_in_range,
+    egcd,
+    first_congruent_in_range,
+    gcd_all,
+    solve_linear_congruence,
+)
+
+
+@pytest.mark.parametrize("a,b", [(12, 18), (0, 5), (7, 0), (-4, 6), (1, 1)])
+def test_egcd_bezout(a, b):
+    g, x, y = egcd(a, b)
+    assert g == gcd(a, b) if (a or b) else g == 0
+    assert a * x + b * y == g
+    assert g >= 0
+
+
+def test_count_congruent_matches_bruteforce():
+    for lo, hi, r, m in [(0, 20, 3, 5), (-7, 13, 0, 4), (5, 5, 5, 7), (10, 9, 0, 3)]:
+        expected = sum(1 for x in range(lo, hi + 1) if x % m == r % m)
+        assert count_congruent_in_range(lo, hi, r, m) == expected
+
+
+def test_first_congruent():
+    assert first_congruent_in_range(0, 10, 3, 5) == 3
+    assert first_congruent_in_range(4, 10, 3, 5) == 8
+    assert first_congruent_in_range(9, 10, 3, 5) is None
+    assert first_congruent_in_range(5, 4, 0, 3) is None
+
+
+def test_solve_linear_congruence_basic():
+    # 3x ≡ 6 (mod 9): x ∈ {2, 5, 8} → x0=2, period 3
+    assert solve_linear_congruence(3, 6, 9) == (2, 3)
+    # 4x ≡ 1 (mod 8): no solution
+    assert solve_linear_congruence(4, 1, 8) is None
+    # 0x ≡ 0 (mod 5): anything
+    assert solve_linear_congruence(0, 0, 5) == (0, 1)
+    assert solve_linear_congruence(0, 3, 5) is None
+
+
+@pytest.mark.parametrize("a,b,m", [(6, 4, 10), (5, 3, 7), (14, 7, 21)])
+def test_solve_linear_congruence_verified(a, b, m):
+    sol = solve_linear_congruence(a, b, m)
+    brute = [x for x in range(m) if (a * x - b) % m == 0]
+    if sol is None:
+        assert not brute
+    else:
+        x0, period = sol
+        assert brute == list(range(x0, m, period))
+
+
+def test_gcd_all():
+    assert gcd_all([12, 18, 24]) == 6
+    assert gcd_all([]) == 0
+    assert gcd_all([7]) == 7
+    assert gcd_all([3, 5]) == 1

@@ -1,0 +1,89 @@
+"""Lexicographic interval decomposition: exactness vs brute force."""
+
+from itertools import product
+
+import pytest
+
+from repro.polyhedra.box import Box
+from repro.polyhedra.lexinterval import lex_between_boxes, lex_gt_boxes, lex_lt_boxes
+
+
+def brute_gt(point, box):
+    return {q for q in box.points() if q > point}
+
+
+def brute_lt(point, box):
+    return {q for q in box.points() if q < point}
+
+
+def brute_between(s, p, box):
+    return {q for q in box.points() if s < q < p}
+
+
+def union_points(boxes):
+    out = []
+    for b in boxes:
+        out.extend(b.points())
+    return out
+
+
+BOX = Box((0, 0, 0), (3, 2, 2))
+PROBE_POINTS = [
+    (0, 0, 0), (1, 1, 1), (3, 2, 2), (2, 0, 2),
+    (-1, 0, 0), (4, 0, 0), (1, 5, 0), (1, -3, 2), (2, 2, 5),
+]
+
+
+@pytest.mark.parametrize("point", PROBE_POINTS)
+def test_lex_gt_partition(point):
+    pts = union_points(lex_gt_boxes(point, BOX))
+    assert len(pts) == len(set(pts)), "boxes overlap"
+    assert set(pts) == brute_gt(point, BOX)
+
+
+@pytest.mark.parametrize("point", PROBE_POINTS)
+def test_lex_lt_partition(point):
+    pts = union_points(lex_lt_boxes(point, BOX))
+    assert len(pts) == len(set(pts))
+    assert set(pts) == brute_lt(point, BOX)
+
+
+@pytest.mark.parametrize(
+    "s,p",
+    [
+        ((0, 0, 0), (3, 2, 2)),
+        ((1, 1, 1), (1, 1, 2)),
+        ((1, 2, 2), (2, 0, 0)),
+        ((0, 0, 0), (0, 0, 1)),
+        ((2, 2, 2), (2, 2, 2)),
+        ((-1, 0, 0), (2, 1, 1)),   # endpoints outside the box
+        ((1, 1, 1), (9, 9, 9)),
+    ],
+)
+def test_lex_between_partition(s, p):
+    pts = union_points(lex_between_boxes(s, p, BOX))
+    assert len(pts) == len(set(pts))
+    assert set(pts) == brute_between(s, p, BOX)
+
+
+def test_between_excludes_endpoints():
+    s, p = (0, 0, 0), (3, 2, 2)
+    pts = set(union_points(lex_between_boxes(s, p, BOX)))
+    assert s not in pts and p not in pts
+
+
+def test_exhaustive_small_boxes():
+    box = Box((0, 0), (2, 2))
+    all_pts = list(box.points()) + [(-1, 1), (3, 3)]
+    for s, p in product(all_pts, all_pts):
+        if not s < p:
+            continue
+        pts = union_points(lex_between_boxes(s, p, box))
+        assert set(pts) == brute_between(s, p, box)
+        assert len(pts) == len(set(pts))
+
+
+def test_empty_box_yields_nothing():
+    empty = Box((1, 1), (0, 0))
+    assert lex_gt_boxes((0, 0), empty) == []
+    assert lex_between_boxes((0, 0), (5, 5), empty) == []

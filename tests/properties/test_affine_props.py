@@ -1,0 +1,58 @@
+"""Property-based tests for the affine algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir.affine import AffineExpr
+
+VARS = ("i", "j", "k")
+
+
+@st.composite
+def affine_exprs(draw):
+    coeffs = {v: draw(st.integers(-50, 50)) for v in VARS}
+    return AffineExpr(coeffs, draw(st.integers(-1000, 1000)))
+
+
+envs = st.fixed_dictionaries({v: st.integers(-100, 100) for v in VARS})
+
+
+@given(affine_exprs(), affine_exprs(), envs)
+def test_addition_pointwise(a, b, env):
+    assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+
+@given(affine_exprs(), affine_exprs(), envs)
+def test_subtraction_pointwise(a, b, env):
+    assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+
+@given(affine_exprs(), st.integers(-20, 20), envs)
+def test_scaling_pointwise(a, k, env):
+    assert (a * k).evaluate(env) == k * a.evaluate(env)
+
+
+@given(affine_exprs(), affine_exprs(), envs)
+def test_substitution_commutes_with_evaluation(outer, inner, env):
+    """outer[i := inner] evaluated == outer evaluated at i = inner(env)."""
+    substituted = outer.substitute({"i": inner})
+    env2 = dict(env)
+    env2["i"] = inner.evaluate(env)
+    assert substituted.evaluate(env) == outer.evaluate(env2)
+
+
+@given(affine_exprs())
+def test_double_negation_identity(a):
+    assert -(-a) == a
+
+
+@given(affine_exprs(), envs)
+def test_range_over_bounds_evaluation(a, env):
+    bounds = {v: (env[v] - 3, env[v] + 3) for v in VARS}
+    lo, hi = a.range_over(bounds)
+    assert lo <= a.evaluate(env) <= hi
+
+
+@given(affine_exprs(), affine_exprs())
+def test_equality_consistent_with_hash(a, b):
+    if a == b:
+        assert hash(a) == hash(b)

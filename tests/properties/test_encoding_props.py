@@ -1,0 +1,41 @@
+"""Property-based tests for the GA encoding (Eq. 2)."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.ga.encoding import Genome, bits_for, decode_value
+
+
+@given(st.integers(1, 5000))
+def test_bits_even_and_sufficient(upper):
+    b = bits_for(upper)
+    assert b % 2 == 0
+    assert (1 << b) >= upper
+
+
+@given(st.integers(2, 2000), st.data())
+def test_decode_in_range_and_monotone(upper, data):
+    b = bits_for(upper)
+    x = data.draw(st.integers(0, (1 << b) - 1))
+    y = data.draw(st.integers(0, (1 << b) - 1))
+    gx = decode_value(x, 1, upper, b)
+    assert 1 <= gx <= upper
+    if x <= y:
+        assert gx <= decode_value(y, 1, upper, b)
+
+
+@given(st.integers(2, 500), st.integers(1, 500))
+def test_encode_is_right_inverse(upper, value):
+    value = 1 + (value - 1) % upper
+    g = Genome([(1, upper)])
+    assert g.decode(g.encode((value,))) == (value,)
+
+
+@given(st.lists(st.integers(1, 200), min_size=1, max_size=4), st.integers(0, 2**32))
+def test_random_individuals_decode_validly(uppers, seed):
+    g = Genome([(1, u) for u in uppers])
+    rng = np.random.default_rng(seed)
+    values = g.decode(g.random_individual(rng))
+    assert len(values) == len(uppers)
+    for v, u in zip(values, uppers):
+        assert 1 <= v <= u

@@ -1,0 +1,96 @@
+"""Property-based tests for boxes, lex intervals and congruences."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.polyhedra.box import Box
+from repro.polyhedra.congruence import exists_absolute_interval, exists_mod_window
+from repro.polyhedra.lexinterval import lex_between_boxes
+
+
+@st.composite
+def small_boxes(draw, max_rank=3, max_extent=5):
+    rank = draw(st.integers(1, max_rank))
+    lo = tuple(draw(st.integers(-4, 4)) for _ in range(rank))
+    hi = tuple(l + draw(st.integers(0, max_extent - 1)) for l in lo)
+    return Box(lo, hi)
+
+
+@given(small_boxes())
+def test_unrank_rank_bijection(box):
+    seen = set()
+    for idx in range(box.volume):
+        p = box.unrank(idx)
+        assert box.rank_of(p) == idx
+        seen.add(p)
+    assert len(seen) == box.volume
+
+
+@given(small_boxes())
+def test_points_are_sorted_and_complete(box):
+    pts = list(box.points())
+    assert pts == sorted(pts)
+    assert len(pts) == box.volume
+
+
+@st.composite
+def box_with_two_points(draw):
+    box = draw(small_boxes())
+    pt = lambda: tuple(
+        draw(st.integers(l - 2, h + 2)) for l, h in zip(box.lo, box.hi)
+    )
+    return box, pt(), pt()
+
+
+@given(box_with_two_points())
+@settings(max_examples=200)
+def test_lex_between_is_exact_partition(data):
+    box, a, b = data
+    if a > b:
+        a, b = b, a
+    expected = {q for q in box.points() if a < q < b}
+    got = []
+    for sub in lex_between_boxes(a, b, box):
+        got.extend(sub.points())
+    assert len(got) == len(set(got)), "decomposition boxes overlap"
+    assert set(got) == expected
+
+
+@st.composite
+def congruence_cases(draw):
+    rank = draw(st.integers(1, 3))
+    coeffs = tuple(draw(st.integers(-64, 64)) for _ in range(rank))
+    lo = tuple(draw(st.integers(0, 8)) for _ in range(rank))
+    hi = tuple(l + draw(st.integers(0, 9)) for l in lo)
+    const = draw(st.integers(-500, 500))
+    m = draw(st.sampled_from([16, 32, 64, 128, 256]))
+    wlo = draw(st.integers(0, m - 1))
+    wlen = draw(st.integers(1, m))
+    return coeffs, const, Box(lo, hi), m, wlo, wlen
+
+
+@given(congruence_cases())
+@settings(max_examples=300)
+def test_exists_mod_window_exact(case):
+    coeffs, const, box, m, wlo, wlen = case
+    brute = any(
+        (const + sum(c * x for c, x in zip(coeffs, q)) - wlo) % m < wlen
+        for q in box.points()
+    )
+    got = exists_mod_window(coeffs, const, box, m, wlo, wlen)
+    assert got is not None
+    assert got == brute
+
+
+@given(congruence_cases(), st.integers(-200, 200), st.integers(0, 100))
+@settings(max_examples=300)
+def test_exists_absolute_interval_exact(case, lo, width):
+    coeffs, const, box, *_ = case
+    hi = lo + width
+    brute = any(
+        lo <= const + sum(c * x for c, x in zip(coeffs, q)) <= hi
+        for q in box.points()
+    )
+    got = exists_absolute_interval(coeffs, const, box, lo, hi)
+    assert got is not None
+    assert got == brute

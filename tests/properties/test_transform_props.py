@@ -1,0 +1,72 @@
+"""Property-based tests for tiling and the point map."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.program import TileMap, program_from_nest
+from repro.layout.memory import MemoryLayout
+from repro.simulator.trace import address_trace
+from repro.transform.tiling import tile_program, tile_regions
+from tests.conftest import make_small_transpose
+
+
+@st.composite
+def extents_and_tiles(draw, max_rank=3, max_extent=12):
+    rank = draw(st.integers(1, max_rank))
+    extents = tuple(draw(st.integers(1, max_extent)) for _ in range(rank))
+    tiles = tuple(draw(st.integers(1, e)) for e in extents)
+    return extents, tiles
+
+
+@given(extents_and_tiles())
+def test_regions_partition_iteration_space(data):
+    extents, tiles = data
+    regions = tile_regions(extents, tiles)
+    total = sum(r.volume for r in regions)
+    expected = int(np.prod(extents))
+    assert total == expected
+    # pairwise disjoint
+    for i, a in enumerate(regions):
+        for b in regions[i + 1:]:
+            assert a.intersect(b).is_empty
+
+
+@given(extents_and_tiles())
+def test_region_count_at_most_2_pow_d(data):
+    extents, tiles = data
+    regions = tile_regions(extents, tiles)
+    assert 1 <= len(regions) <= 2 ** len(extents)
+
+
+@given(extents_and_tiles())
+def test_tile_map_is_bijection_into_regions(data):
+    extents, tiles = data
+    lowers = (1,) * len(extents)
+    pm = TileMap(lowers, tiles)
+    regions = tile_regions(extents, tiles)
+
+    def in_some_region(q):
+        return any(r.contains(q) for r in regions)
+
+    seen = set()
+    from itertools import product
+
+    for p in product(*(range(1, e + 1) for e in extents)):
+        q = pm.from_original(p)
+        assert pm.to_original(q) == p
+        assert in_some_region(q)
+        seen.add(q)
+    assert len(seen) == int(np.prod(extents))
+
+
+@given(st.integers(1, 16), st.integers(1, 16))
+@settings(max_examples=30)
+def test_tiled_trace_is_permutation(t1, t2):
+    """Tiling permutes the access trace — the §3.1 invariant behind
+    'compulsory misses remain constant'."""
+    nest = make_small_transpose(16)
+    t1, t2 = min(t1, 16), min(t2, 16)
+    layout = MemoryLayout(nest.arrays())
+    orig = address_trace(program_from_nest(nest), layout)
+    tiled = address_trace(tile_program(nest, (t1, t2)), layout)
+    assert np.array_equal(np.sort(orig), np.sort(tiled))

@@ -1,0 +1,37 @@
+"""Integer kernel basis tests."""
+
+from repro.reuse.lattice import is_lex_positive, kernel_basis, lex_positive
+
+
+def test_lex_positive_normalisation():
+    assert lex_positive((0, -2, 1)) == (0, 2, -1)
+    assert lex_positive((1, -5)) == (1, -5)
+    assert lex_positive((0, 0)) == (0, 0)
+    assert is_lex_positive((0, 1, -9))
+    assert not is_lex_positive((0, -1, 9))
+    assert not is_lex_positive((0, 0))
+
+
+def test_kernel_of_zero_row_is_all_units():
+    basis = kernel_basis((0, 0, 0))
+    assert basis == [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+
+
+def test_kernel_contains_zero_coeff_units():
+    # address ignores j → e_j is a temporal reuse direction
+    basis = kernel_basis((8, 0, 256))
+    assert (0, 1, 0) in basis
+    assert len(basis) == 2
+
+
+def test_kernel_vectors_annihilate_row():
+    rows = [(8, 80), (3, -6, 9), (5, 0, 0, 7), (2, 4, 8, 16)]
+    for row in rows:
+        for vec in kernel_basis(row):
+            assert sum(c * v for c, v in zip(row, vec)) == 0
+            assert is_lex_positive(vec)
+
+
+def test_kernel_rank():
+    assert len(kernel_basis((1, 2, 3, 4))) == 3
+    assert len(kernel_basis((5,))) == 0

@@ -1,0 +1,79 @@
+"""Reuse-candidate generation tests (the §2.1 examples)."""
+
+from repro.layout.memory import MemoryLayout
+from repro.reuse.vectors import compute_reuse_candidates
+from tests.conftest import make_small_mm
+
+
+def mm_candidates(n=24, line=32):
+    nest = make_small_mm(n)
+    layout = MemoryLayout(nest.arrays())
+    return nest, compute_reuse_candidates(nest, layout, line)
+
+
+def vec_set(cands):
+    return {c.vector for c in cands}
+
+
+def test_paper_example_c_ref_has_001():
+    """§2.1: r = (0,0,1) is a reuse vector for c(k,j) in MM."""
+    nest, cands = mm_candidates()
+    # c(k,j) is position 2; address ignores i → e_i... wait: vars (i,j,k);
+    # c's address depends on k and j, so the kernel contains e_i = (1,0,0)
+    # and the innermost *spatial* direction e_k = (0,0,1).
+    c_vecs = vec_set(cands[2])
+    assert (0, 0, 1) in c_vecs  # the paper's example vector
+    assert (1, 0, 0) in c_vecs  # temporal reuse across i
+
+
+def test_a_ref_temporal_across_k():
+    nest, cands = mm_candidates()
+    # a(i,j): address ignores k → temporal reuse e_k.
+    assert (0, 0, 1) in vec_set(cands[0])
+
+
+def test_b_ref_spatial_innermost():
+    nest, cands = mm_candidates()
+    # b(i,k): k's stride is 8·N? No — b(i,k) column-major: coeff(k)=8·N,
+    # coeff(i)=8 < line → spatial along i.
+    assert (1, 0, 0) in vec_set(cands[1])
+
+
+def test_group_reuse_between_a_read_and_write():
+    nest, cands = mm_candidates()
+    # a(i,j) read (pos 0) and a(i,j) write (pos 3): same address →
+    # intra-iteration group reuse (zero vector), both directions.
+    read_from_write = [
+        c for c in cands[0] if c.source_position == 3 and c.is_intra_iteration
+    ]
+    write_from_read = [
+        c for c in cands[3] if c.source_position == 0 and c.is_intra_iteration
+    ]
+    assert read_from_write and write_from_read
+
+
+def test_candidates_deduplicated():
+    _, cands = mm_candidates()
+    for lst in cands.values():
+        keys = [(c.vector, c.source_position) for c in lst]
+        assert len(keys) == len(set(keys))
+
+
+def test_stencil_group_translation():
+    """JACOBI-style b(i-1) / b(i+1) pair yields a ±2·e_i translation."""
+    from repro.ir.affine import AffineExpr
+    from repro.ir.arrays import Array, read
+    from repro.ir.loops import Loop, LoopNest
+
+    b = Array("b", (16,))
+    i = AffineExpr.var("i")
+    nest = LoopNest(
+        "st", (Loop("i", 2, 15),),
+        (read(b, i - 1, position=0), read(b, i + 1, position=1)),
+    )
+    layout = MemoryLayout(nest.arrays())
+    cands = compute_reuse_candidates(nest, layout, 32)
+    # b(i-1) reuses b(i+1) from two iterations earlier: vector (2,).
+    assert any(
+        c.vector == (2,) and c.source_position == 1 for c in cands[0]
+    )

@@ -1,0 +1,101 @@
+"""Cache simulator tests against a reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.simulator.cachesim import (
+    compulsory_mask,
+    simulate_direct_mapped,
+    simulate_lru,
+    simulate_trace,
+)
+
+
+def reference_lru(addresses, cache):
+    """Straightforward per-access LRU interpreter (the oracle)."""
+    sets: dict[int, list[int]] = {}
+    out = []
+    for a in addresses:
+        line = a // cache.line_size
+        s = line % cache.num_sets
+        stack = sets.setdefault(s, [])
+        if line in stack:
+            stack.remove(line)
+            stack.insert(0, line)
+            out.append(False)
+        else:
+            stack.insert(0, line)
+            if len(stack) > cache.associativity:
+                stack.pop()
+            out.append(True)
+    return np.array(out)
+
+
+@pytest.mark.parametrize("assoc", [1, 2, 4])
+def test_simulators_match_reference_on_random_traces(assoc):
+    cache = CacheConfig(1024, 32, assoc)
+    rng = np.random.default_rng(3)
+    trace = rng.integers(0, 4096, size=2000)
+    expected = reference_lru(trace, cache)
+    got = simulate_trace(trace, cache)
+    assert np.array_equal(got, expected)
+
+
+def test_direct_mapped_pingpong():
+    cache = CacheConfig(1024, 32, 1)
+    # Two lines mapping to the same set (1024 apart) alternate: all miss.
+    trace = np.array([0, 1024] * 10)
+    assert simulate_direct_mapped(trace, cache).all()
+
+
+def test_direct_mapped_requires_dm():
+    with pytest.raises(ValueError):
+        simulate_direct_mapped(np.array([0]), CacheConfig(1024, 32, 2))
+
+
+def test_two_way_holds_both_lines():
+    cache = CacheConfig(1024, 32, 2)
+    trace = np.array([0, 512, 0, 512, 0, 512])
+    miss = simulate_lru(trace, cache)
+    assert list(miss) == [True, True, False, False, False, False]
+
+
+def test_lru_eviction_order():
+    cache = CacheConfig(64, 32, 2)  # one set, two ways
+    trace = np.array([0, 32, 64, 0])
+    # 0 miss, 32 miss, 64 evicts 0 (LRU), 0 misses again.
+    assert list(simulate_lru(trace, cache)) == [True, True, True, True]
+    trace2 = np.array([0, 32, 0, 64, 32])
+    # after [0,32,0]: stack [0,32]; 64 evicts 32; 32 misses.
+    assert list(simulate_lru(trace2, cache)) == [True, True, False, True, True]
+
+
+def test_spatial_locality_within_line():
+    cache = CacheConfig(1024, 32, 1)
+    trace = np.arange(0, 64, 8)  # two lines, 4 accesses each
+    miss = simulate_direct_mapped(trace, cache)
+    assert miss.sum() == 2
+
+
+def test_compulsory_mask_first_touch_only():
+    cache = CacheConfig(1024, 32, 1)
+    trace = np.array([0, 8, 1024, 0, 2048])
+    cold = compulsory_mask(trace, cache)
+    assert list(cold) == [True, False, True, False, True]
+
+
+def test_compulsory_subset_of_misses():
+    cache = CacheConfig(256, 32, 1)
+    rng = np.random.default_rng(0)
+    trace = rng.integers(0, 2048, size=500)
+    miss = simulate_trace(trace, cache)
+    cold = compulsory_mask(trace, cache)
+    assert (miss | ~cold).all()  # cold ⇒ miss
+
+
+def test_empty_trace():
+    cache = CacheConfig(1024, 32, 1)
+    empty = np.array([], dtype=np.int64)
+    assert simulate_trace(empty, cache).size == 0
+    assert compulsory_mask(empty, cache).size == 0

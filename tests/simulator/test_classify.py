@@ -1,0 +1,54 @@
+"""End-to-end simulation classification tests."""
+
+from repro.cache.config import CacheConfig
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from repro.simulator.classify import simulate_program
+from repro.transform.tiling import tile_program
+from tests.conftest import make_small_mm, make_small_transpose
+
+
+def test_result_accounting_consistent():
+    nest = make_small_mm(12)
+    layout = MemoryLayout(nest.arrays())
+    res = simulate_program(program_from_nest(nest), layout, CacheConfig(1024, 32, 1))
+    assert res.accesses == nest.num_accesses
+    assert res.misses == sum(res.per_ref_misses.values())
+    assert res.replacement == sum(res.per_ref_replacement.values())
+    assert 0 <= res.replacement <= res.misses <= res.accesses
+    assert res.compulsory <= res.misses
+
+
+def test_compulsory_invariant_under_tiling():
+    """§3.1: tiling changes order only, so compulsory misses are fixed."""
+    nest = make_small_transpose(20)
+    layout = MemoryLayout(nest.arrays())
+    cache = CacheConfig(1024, 32, 1)
+    base = simulate_program(program_from_nest(nest), layout, cache)
+    for tiles in [(4, 4), (5, 20), (7, 3), (20, 20)]:
+        tiled = simulate_program(tile_program(nest, tiles), layout, cache)
+        assert tiled.compulsory == base.compulsory
+        assert tiled.accesses == base.accesses
+
+
+def test_some_tiling_reduces_transpose_misses():
+    nest = make_small_transpose(64)
+    layout = MemoryLayout(nest.arrays())
+    cache = CacheConfig(1024, 32, 1)
+    untiled = simulate_program(program_from_nest(nest), layout, cache)
+    best = min(
+        simulate_program(tile_program(nest, t), layout, cache).replacement
+        for t in [(4, 4), (8, 2), (16, 2), (4, 2)]
+    )
+    assert best < untiled.replacement
+
+
+def test_ratios():
+    nest = make_small_mm(8)
+    layout = MemoryLayout(nest.arrays())
+    res = simulate_program(program_from_nest(nest), layout, CacheConfig(1024, 32, 1))
+    assert abs(res.miss_ratio - res.misses / res.accesses) < 1e-12
+    assert abs(
+        res.replacement_ratio + res.compulsory_ratio - res.miss_ratio
+    ) < 1e-12
+    assert "accesses=" in res.summary()

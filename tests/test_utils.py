@@ -1,0 +1,35 @@
+"""Utility module tests."""
+
+import numpy as np
+
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.timing import Timer
+
+
+def test_make_rng_from_int_deterministic():
+    assert make_rng(5).integers(0, 100) == make_rng(5).integers(0, 100)
+
+
+def test_make_rng_passthrough():
+    rng = np.random.default_rng(0)
+    assert make_rng(rng) is rng
+
+
+def test_spawn_rng_independent_streams():
+    parent1 = make_rng(1)
+    parent2 = make_rng(1)
+    a = spawn_rng(parent1, 1)
+    b = spawn_rng(parent2, 2)
+    assert a.integers(0, 1 << 30) != b.integers(0, 1 << 30)
+
+
+def test_timer_measures():
+    with Timer() as t:
+        sum(range(1000))
+    assert t.elapsed >= 0.0
+
+
+def test_version_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,39 @@
+"""Loop interchange tests."""
+
+import pytest
+
+from repro.transform.interchange import interchange
+from tests.conftest import make_small_mm
+
+
+def test_interchange_reorders():
+    nest = make_small_mm(6)
+    swapped = interchange(nest, ("k", "j", "i"))
+    assert swapped.vars == ("k", "j", "i")
+    assert swapped.refs == nest.refs
+    assert swapped.num_iterations == nest.num_iterations
+
+
+def test_interchange_requires_permutation():
+    nest = make_small_mm(6)
+    with pytest.raises(ValueError):
+        interchange(nest, ("i", "j"))
+    with pytest.raises(ValueError):
+        interchange(nest, ("i", "j", "q"))
+
+
+def test_interchange_changes_locality():
+    """jki vs ijk orders have different simulated miss counts."""
+    from repro.cache.config import CacheConfig
+    from repro.ir.program import program_from_nest
+    from repro.layout.memory import MemoryLayout
+    from repro.simulator.classify import simulate_program
+
+    nest = make_small_mm(16)
+    layout = MemoryLayout(nest.arrays())
+    cache = CacheConfig(512, 32, 1)
+    base = simulate_program(program_from_nest(nest), layout, cache)
+    alt = simulate_program(
+        program_from_nest(interchange(nest, ("j", "k", "i"))), layout, cache
+    )
+    assert base.misses != alt.misses

@@ -1,0 +1,76 @@
+"""Padding search-space tests."""
+
+import pytest
+
+from repro.ir.arrays import Array
+from repro.transform.padding import PaddingSearchSpace
+
+
+def arrays():
+    return (Array("a", (8, 8)), Array("b", (8, 8)), Array("v", (8,)))
+
+
+def test_variable_enumeration():
+    space = PaddingSearchSpace(arrays(), way_bytes=1024, line_bytes=32)
+    kinds = [(v.kind, v.array) for v in space.variables]
+    # one inter per array; one intra per non-last dim (2D arrays only).
+    assert kinds.count(("inter", "a")) == 1
+    assert kinds.count(("intra", "a")) == 1
+    assert kinds.count(("intra", "v")) == 0
+    assert space.num_variables == 5
+
+
+def test_decode_roundtrip():
+    space = PaddingSearchSpace(arrays(), way_bytes=1024, line_bytes=32)
+    values = [min(3, v.upper) for v in space.variables]
+    spec = space.decode(values)
+    for v, val in zip(space.variables, values):
+        if v.kind == "inter":
+            assert spec.inter_for(Array(v.array, (8, 8)) if v.array != "v" else Array("v", (8,))) == val
+
+
+def test_decode_validates():
+    space = PaddingSearchSpace(arrays(), way_bytes=1024, line_bytes=32)
+    with pytest.raises(ValueError):
+        space.decode([0] * (space.num_variables + 1))
+    with pytest.raises(ValueError):
+        space.decode([-1] + [0] * (space.num_variables - 1))
+    with pytest.raises(ValueError):
+        space.decode([space.variables[0].upper + 1] + [0] * (space.num_variables - 1))
+
+
+def test_zero_padding_is_identity():
+    space = PaddingSearchSpace(arrays(), way_bytes=1024, line_bytes=32)
+    spec = space.zero()
+    assert not spec.inter
+    assert not spec.intra
+
+
+def test_inter_only_mode():
+    space = PaddingSearchSpace(arrays(), way_bytes=1024, line_bytes=32, pad_intra=False)
+    assert all(v.kind == "inter" for v in space.variables)
+
+
+def test_padding_changes_conflicts():
+    """Inter-array padding must break a perfect aliasing ping-pong."""
+    from repro.cache.config import CacheConfig
+    from repro.ir.affine import AffineExpr
+    from repro.ir.arrays import read
+    from repro.ir.loops import Loop, LoopNest
+    from repro.ir.program import program_from_nest
+    from repro.layout.memory import MemoryLayout, PaddingSpec
+    from repro.simulator.classify import simulate_program
+
+    n = 128  # each array exactly one 1KB way
+    a = Array("a", (n,))
+    b = Array("b", (n,))
+    i = AffineExpr.var("i")
+    nest = LoopNest("pp", (Loop("i", 1, n),), (read(a, i), read(b, i, position=1)))
+    cache = CacheConfig(1024, 32, 1)
+    prog = program_from_nest(nest)
+    plain = simulate_program(prog, MemoryLayout(nest.arrays()), cache)
+    padded = simulate_program(
+        prog, MemoryLayout(nest.arrays(), PaddingSpec(inter={"b": 4})), cache
+    )
+    assert padded.replacement < plain.replacement
+    assert padded.replacement == 0

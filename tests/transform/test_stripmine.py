@@ -1,0 +1,24 @@
+"""Strip-mining tests (Fig. 2)."""
+
+import pytest
+
+from repro.transform.stripmine import strip_mine
+from tests.conftest import make_copy_1d, make_small_transpose
+
+
+def test_strip_mine_single_dim():
+    prog = strip_mine(make_copy_1d(7), "i", 3)
+    assert prog.space.num_points == 7
+    assert len(prog.space.regions) == 2  # Fig. 2(b)
+
+
+def test_strip_mine_leaves_other_dims():
+    prog = strip_mine(make_small_transpose(8), "i2", 3)
+    # i1 untouched (one full tile), i2 has a boundary region.
+    assert prog.space.num_points == 64
+    assert len(prog.space.regions) == 2
+
+
+def test_strip_mine_unknown_var():
+    with pytest.raises(KeyError):
+        strip_mine(make_copy_1d(7), "zz", 2)

@@ -1,0 +1,90 @@
+"""Tiling transformation tests, including the Fig. 2 example."""
+
+import pytest
+
+from repro.ir.program import program_from_nest
+from repro.polyhedra.box import Box
+from repro.transform.tiling import tile_program, tile_regions, tiled_var_names
+from tests.conftest import make_copy_1d, make_small_transpose
+
+
+def test_fig2_regions():
+    """Fig. 2(b): do i=1,7 strip-mined by 3 → full tiles {1..6} and a
+    boundary tile {7}, exactly — not the approximations of 2(c)/2(d)."""
+    regions = tile_regions((7,), (3,))
+    assert Box((0, 1), (1, 3)) in regions  # tiles 0-1, u ∈ 1..3
+    assert Box((2, 1), (2, 1)) in regions  # boundary tile, u = 1
+    assert len(regions) == 2
+    assert sum(r.volume for r in regions) == 7
+
+
+def test_regions_partition_2d():
+    regions = tile_regions((8, 8), (3, 3))
+    assert len(regions) == 4  # full×full, full×part, part×full, part×part
+    assert sum(r.volume for r in regions) == 64
+
+
+def test_dividing_tiles_single_region():
+    regions = tile_regions((8, 6), (4, 3))
+    assert len(regions) == 1
+    assert regions[0].volume == 48
+
+
+def test_tile_size_one_and_full():
+    assert sum(r.volume for r in tile_regions((5,), (1,))) == 5
+    assert sum(r.volume for r in tile_regions((5,), (5,))) == 5
+
+
+def test_tiled_program_point_count_preserved():
+    nest = make_small_transpose(9)
+    prog = tile_program(nest, (4, 2))
+    assert prog.space.num_points == 81
+    assert prog.space.vars == tiled_var_names(("i1", "i2"))
+
+
+def test_tiled_program_addresses_match_original_elementwise():
+    """For every original point, the tiled refs must compute the same
+    addresses through the substituted subscripts."""
+    from repro.layout.memory import MemoryLayout
+
+    nest = make_small_transpose(7)
+    layout = MemoryLayout(nest.arrays())
+    orig_prog = program_from_nest(nest)
+    tiled = tile_program(nest, (3, 2))
+    for p in orig_prog.space.all_points_lex():
+        env_o = dict(zip(orig_prog.space.vars, p))
+        q = tiled.point_map.from_original(tuple(p))
+        env_t = dict(zip(tiled.space.vars, q))
+        for ro, rt in zip(orig_prog.refs, tiled.refs):
+            assert (
+                layout.address_expr(ro).evaluate(env_o)
+                == layout.address_expr(rt).evaluate(env_t)
+            )
+
+
+def test_every_tiled_point_maps_into_space():
+    nest = make_copy_1d(7)
+    tiled = tile_program(nest, (3,))
+    seen = set()
+    for i in range(1, 8):
+        q = tiled.point_map.from_original((i,))
+        assert tiled.space.contains(q)
+        seen.add(q)
+    assert len(seen) == tiled.space.num_points
+
+
+def test_invalid_tile_sizes_rejected():
+    nest = make_copy_1d(7)
+    with pytest.raises(ValueError):
+        tile_program(nest, (0,))
+    with pytest.raises(ValueError):
+        tile_program(nest, (8,))
+    with pytest.raises(ValueError):
+        tile_program(nest, (3, 3))
+
+
+def test_mapping_tile_sizes():
+    nest = make_small_transpose(6)
+    prog = tile_program(nest, {"i1": 2})  # i2 defaults to full extent
+    assert prog.space.num_points == 36
+    assert len(prog.space.regions) == 1
