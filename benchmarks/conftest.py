@@ -18,6 +18,16 @@ from repro.experiments.common import ExperimentConfig, full_mode
 from repro.ga.engine import GAConfig
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Everything under benchmarks/ is a long-running experiment
+    reproduction: mark it ``slow`` so ``pytest -m "not slow"`` gives a
+    fast lane (the tests/ suite) without listing files by hand."""
+    for item in items:
+        if BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 def bench_config(seed: int = 0) -> ExperimentConfig:

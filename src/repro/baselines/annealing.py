@@ -5,6 +5,10 @@ Geometric cooling with multiplicative neighbourhood moves; accepts
 uphill moves with the Metropolis criterion.  Shares the tile-vector
 interface of the other baselines so it can be benchmarked against the
 GA at equal evaluation budgets.
+
+The Metropolis chain is inherently serial, but evaluation still goes
+through the shared :mod:`repro.evaluation` layer so revisited tile
+vectors hit the memo cache instead of re-solving the CMEs.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.evaluation import as_batch_objective
 from repro.ir.loops import LoopNest
 from repro.utils.rng import make_rng
 
@@ -33,6 +38,7 @@ def simulated_annealing(
     """
     rng = make_rng(seed)
     extents = [loop.extent for loop in nest.loops]
+    objective = as_batch_objective(objective)
     current = tuple(max(1, e // 2) for e in extents)
     current_val = objective(current)
     best, best_val = current, current_val

@@ -3,15 +3,23 @@
 Exhaustive search is the gold standard the GA is judged against
 ("near-optimal"): for small search spaces it enumerates every tile
 vector; for larger spaces a logarithmic grid bounds the work while
-still bracketing the optimum region.
+still bracketing the optimum region.  Grid points are independent, so
+they are evaluated in batches through the shared
+:mod:`repro.evaluation` layer (deduplicated, optionally parallel).
 """
 
 from __future__ import annotations
 
-from itertools import product
+from itertools import islice, product
 from typing import Callable
 
+import numpy as np
+
+from repro.evaluation import as_batch_objective
 from repro.ir.loops import LoopNest
+
+#: Grid points evaluated per batch (bounds peak memo-queue memory).
+BATCH_SIZE = 1024
 
 
 def _grid(extent: int, max_points: int) -> list[int]:
@@ -31,12 +39,14 @@ def exhaustive_search(
     nest: LoopNest,
     objective: Callable[[tuple[int, ...]], float],
     max_points_per_dim: int | None = None,
+    workers: int = 1,
 ) -> tuple[tuple[int, ...], float, int]:
     """Minimise ``objective`` over (a grid of) all tile vectors.
 
     Returns ``(best_tiles, best_value, evaluations)``.  With
     ``max_points_per_dim=None`` the search is truly exhaustive — only
-    sensible when ``Π extent_i`` is small.
+    sensible when ``Π extent_i`` is small.  Ties keep the first (lex
+    smallest) tile vector, as the original serial loop did.
     """
     axes = []
     for loop in nest.loops:
@@ -44,14 +54,24 @@ def exhaustive_search(
             axes.append(list(range(1, loop.extent + 1)))
         else:
             axes.append(_grid(loop.extent, max_points_per_dim))
+    evaluator = as_batch_objective(objective, workers=workers)
     best: tuple[int, ...] | None = None
     best_val = float("inf")
     count = 0
-    for tiles in product(*axes):
-        val = objective(tiles)
-        count += 1
-        if val < best_val:
-            best_val = val
-            best = tiles
+    grid = product(*axes)
+    try:
+        while True:
+            batch = list(islice(grid, BATCH_SIZE))
+            if not batch:
+                break
+            vals = evaluator.evaluate_batch(batch)
+            count += len(batch)
+            idx = int(np.argmin(vals))  # first occurrence on ties
+            if vals[idx] < best_val:
+                best_val = float(vals[idx])
+                best = batch[idx]
+    finally:
+        if evaluator is not objective:
+            evaluator.close()
     assert best is not None
     return best, best_val, count

@@ -5,12 +5,17 @@ repeatedly tries multiplicative and additive moves along each dimension
 and accepts strict improvements.  Hill climbing exposes exactly the
 local-minimum problem §3.1 raises for nonlinear integer optimisation —
 the motivation for using a global (genetic) search.
+
+The move sequence is inherently serial, but evaluation still goes
+through the shared :mod:`repro.evaluation` layer so revisited tile
+vectors hit the memo cache instead of re-solving the CMEs.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.evaluation import as_batch_objective
 from repro.ir.loops import LoopNest
 
 
@@ -22,6 +27,7 @@ def hill_climb(
 ) -> tuple[tuple[int, ...], float, int]:
     """Greedy coordinate descent; returns (tiles, value, evaluations)."""
     extents = [loop.extent for loop in nest.loops]
+    objective = as_batch_objective(objective)
     if start is None:
         start = tuple(max(1, e // 2) for e in extents)
     current = tuple(start)

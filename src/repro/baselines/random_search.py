@@ -2,7 +2,10 @@
 
 Given the same evaluation budget as the GA (450 evaluations in the
 paper's configuration), random search quantifies how much the genetic
-operators actually contribute beyond blind sampling.
+operators actually contribute beyond blind sampling.  Candidates are
+independent, so the whole budget is evaluated through the shared
+:mod:`repro.evaluation` layer in one deduplicated (optionally
+parallel) batch.
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.evaluation import as_batch_objective
 from repro.ir.loops import LoopNest
 from repro.utils.rng import make_rng
 
@@ -20,17 +24,24 @@ def random_search(
     objective: Callable[[tuple[int, ...]], float],
     budget: int = 450,
     seed: int | np.random.Generator = 0,
+    workers: int = 1,
 ) -> tuple[tuple[int, ...], float, int]:
-    """Sample ``budget`` uniform tile vectors; return the best."""
+    """Sample ``budget`` uniform tile vectors; return the best.
+
+    The first best candidate wins ties, exactly as the original
+    serial loop decided them.
+    """
     rng = make_rng(seed)
     extents = [loop.extent for loop in nest.loops]
-    best: tuple[int, ...] | None = None
-    best_val = float("inf")
-    for _ in range(budget):
-        tiles = tuple(int(rng.integers(1, e + 1)) for e in extents)
-        val = objective(tiles)
-        if val < best_val:
-            best_val = val
-            best = tiles
-    assert best is not None
-    return best, best_val, budget
+    evaluator = as_batch_objective(objective, workers=workers)
+    candidates = [
+        tuple(int(rng.integers(1, e + 1)) for e in extents)
+        for _ in range(budget)
+    ]
+    try:
+        vals = evaluator.evaluate_batch(candidates)
+    finally:
+        if evaluator is not objective:
+            evaluator.close()
+    best_idx = int(np.argmin(vals))  # first occurrence on ties
+    return candidates[best_idx], float(vals[best_idx]), budget

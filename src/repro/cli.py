@@ -17,7 +17,9 @@ Usage::
 
 Set ``REPRO_FULL=1`` for the paper's full GA budget (population 30,
 15–25 generations); the default quick budget reproduces the shapes in
-minutes.
+minutes.  Set ``REPRO_WORKERS=N`` to fan objective evaluation out over
+``N`` worker processes — results are identical for any value (see
+:mod:`repro.evaluation`), only wall-clock time changes.
 """
 
 from __future__ import annotations
@@ -76,6 +78,8 @@ def main(argv: list[str] | None = None) -> int:
 
     config = ExperimentConfig()
     mode = "full (paper budget)" if full_mode() else "quick"
+    if config.workers > 1:
+        mode += f", {config.workers} workers"
     print(f"# repro experiment runner — {mode} mode\n")
 
     if what in ("table2", "all"):

@@ -41,12 +41,29 @@ def required_sample_size(width: float = 0.1, confidence: float = 0.90) -> int:
     Uses the worst-case variance ``p(1-p) = 1/4`` and the paper's
     quantile convention ``z = Φ⁻¹(confidence)`` (which reproduces the
     published 164 points for width 0.1 at 90%).
+
+    Inputs are validated *before* any quantile computation: ``width``
+    must lie in (0, 1) and ``confidence`` in (0.5, 1) — at or below
+    0.5 the one-sided quantile is non-positive and the formula is
+    meaningless (and exactly 0/1 would hit the ``norm.ppf`` ±inf
+    branches).  A parameter combination so loose that it needs fewer
+    than one sample point is rejected rather than silently degraded to
+    a degenerate single-point "sample".
     """
-    if not 0 < width < 1 or not 0 < confidence < 1:
-        raise ValueError("width and confidence must lie in (0, 1)")
+    if not 0 < width < 1:
+        raise ValueError(f"width must lie in (0, 1), got {width}")
+    if not 0.5 < confidence < 1:
+        raise ValueError(
+            f"confidence must lie in (0.5, 1), got {confidence}"
+        )
     z = float(norm.ppf(confidence))
-    n = z * z * 0.25 / (width / 2.0) ** 2
-    return max(1, math.floor(n))
+    n = math.floor(z * z * 0.25 / (width / 2.0) ** 2)
+    if n < 1:
+        raise ValueError(
+            f"width {width} at confidence {confidence} needs fewer than "
+            "one sample point; tighten the interval or raise confidence"
+        )
+    return n
 
 
 @dataclass(frozen=True)
@@ -65,18 +82,27 @@ class CMEEstimate:
 
     @property
     def miss_ratio(self) -> float:
+        # An empty sample (zero-reference program, n=0) has no misses.
+        if self.sampled_accesses == 0:
+            return 0.0
         return (self.cold + self.replacement) / self.sampled_accesses
 
     @property
     def replacement_ratio(self) -> float:
+        if self.sampled_accesses == 0:
+            return 0.0
         return self.replacement / self.sampled_accesses
 
     @property
     def compulsory_ratio(self) -> float:
+        if self.sampled_accesses == 0:
+            return 0.0
         return self.cold / self.sampled_accesses
 
     def ci_halfwidth(self, ratio: float | None = None) -> float:
         """Normal-approximation half-width around a sampled ratio."""
+        if self.sampled_accesses == 0:
+            return 0.0
         p = self.miss_ratio if ratio is None else ratio
         z = float(norm.ppf(self.confidence))
         return z * math.sqrt(max(p * (1 - p), 1e-12) / self.sampled_accesses)
@@ -114,8 +140,15 @@ def estimate_at_points(
     original_points: list[tuple[int, ...]],
     confidence: float = 0.90,
     candidates=None,
+    batch: bool = True,
 ) -> CMEEstimate:
-    """Classify the given original-space points under ``program``."""
+    """Classify the given original-space points under ``program``.
+
+    ``batch=True`` (the default) maps and classifies the whole sample
+    in one vectorised :meth:`PointClassifier.classify_batch` call;
+    ``batch=False`` keeps the per-point scalar loop.  Both paths are
+    outcome-equivalent (see :mod:`repro.evaluation`).
+    """
     classifier = PointClassifier(program, layout, cache, candidates)
     pm = program.point_map
     hits = cold = repl = 0
@@ -123,12 +156,20 @@ def estimate_at_points(
         ref.position: {"hit": 0, "cold": 0, "replacement": 0}
         for ref in program.refs
     }
-    for orig_p in original_points:
-        p = pm.from_original(orig_p)
-        outcomes = classifier.classify_point(p)
-        for ref, oc in zip(
-            sorted(program.refs, key=lambda r: r.position), outcomes
-        ):
+    refs_sorted = sorted(program.refs, key=lambda r: r.position)
+    if batch and original_points:
+        mapped_rows = pm.from_original_batch(
+            np.asarray(original_points, dtype=np.int64)
+        )
+        mapped = [tuple(int(x) for x in row) for row in mapped_rows]
+        all_outcomes = classifier.classify_batch(mapped)
+    else:
+        all_outcomes = (
+            classifier.classify_point(pm.from_original(orig_p))
+            for orig_p in original_points
+        )
+    for outcomes in all_outcomes:
+        for ref, oc in zip(refs_sorted, outcomes):
             per_ref[ref.position][oc.value] += 1
             if oc is Outcome.HIT:
                 hits += 1

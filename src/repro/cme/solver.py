@@ -27,11 +27,13 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cache.config import CacheConfig
 from repro.ir.program import AccessProgram
 from repro.layout.memory import MemoryLayout
 from repro.polyhedra.box import Box
-from repro.polyhedra.congruence import CongruenceTester
+from repro.polyhedra.congruence import ENUM_LIMIT, CongruenceTester
 from repro.polyhedra.lexinterval import lex_between_boxes
 from repro.reuse.vectors import ReuseCandidate, compute_reuse_candidates
 
@@ -50,6 +52,7 @@ class SolverStats:
     ref_tests: int = 0
     sources_checked: int = 0
     intervals_decomposed: int = 0
+    intervals_vectorized: int = 0
     boxes_tested: int = 0
     unknown_conservative: int = 0
     congruence: dict = field(default_factory=dict)
@@ -84,14 +87,39 @@ class PointClassifier:
             expr = layout.address_expr(ref)
             self._coeffs.append(expr.coeff_vector(vars_))
             self._consts.append(expr.const)
+        # Coefficient matrix / constant vector for whole-batch address
+        # computation: addresses = points @ C.T + c0.
+        self._Cmat = np.array(self._coeffs, dtype=np.int64)
+        self._c0vec = np.array(self._consts, dtype=np.int64)
         self._regions: tuple[Box, ...] = program.space.regions
         self._pm = program.point_map
         orig = program.original
         self._orig_lo = tuple(l.lower for l in orig.loops)
         self._orig_hi = tuple(l.upper for l in orig.loops)
+        self._orig_lo_arr = np.array(self._orig_lo, dtype=np.int64)
+        self._orig_hi_arr = np.array(self._orig_hi, dtype=np.int64)
         self._L = cache.line_size
         self._M = cache.way_bytes
         self._k = cache.associativity
+        # Positive/negative coefficient parts for vectorised f-range
+        # (min/max address over a box) computation in the batch path.
+        self._Cpos = np.maximum(self._Cmat, 0)
+        self._Cneg = np.minimum(self._Cmat, 0)
+        # References grouped by coefficient support: refs depending on
+        # the same dimensions enumerate together over the box projected
+        # to those dimensions — the cascade's degenerate-dimension
+        # dropping, vectorised.  Each entry: (dims, refs, Cg, c0g).
+        supports: dict[tuple[int, ...], list[int]] = {}
+        for i, coeffs in enumerate(self._coeffs):
+            supp = tuple(d for d, c in enumerate(coeffs) if c != 0)
+            supports.setdefault(supp, []).append(i)
+        self._groups: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        for supp, refs in supports.items():
+            dims = np.array(supp, dtype=np.intp)
+            ridx = np.array(refs, dtype=np.intp)
+            self._groups.append(
+                (dims, ridx, self._Cmat[np.ix_(ridx, dims)], self._c0vec[ridx])
+            )
 
     # -- address helpers ---------------------------------------------------
     def _addr(self, ref_idx: int, point: tuple[int, ...]) -> int:
@@ -113,6 +141,98 @@ class PointClassifier:
                 self.stats.points += 1
                 return self._classify_ref(i, point)
         raise KeyError(position)
+
+    def classify_batch(
+        self, points: list[tuple[int, ...]]
+    ) -> list[list[Outcome]]:
+        """Outcomes for a whole sample batch; one call per sample.
+
+        Agrees outcome-for-outcome with :meth:`classify_point` on every
+        point (the batched-vs-scalar equivalence contract of
+        :mod:`repro.evaluation`).  Addresses and reuse sources are
+        computed vectorised over the batch; per-source interference is
+        then resolved in *waves*: every still-undecided (point, ref)
+        pair submits its next reuse source, all small source→use
+        intervals of the wave are enumerated in one concatenated numpy
+        pass (exact wherever the serial cascade would enumerate exactly
+        as well), and only oversized intervals fall back to the
+        per-source congruence cascade.  The waves examine exactly the
+        sources the scalar early-exit loop would examine, in the same
+        order, so outcomes are identical by construction.
+        """
+        n = len(points)
+        if n == 0:
+            return []
+        self.stats.points += n
+        nrefs = len(self._refs)
+        L = self._L
+        M = self._M
+        P = np.asarray(points, dtype=np.int64)
+        addrs = P @ self._Cmat.T + self._c0vec  # (n, nrefs)
+        all_sources = self._batch_reuse_sources(P, addrs)
+        out: list[list[Outcome]] = [
+            [Outcome.COLD] * nrefs for _ in range(n)
+        ]
+        # Work item: [i, idx, point, sources(desc), cursor, line0_start, wlo]
+        active: list[list] = []
+        for i in range(n):
+            pt = tuple(int(x) for x in P[i])
+            for idx in range(nrefs):
+                self.stats.ref_tests += 1
+                srcs = all_sources[idx][i]
+                if not srcs:
+                    continue  # COLD already in place
+                # Most recent source first: first interference-free
+                # source wins, as in the scalar path.
+                srcs.sort(reverse=True)
+                line0_start = (int(addrs[i, idx]) // L) * L
+                active.append(
+                    [i, idx, pt, srcs, 0, line0_start, line0_start % M]
+                )
+        while active:
+            pending: list[list] = []  # wait on the batched interval pass
+            jobs: list[tuple[list, list[tuple[int, int, int]]]] = []
+            survivors: list[list] = []
+            for w in active:
+                i, idx, pt, srcs, cursor, line0_start, wlo = w
+                src, spos = srcs[cursor]
+                self.stats.sources_checked += 1
+                killed: bool | None
+                if self._k != 1:
+                    # Associative counting stays serial: its per-box
+                    # distinct-line overcount is documented conservative
+                    # behaviour that batch mode must reproduce.
+                    killed = self._reuse_killed(
+                        src, spos, pt, idx, line0_start, wlo
+                    )
+                elif self._endpoint_interference(
+                    src, spos, pt, idx, line0_start, wlo
+                ):
+                    killed = True
+                elif src == pt:
+                    killed = False
+                else:
+                    jobs.append((w, src))
+                    pending.append(w)
+                    continue
+                self._resolve(w, killed, out, survivors)
+            if jobs:
+                for w, killed in zip(pending, self._run_interval_jobs(jobs)):
+                    self._resolve(w, killed, out, survivors)
+            active = survivors
+        return out
+
+    def _resolve(
+        self, w: list, killed: bool, out: list, survivors: list
+    ) -> None:
+        """Apply one source's interference verdict to its work item."""
+        if not killed:
+            out[w[0]][w[1]] = Outcome.HIT
+        elif w[4] + 1 < len(w[3]):
+            w[4] += 1
+            survivors.append(w)
+        else:
+            out[w[0]][w[1]] = Outcome.REPLACEMENT
 
     # -- core ------------------------------------------------------------------
     def _classify_ref(self, idx: int, p: tuple[int, ...]) -> Outcome:
@@ -175,6 +295,73 @@ class PointClassifier:
                 out.append((q, cand.source_position))
         return out
 
+    def _batch_reuse_sources(
+        self, P: np.ndarray, addrs: np.ndarray
+    ) -> list[list[list[tuple[tuple[int, ...], int]]]]:
+        """Reuse sources for every (reference, point) of a batch.
+
+        Vectorises the candidate-source derivation of
+        :meth:`_reuse_sources` over the whole batch: original-space
+        neighbours, bounds checks, execution-order comparison, and the
+        same-line test all become array operations.  Produces, per
+        reference index, a per-point list of ``(source, position)``
+        pairs equal *as a set* to the scalar method's output (order is
+        irrelevant — the classifier sorts before use).
+        """
+        n = P.shape[0]
+        L = self._L
+        pm = self._pm
+        O = pm.to_original_batch(P)
+        lo, hi = self._orig_lo_arr, self._orig_hi_arr
+        out: list[list[list[tuple[tuple[int, ...], int]]]] = []
+        for idx, ref in enumerate(self._refs):
+            pos = ref.position
+            per_point: list[list[tuple[tuple[int, ...], int]]] = [
+                [] for _ in range(n)
+            ]
+            seen: list[set] = [set() for _ in range(n)]
+            line0 = addrs[:, idx] // L
+            for cand in self.candidates.get(pos, ()):
+                sidx = self._position_index(cand.source_position)
+                vec = np.array(cand.vector, dtype=np.int64)
+                if cand.is_intra_iteration:
+                    # q == p for every point; source must precede in body.
+                    if cand.source_position >= pos:
+                        continue
+                    src_addr = addrs[:, sidx]
+                    keep = src_addr // L == line0
+                    Q = P
+                else:
+                    keep = None
+                for sign in (1, -1) if not cand.is_intra_iteration else (1,):
+                    if not cand.is_intra_iteration:
+                        Qo = O - sign * vec
+                        inb = ((Qo >= lo) & (Qo <= hi)).all(axis=1)
+                        if not inb.any():
+                            continue
+                        Q = pm.from_original_batch(Qo)
+                        # Execution order: keep only q ≺ p (q == p is
+                        # impossible here — the map is a bijection and
+                        # the reuse vector is nonzero).
+                        diff = Q - P
+                        neq = diff != 0
+                        first = neq.argmax(axis=1)
+                        lead = np.take_along_axis(
+                            diff, first[:, None], axis=1
+                        )[:, 0]
+                        earlier = lead < 0
+                        src_addr = Q @ self._Cmat[sidx] + self._c0vec[sidx]
+                        keep = inb & earlier & (src_addr // L == line0)
+                    for i in np.flatnonzero(keep):
+                        q = tuple(int(x) for x in Q[i])
+                        key = (q, cand.source_position)
+                        if key in seen[i]:
+                            continue
+                        seen[i].add(key)
+                        per_point[i].append(key)
+            out.append(per_point)
+        return out
+
     def _position_index(self, position: int) -> int:
         for i, ref in enumerate(self._refs):
             if ref.position == position:
@@ -223,6 +410,25 @@ class PointClassifier:
             if ref.position < use_pos:
                 yield use, i
 
+    def _endpoint_interference(
+        self,
+        src: tuple[int, ...],
+        spos: int,
+        use: tuple[int, ...],
+        use_idx: int,
+        line0_start: int,
+        wlo: int,
+    ) -> bool:
+        """Window hit on a different line at a boundary iteration."""
+        L = self._L
+        M = self._M
+        use_pos = self._refs[use_idx].position
+        for point, i in self._endpoint_refs(src, spos, use, use_pos):
+            a = self._addr(i, point)
+            if (a % M) - (a % L) == wlo and a - (a % L) != line0_start:
+                return True
+        return False
+
     def _interference_exists(
         self,
         src: tuple[int, ...],
@@ -232,17 +438,23 @@ class PointClassifier:
         line0_start: int,
         wlo: int,
     ) -> bool:
-        L = self._L
-        M = self._M
-        use_pos = self._refs[use_idx].position
-        # Boundary iterations (partial bodies).
-        for point, i in self._endpoint_refs(src, spos, use, use_pos):
-            a = self._addr(i, point)
-            if (a % M) - (a % L) == wlo and a - (a % L) != line0_start:
-                return True
+        # Boundary iterations (partial bodies), then the interval.
+        if self._endpoint_interference(src, spos, use, use_idx, line0_start, wlo):
+            return True
         if src == use:
             return False
-        # Strictly-between iterations, region by region.
+        return self._interval_interference_scalar(src, use, line0_start, wlo)
+
+    def _interval_interference_scalar(
+        self,
+        src: tuple[int, ...],
+        use: tuple[int, ...],
+        line0_start: int,
+        wlo: int,
+    ) -> bool:
+        """Strictly-between iterations, region by region (the cascade)."""
+        L = self._L
+        M = self._M
         self.stats.intervals_decomposed += 1
         nrefs = len(self._refs)
         for region in self._regions:
@@ -264,6 +476,413 @@ class PointClassifier:
                     if res:
                         return True
         return False
+
+    def _raw_between_boxes(
+        self, src: tuple[int, ...], use: tuple[int, ...]
+    ) -> list[tuple[tuple[int, ...], tuple[int, ...], int]]:
+        """`lex_between_boxes` over all regions, as raw (lo, hi, volume).
+
+        Same decomposition as the scalar path but without ``Box``
+        object construction — the batch path creates thousands of these
+        per wave and the dataclass overhead is measurable.
+        """
+        out: list[tuple[tuple[int, ...], tuple[int, ...], int]] = []
+        d = len(src)
+        for region in self._regions:
+            rlo, rhi = region.lo, region.hi
+            # {q ∈ region : q ≻ src}, prefix-peeling level by level.
+            gt: list[tuple[list[int], list[int]]] = []
+            lo = list(rlo)
+            hi = list(rhi)
+            for level in range(d):
+                s = src[level]
+                if s < rlo[level]:
+                    gt.append((lo, hi))
+                    break
+                if s + 1 <= rhi[level]:
+                    nlo = lo.copy()
+                    nlo[level] = s + 1
+                    gt.append((nlo, hi.copy()))
+                if s > rhi[level]:
+                    break
+                lo = lo.copy()
+                hi = hi.copy()
+                lo[level] = hi[level] = s
+            # Intersect each piece with {q : q ≺ use}.
+            for glo, ghi in gt:
+                lo = glo
+                hi = ghi
+                for level in range(d):
+                    u = use[level]
+                    if u > hi[level]:
+                        self._push_box(out, lo, hi)
+                        break
+                    if u - 1 >= lo[level]:
+                        nhi = hi.copy()
+                        nhi[level] = u - 1
+                        self._push_box(out, lo, nhi)
+                    if u < lo[level]:
+                        break
+                    lo = lo.copy()
+                    hi = hi.copy()
+                    lo[level] = hi[level] = u
+        return out
+
+    @staticmethod
+    def _push_box(
+        out: list, lo: list[int], hi: list[int]
+    ) -> None:
+        vol = 1
+        for l, h in zip(lo, hi):
+            if h < l:
+                return
+            vol *= h - l + 1
+        out.append((tuple(lo), tuple(hi), vol))
+
+    #: Row cap per concatenated interval evaluation (memory guard).
+    _JOB_CHUNK_ROWS = 1 << 20
+    #: Per-job enumeration budget per round (early-exit granularity).
+    _ROUND_ROWS = 1 << 12
+    #: Ragged loner boxes up to this volume take the concatenated
+    #: mixed-extent path; bigger ones share power-of-two buckets.
+    _HETERO_VOL = 1 << 12
+
+    def _run_interval_jobs(self, jobs: list[tuple[list, tuple]]) -> list[bool]:
+        """Resolve a wave of interval-interference queries at once.
+
+        Each job is (work item, reuse source); its strictly-between set
+        decomposes into the same boxes the serial cascade would visit.
+        The cascade's O(1) address-band rejection is applied to *all*
+        boxes of the wave in a handful of array operations; surviving
+        small boxes are enumerated exactly in one concatenated
+        mixed-radix pass (the regime where the cascade would enumerate
+        exactly as well), and surviving big boxes fall back to the
+        per-box congruence cascade.  Outcomes therefore match the
+        scalar path on every job by construction.
+        """
+        self.stats.intervals_vectorized += len(jobs)
+        L = self._L
+        M = self._M
+        killed = [False] * len(jobs)
+        blo: list[tuple[int, ...]] = []
+        bhi: list[tuple[int, ...]] = []
+        jid: list[int] = []
+        for j, (w, src) in enumerate(jobs):
+            for lo, hi, _vol in self._raw_between_boxes(src, w[2]):
+                blo.append(lo)
+                bhi.append(hi)
+                jid.append(j)
+        if not blo:
+            return killed
+        nb = len(blo)
+        self.stats.boxes_tested += nb
+        Blo = np.array(blo, dtype=np.int64)
+        Bhi = np.array(bhi, dtype=np.int64)
+        jid_arr = np.array(jid, dtype=np.int64)
+        wlo_box = np.array([jobs[j][0][6] for j in jid], dtype=np.int64)
+        l0_box = np.array([jobs[j][0][5] for j in jid], dtype=np.int64)
+        # Tier-1 rejection, vectorised over every (box, ref) pair: the
+        # reachable address band [fmin, fmax] misses the set window.
+        fmin = Blo @ self._Cpos.T + Bhi @ self._Cneg.T + self._c0vec
+        fmax = Bhi @ self._Cpos.T + Blo @ self._Cneg.T + self._c0vec
+        spans = fmax - fmin
+        aa = fmin % M
+        wl = wlo_box[:, None]
+        alive = (
+            (spans >= M)
+            | (((wl - aa) % M) <= spans)
+            | (((aa - wl) % M) <= L - 1)
+        )
+        # Per-group projected volumes and liveness.  The projected
+        # volume equals the cascade's post-normalisation volume, so the
+        # enumerate-vs-cascade split below matches the scalar path's
+        # exactness regime per (box, reference) pair.
+        exts_all = Bhi - Blo + 1
+        ngroups = len(self._groups)
+        pvol = np.empty((nb, ngroups), dtype=np.int64)
+        galive = np.empty((nb, ngroups), dtype=bool)
+        # Bucketed extents (next power of two) let big ragged
+        # same-vector boxes share one decoded shape.
+        bexts = np.power(
+            2, np.ceil(np.log2(exts_all)).astype(np.int64)
+        ).astype(np.int64)
+        for gi, (dims, ridx, _, _) in enumerate(self._groups):
+            pvol[:, gi] = exts_all[:, dims].prod(axis=1)
+            galive[:, gi] = alive[:, ridx].any(axis=1)
+        # Surviving boxes, queued per job in decomposition order.  The
+        # rounds below preserve the scalar path's early exit where it
+        # pays: each job submits boxes only up to a per-round row
+        # budget, so cheap boxes batch together in one round while a
+        # huge box runs alone and, if it shows interference, spares the
+        # job's remaining work — without serialising the whole wave.
+        queues: list[list[int]] = [[] for _ in jobs]
+        for b in np.flatnonzero(galive.any(axis=1)):
+            queues[int(jid_arr[b])].append(int(b))
+        pending = [j for j, q in enumerate(queues) if q]
+        cursor = [0] * len(jobs)
+        while pending:
+            batch: list[list[int]] = [[] for _ in range(ngroups)]
+            batch_jobs: list[list[int]] = [[] for _ in range(ngroups)]
+            cascades: list[tuple[int, int, int]] = []
+            round_jobs: list[int] = []
+            for j in pending:
+                round_jobs.append(j)
+                q = queues[j]
+                budget = self._ROUND_ROWS
+                while cursor[j] < len(q) and budget > 0:
+                    b = q[cursor[j]]
+                    cursor[j] += 1
+                    for gi in range(ngroups):
+                        if not galive[b, gi]:
+                            continue
+                        if pvol[b, gi] > ENUM_LIMIT:
+                            # Oversized projection: per-ref congruence
+                            # cascade, as the scalar path runs it.
+                            cascades.append((j, b, gi))
+                            budget = 0
+                        else:
+                            batch[gi].append(b)
+                            batch_jobs[gi].append(j)
+                            budget -= int(pvol[b, gi])
+            for gi in range(ngroups):
+                if not batch[gi]:
+                    continue
+                boxes = np.array(batch[gi], dtype=np.int64)
+                hits: list[np.ndarray] = []
+                for sel in self._chunk_boxes(boxes, pvol[:, gi]):
+                    hits.append(
+                        self._enumerate_group_chunk(
+                            sel, gi, Blo, exts_all, bexts, wlo_box, l0_box
+                        )
+                    )
+                for j, h in zip(batch_jobs[gi], np.concatenate(hits)):
+                    if h:
+                        killed[j] = True
+            for j, b, gi in cascades:
+                if killed[j]:
+                    continue  # another box already decided this job
+                if self._cascade_box_group(
+                    blo[b],
+                    bhi[b],
+                    gi,
+                    alive[b],
+                    int(wlo_box[b]),
+                    int(l0_box[b]),
+                ):
+                    killed[j] = True
+            pending = [
+                j
+                for j in round_jobs
+                if not killed[j] and cursor[j] < len(queues[j])
+            ]
+        return killed
+
+    def _cascade_box_group(
+        self,
+        lo: tuple[int, ...],
+        hi: tuple[int, ...],
+        gi: int,
+        ref_alive: np.ndarray,
+        wlo: int,
+        line0_start: int,
+    ) -> bool:
+        """Congruence-cascade test of one box for one reference group."""
+        box = Box(lo, hi)
+        for i in self._groups[gi][1]:
+            if not ref_alive[i]:
+                continue
+            res = self._tester.exists_interference(
+                self._coeffs[i],
+                self._consts[i],
+                box,
+                self._M,
+                wlo,
+                self._L,
+                line0_start,
+            )
+            if res is None:
+                self.stats.unknown_conservative += 1
+                return True
+            if res:
+                return True
+        return False
+
+    def _chunk_boxes(
+        self, idx: np.ndarray, vol_arr: np.ndarray
+    ) -> list[np.ndarray]:
+        """Split box indices so each enumerated chunk stays in memory."""
+        chunks: list[np.ndarray] = []
+        cur: list[int] = []
+        rows = 0
+        for b in idx:
+            n = int(vol_arr[b])
+            if cur and rows + n > self._JOB_CHUNK_ROWS:
+                chunks.append(np.array(cur, dtype=np.int64))
+                cur = []
+                rows = 0
+            cur.append(int(b))
+            rows += n
+        if cur:
+            chunks.append(np.array(cur, dtype=np.int64))
+        return chunks
+
+    def _enumerate_group_chunk(
+        self,
+        chunk: np.ndarray,
+        gi: int,
+        Blo: np.ndarray,
+        exts_all: np.ndarray,
+        bexts: np.ndarray,
+        wlo_box: np.ndarray,
+        l0_box: np.ndarray,
+    ) -> np.ndarray:
+        """Enumerate one reference group over many boxes at once.
+
+        Boxes are projected to the group's support dimensions (the
+        value set of the affine form is unchanged) and grouped three
+        ways by extent shape:
+
+        * boxes sharing exact extents — the common case, a wave holds
+          the same reuse vector at many sample points — share one
+          mixed-radix decode and one offset-address product, and each
+          reference reduces to a broadcast add over (boxes × volume)
+          or, for large shapes, two O(1) counts per box (see below);
+        * small ragged leftovers take one concatenated mixed-extent
+          decode instead of per-box numpy chains;
+        * big ragged leftovers fall into power-of-two extent buckets
+          so they can still share a decode, with rows beyond a box's
+          true extents masked out.
+
+        Boxes whose interference is established drop out before the
+        next reference — the vector analogue of the cascade's early
+        exit.  Returns one "interferes?" bit per box of ``chunk``.
+        """
+        dims, _, Cg, c0g = self._groups[gi]
+        L = self._L
+        M = self._M
+        lo_c = Blo[np.ix_(chunk, dims)]
+        exts = exts_all[np.ix_(chunk, dims)]  # (nbc, dg)
+        buck = bexts[np.ix_(chunk, dims)]
+        dg = len(dims)
+        wl_c = wlo_box[chunk]
+        l0_c = l0_box[chunk]
+        hit_out = np.zeros(len(chunk), dtype=bool)
+        pvol_c = exts.prod(axis=1)
+        exact_map: dict[tuple[int, ...], list[int]] = {}
+        for t, key in enumerate(map(tuple, exts.tolist())):
+            exact_map.setdefault(key, []).append(t)
+        shape_map: dict[tuple[int, ...], list[int]] = {}
+        hetero: list[int] = []
+        for key, members in exact_map.items():
+            if len(members) > 1:
+                shape_map.setdefault(key, []).extend(members)
+            elif pvol_c[members[0]] <= self._HETERO_VOL:
+                hetero.append(members[0])
+            else:
+                bkey = tuple(buck[members[0]].tolist())
+                shape_map.setdefault(bkey, []).append(members[0])
+        if hetero:
+            self._enumerate_hetero(
+                np.array(sorted(hetero), dtype=np.int64),
+                lo_c, exts, pvol_c, l0_c, Cg, c0g, hit_out,
+            )
+            if not shape_map:
+                return hit_out
+        for shape, members in shape_map.items():
+            vol = 1
+            for e in shape:
+                vol *= int(e)
+            idx = np.arange(vol, dtype=np.int64)
+            u_coords = np.empty((vol, dg), dtype=np.int64)
+            stride = 1
+            for j in range(dg - 1, -1, -1):
+                u_coords[:, j] = (idx // stride) % shape[j]
+                stride *= shape[j]
+            UA = u_coords @ Cg.T  # (vol, nrefs_in_group)
+            mem = np.array(members, dtype=np.int64)
+            base = lo_c[mem] @ Cg.T + c0g  # (nboxes, nrefs_in_group)
+            wl = wl_c[mem]
+            l0 = l0_c[mem]
+            # Rows beyond a bucketed box's true extents are invalid
+            # and never count as interference; exactly-shaped groups
+            # skip the mask entirely.
+            valid = None
+            if (exts[mem] != np.array(shape, dtype=np.int64)).any():
+                valid = (u_coords[None, :, :] < exts[mem][:, None, :]).all(
+                    axis=2
+                )  # (nboxes, vol)
+            # For exactly-shaped groups with enough boxes, interference
+            # per box collapses to two O(1) counts: window hits come
+            # from a circular window-sum table over the offset residues
+            # (shared by every box of the shape), own-line hits from a
+            # searchsorted pair on the sorted offsets.  A box
+            # interferes iff it has more window hits than own-line
+            # hits.
+            use_tables = valid is None and len(mem) * vol > vol + 2 * M
+            undecided = np.arange(len(mem), dtype=np.int64)
+            for r in range(Cg.shape[0]):
+                if len(undecided) == 0:
+                    break
+                if use_tables:
+                    V = UA[:, r]
+                    hist = np.bincount(V % M, minlength=M)
+                    csum = np.zeros(M + L + 1, dtype=np.int64)
+                    np.cumsum(
+                        np.concatenate([hist, hist[:L]]), out=csum[1:]
+                    )
+                    rel = l0[undecided] - base[undecided, r]
+                    idx = rel % M
+                    window_hits = csum[idx + L] - csum[idx]
+                    Vs = np.sort(V)
+                    own_hits = np.searchsorted(
+                        Vs, rel + L, side="left"
+                    ) - np.searchsorted(Vs, rel, side="left")
+                    bh = window_hits > own_hits
+                else:
+                    A = base[undecided, r][:, None] + UA[:, r][None, :]
+                    AmodL = A % L
+                    h = ((A % M) - AmodL == wl[undecided][:, None]) & (
+                        A - AmodL != l0[undecided][:, None]
+                    )
+                    if valid is not None:
+                        h &= valid[undecided]
+                    bh = h.any(axis=1)
+                if bh.any():
+                    hit_out[mem[undecided[bh]]] = True
+                    undecided = undecided[~bh]
+        return hit_out
+
+    def _enumerate_hetero(
+        self,
+        tiny: np.ndarray,
+        lo_c: np.ndarray,
+        exts: np.ndarray,
+        pvol_c: np.ndarray,
+        l0_c: np.ndarray,
+        Cg: np.ndarray,
+        c0g: np.ndarray,
+        hit_out: np.ndarray,
+    ) -> None:
+        """Concatenated decode of many mixed-extent boxes at once."""
+        lo_t = lo_c[tiny]
+        ex_t = exts[tiny]
+        dg = ex_t.shape[1]
+        suf = np.ones_like(ex_t)
+        for j in range(dg - 2, -1, -1):
+            suf[:, j] = suf[:, j + 1] * ex_t[:, j + 1]
+        vols = pvol_c[tiny]
+        offsets = np.zeros(len(tiny), dtype=np.int64)
+        np.cumsum(vols[:-1], out=offsets[1:])
+        total = int(offsets[-1] + vols[-1])
+        box_row = np.repeat(np.arange(len(tiny), dtype=np.int64), vols)
+        local = np.arange(total, dtype=np.int64) - offsets[box_row]
+        # One whole-matrix gather per operand beats per-dimension
+        # fancy indexing by a wide margin on deep nests.
+        pts = lo_t[box_row] + (local[:, None] // suf[box_row]) % ex_t[box_row]
+        u = pts @ Cg.T + c0g - l0_c[tiny][box_row, None]
+        h = ((u % self._M) < self._L) & ((u < 0) | (u >= self._L))
+        box_hit = np.logical_or.reduceat(h.any(axis=1), offsets)
+        hit_out[tiny[box_hit]] = True
 
     def _count_interfering_lines(
         self,

@@ -1,0 +1,154 @@
+"""Memoised, batched, optionally parallel objective evaluation.
+
+See the package docstring for the equivalence contract.  The design
+constraint throughout is determinism: parallelism must never change a
+search result, only its wall-clock time.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+Values = tuple[int, ...]
+
+# -- worker-side plumbing -----------------------------------------------------
+#
+# The objective is shipped to each worker exactly once (at pool start,
+# via the initializer) instead of once per task; tasks then carry only
+# the small genotype tuples.
+
+_WORKER_FN: Callable[[Values], float] | None = None
+
+
+def _init_worker(fn: Callable[[Values], float]) -> None:
+    global _WORKER_FN
+    _WORKER_FN = fn
+
+
+def _eval_in_worker(values: Values) -> float:
+    assert _WORKER_FN is not None, "worker used before initialisation"
+    return _WORKER_FN(values)
+
+
+@runtime_checkable
+class BatchObjective(Protocol):
+    """What the GA engine and the baselines accept as an objective."""
+
+    def __call__(self, values: Values) -> float: ...
+
+    def evaluate_batch(self, batch: list[Values]) -> np.ndarray: ...
+
+
+class Evaluator:
+    """Memoising batch evaluator around a pure objective function.
+
+    ``workers=1`` (the default) evaluates serially and is bit-for-bit
+    identical to calling a memoised objective in a loop.  ``workers>1``
+    fans distinct uncached genotypes out over a process pool; results
+    land in the same cache, so downstream consumers are unaffected.
+
+    The wrapped function must be deterministic.  For parallel use it
+    must also be picklable; if it is not (e.g. a test lambda), the
+    evaluator falls back to the serial path and records the fact in
+    :attr:`parallel_fallback`.
+    """
+
+    def __init__(self, fn: Callable[[Values], float], workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._fn = fn
+        self.workers = workers
+        self.cache: dict[Values, float] = {}
+        self.calls = 0
+        self.parallel_fallback = False
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- single-candidate path (back-compat) -------------------------------
+    def __call__(self, values: Values) -> float:
+        self.calls += 1
+        values = tuple(values)
+        if values not in self.cache:
+            self.cache[values] = self._fn(values)
+        return self.cache[values]
+
+    # -- batch path ---------------------------------------------------------
+    def evaluate_batch(self, batch: list[Values]) -> np.ndarray:
+        """Objective value per candidate, deduped against the cache."""
+        batch = [tuple(v) for v in batch]
+        self.calls += len(batch)
+        missing: list[Values] = []
+        seen: set[Values] = set()
+        for v in batch:
+            if v not in self.cache and v not in seen:
+                seen.add(v)
+                missing.append(v)
+        if missing:
+            for v, obj in zip(missing, self._evaluate_missing(missing)):
+                self.cache[v] = obj
+        return np.array([self.cache[v] for v in batch], dtype=float)
+
+    def _evaluate_missing(self, missing: list[Values]) -> list[float]:
+        if self.workers > 1 and len(missing) > 1:
+            pool = self._ensure_pool()
+            if pool is not None:
+                return list(pool.map(_eval_in_worker, missing))
+        return [self._fn(v) for v in missing]
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self.parallel_fallback:
+            return None
+        if self._pool is None:
+            try:
+                pickle.dumps(self._fn)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self._fn,),
+                )
+            except Exception:  # unpicklable fn, fork failure, ...
+                self.parallel_fallback = True
+                return None
+        return self._pool
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def distinct_evaluations(self) -> int:
+        """Actual objective computations — the memo cache's size."""
+        return len(self.cache)
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __getstate__(self):
+        # Workers receive a pool-less copy (executors don't pickle).
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+
+def as_batch_objective(
+    objective: Callable[[Values], float], workers: int = 1
+) -> BatchObjective:
+    """Adapt any callable to the :class:`BatchObjective` protocol.
+
+    Objects already exposing ``evaluate_batch`` (the shared
+    :class:`Evaluator` subclasses) pass through unchanged so that one
+    cache/pool serves the whole search.
+    """
+    if isinstance(objective, BatchObjective):
+        return objective
+    return Evaluator(objective, workers=workers)

@@ -14,6 +14,19 @@ def full_mode() -> bool:
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
 
 
+def default_workers() -> int:
+    """Worker processes for objective evaluation (``REPRO_WORKERS``).
+
+    Defaults to 1 (serial).  Any value yields identical results — the
+    evaluation layer guarantees it — so this is purely a wall-clock
+    knob.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """Budget knobs shared by all experiment reproductions.
@@ -24,13 +37,20 @@ class ExperimentConfig:
     problem size.  Results in quick mode are slightly less converged
     but preserve every qualitative shape; EXPERIMENTS.md reports both
     where they differ.
+
+    ``workers`` fans the GA objective out over that many processes
+    per generation (see :mod:`repro.evaluation`; results are identical
+    for any value).  Defaults to ``REPRO_WORKERS`` or serial.
     """
 
     ga: GAConfig = field(default=None)  # type: ignore[assignment]
     n_samples: int = PAPER_SAMPLE_SIZE
     seed: int = 0
+    workers: int = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self):
+        if self.workers is None:
+            object.__setattr__(self, "workers", default_workers())
         if self.ga is None:
             ga = (
                 GAConfig(seed=self.seed)

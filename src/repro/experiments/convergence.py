@@ -47,6 +47,7 @@ def run_convergence(
         result = optimize_tiling(
             nest, cache, config=ga_config, n_samples=config.n_samples,
             seed=config.seed, seed_baselines=False,  # §3.3: random init
+            workers=config.workers,
         )
         rows.append(
             ConvergenceRow(

@@ -46,6 +46,7 @@ def run_figure(
             config=config.ga,
             n_samples=config.n_samples,
             seed=config.seed,
+            workers=config.workers,
         )
         rows.append(
             FigureRow(

@@ -53,6 +53,7 @@ def run_table2(config: ExperimentConfig | None = None) -> list[Table2Row]:
             config=config.ga,
             n_samples=config.n_samples,
             seed=config.seed,
+            workers=config.workers,
         )
         rows.append(
             Table2Row(

@@ -69,6 +69,7 @@ def run_table3(
             config=config.ga,
             n_samples=config.n_samples,
             seed=config.seed,
+            workers=config.workers,
         )
         rows.append(
             Table3Row(

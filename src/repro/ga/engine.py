@@ -73,7 +73,12 @@ class GAResult:
     generations: int
     converged_early: bool
     history: list[GenerationRecord] = field(default_factory=list)
+    #: Objective *calls* issued by the engine (population × generations).
     evaluations: int = 0
+    #: Distinct genotypes actually evaluated — the CME solves performed
+    #: once memoisation removes revisits.  Table 4-style "450
+    #: evaluations" comparisons should quote both numbers.
+    distinct_evaluations: int = 0
 
     @property
     def convergence_trace(self) -> list[tuple[int, float, float]]:
@@ -100,6 +105,24 @@ class GeneticAlgorithm:
         self.objective = objective
         self.config = config or GAConfig()
         self.initial_values = initial_values or []
+
+    def _evaluate_population(
+        self, values: list[tuple[int, ...]]
+    ) -> np.ndarray:
+        """Objective value per genotype, batched when the objective
+        supports it.
+
+        Objectives implementing the :class:`repro.evaluation`
+        ``BatchObjective`` protocol (an ``evaluate_batch`` method)
+        receive the whole population at once — that is where memo
+        dedup and worker fan-out happen.  Plain callables keep the
+        serial per-genotype loop; both paths yield identical arrays
+        for deterministic objectives.
+        """
+        batch = getattr(self.objective, "evaluate_batch", None)
+        if batch is not None:
+            return np.asarray(batch(values), dtype=float)
+        return np.array([self.objective(v) for v in values], dtype=float)
 
     # -- fitness scaling ------------------------------------------------------
     @staticmethod
@@ -138,13 +161,15 @@ class GeneticAlgorithm:
         best_obj = float("inf")
         history: list[GenerationRecord] = []
         evaluations = 0
+        seen: set[tuple[int, ...]] = set()
         converged = False
         gen = 0
 
         while True:
             values = [self.genome.decode(ind) for ind in pop]
-            objs = np.array([self.objective(v) for v in values], dtype=float)
+            objs = self._evaluate_population(values)
             evaluations += n
+            seen.update(values)
             gbest = int(objs.argmin())
             if objs[gbest] < best_obj:
                 best_obj = float(objs[gbest])
@@ -188,4 +213,5 @@ class GeneticAlgorithm:
             converged_early=converged,
             history=history,
             evaluations=evaluations,
+            distinct_evaluations=len(seen),
         )

@@ -66,11 +66,12 @@ def optimize_padding(
     n_samples: int = PAPER_SAMPLE_SIZE,
     seed: int = 0,
     pad_intra: bool = True,
+    workers: int = 1,
 ) -> PaddingResult:
     """GA search over padding parameters only (Table 3, column 3)."""
     analyzer = LocalityAnalyzer(nest, cache, n_samples=n_samples, seed=seed)
     space = _padding_space(nest, cache, pad_intra)
-    objective = PaddingObjective(analyzer, space)
+    objective = PaddingObjective(analyzer, space, workers=workers)
     genome = Genome([(0, v.upper) for v in space.variables])
     # Seed the identity padding and one line/element shift per array so
     # reduced budgets start from sensible de-aliasing moves.
@@ -83,7 +84,10 @@ def optimize_padding(
     ga = GeneticAlgorithm(
         genome, objective, config or GAConfig(seed=seed), initial_values=seeds
     )
-    result = ga.run()
+    try:
+        result = ga.run()
+    finally:
+        objective.close()
     padding = space.decode(result.best_values)
     return PaddingResult(
         nest_name=nest.name,
@@ -103,10 +107,11 @@ def optimize_padding_then_tiling(
     n_samples: int = PAPER_SAMPLE_SIZE,
     seed: int = 0,
     pad_intra: bool = True,
+    workers: int = 1,
 ) -> PaddingResult:
     """The sequential pipeline of Table 3 (padding, then tiling)."""
     pad_result = optimize_padding(
-        nest, cache, config, n_samples, seed, pad_intra
+        nest, cache, config, n_samples, seed, pad_intra, workers
     )
     padded_layout = MemoryLayout(nest.arrays(), pad_result.padding)
     tile_result: TilingResult = optimize_tiling(
@@ -116,6 +121,7 @@ def optimize_padding_then_tiling(
         config=config,
         n_samples=n_samples,
         seed=seed,
+        workers=workers,
     )
     return PaddingResult(
         nest_name=nest.name,
@@ -135,6 +141,7 @@ def optimize_joint_padding_tiling(
     n_samples: int = PAPER_SAMPLE_SIZE,
     seed: int = 0,
     pad_intra: bool = True,
+    workers: int = 1,
 ) -> PaddingResult:
     """Single-step padding+tiling search (the paper's future work).
 
@@ -143,13 +150,16 @@ def optimize_joint_padding_tiling(
     """
     analyzer = LocalityAnalyzer(nest, cache, n_samples=n_samples, seed=seed)
     space = _padding_space(nest, cache, pad_intra)
-    objective = PaddingTilingObjective(analyzer, space)
+    objective = PaddingTilingObjective(analyzer, space, workers=workers)
     ranges = [(0, v.upper) for v in space.variables] + [
         (1, loop.extent) for loop in nest.loops
     ]
     genome = Genome(ranges)
     ga = GeneticAlgorithm(genome, objective, config or GAConfig(seed=seed))
-    result = ga.run()
+    try:
+        result = ga.run()
+    finally:
+        objective.close()
     npad = space.num_variables
     padding = space.decode(result.best_values[:npad])
     tiles = result.best_values[npad:]

@@ -88,6 +88,7 @@ def optimize_tiling(
     seed: int = 0,
     use_simulator: bool = False,
     seed_baselines: bool = True,
+    workers: int = 1,
 ) -> TilingResult:
     """Search tile sizes minimising replacement misses for ``nest``.
 
@@ -95,21 +96,26 @@ def optimize_tiling(
     trace simulation (validation on small problem sizes).
     ``seed_baselines`` plants the §5 analytical selectors' tiles in the
     initial population (set ``False`` for the paper's purely random
-    initialisation, e.g. in the convergence study).
+    initialisation, e.g. in the convergence study).  ``workers``
+    controls objective fan-out per generation; results are identical
+    for any value (see :mod:`repro.evaluation`).
     """
     analyzer = LocalityAnalyzer(
         nest, cache, layout=layout, n_samples=n_samples, seed=seed
     )
     objective = (
-        SimulatorTilingObjective(analyzer)
+        SimulatorTilingObjective(analyzer, workers=workers)
         if use_simulator
-        else TilingObjective(analyzer)
+        else TilingObjective(analyzer, workers=workers)
     )
     genome = tiling_genome(nest)
     ga_config = config or GAConfig(seed=seed)
     initial = baseline_seed_tiles(nest, cache, layout) if seed_baselines else None
     ga = GeneticAlgorithm(genome, objective, ga_config, initial_values=initial)
-    result = ga.run()
+    try:
+        result = ga.run()
+    finally:
+        objective.close()
     before = analyzer.estimate()
     after = analyzer.estimate(tile_sizes=result.best_values)
     return TilingResult(

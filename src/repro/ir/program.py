@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.ir.arrays import Array, ArrayRef
 from repro.ir.loops import LoopNest
 from repro.ir.space import IterationSpace
@@ -28,6 +30,20 @@ class PointMap:
     def from_original(self, point: tuple[int, ...]) -> tuple[int, ...]:
         raise NotImplementedError
 
+    # Batch variants: one point per row.  Subclasses override with
+    # vectorised implementations; the defaults delegate row by row.
+    def to_original_batch(self, points: np.ndarray) -> np.ndarray:
+        return np.array(
+            [self.to_original(tuple(int(x) for x in p)) for p in points],
+            dtype=np.int64,
+        )
+
+    def from_original_batch(self, points: np.ndarray) -> np.ndarray:
+        return np.array(
+            [self.from_original(tuple(int(x) for x in p)) for p in points],
+            dtype=np.int64,
+        )
+
 
 class IdentityMap(PointMap):
     """Untransformed nests: coordinates are the original vector."""
@@ -37,6 +53,12 @@ class IdentityMap(PointMap):
 
     def from_original(self, point: tuple[int, ...]) -> tuple[int, ...]:
         return point
+
+    def to_original_batch(self, points: np.ndarray) -> np.ndarray:
+        return np.asarray(points, dtype=np.int64)
+
+    def from_original_batch(self, points: np.ndarray) -> np.ndarray:
+        return np.asarray(points, dtype=np.int64)
 
 
 class TileMap(PointMap):
@@ -72,6 +94,22 @@ class TileMap(PointMap):
             ts.append(t)
             us.append(r + 1)
         return tuple(ts) + tuple(us)
+
+    def to_original_batch(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.int64)
+        lowers = np.array(self.lowers, dtype=np.int64)
+        sizes = np.array(self.tile_sizes, dtype=np.int64)
+        d = self.depth
+        return lowers + sizes * pts[:, :d] + (pts[:, d:] - 1)
+
+    def from_original_batch(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.int64)
+        lowers = np.array(self.lowers, dtype=np.int64)
+        sizes = np.array(self.tile_sizes, dtype=np.int64)
+        off = pts - lowers
+        t = off // sizes
+        u = off - t * sizes + 1
+        return np.concatenate([t, u], axis=1)
 
 
 @dataclass(frozen=True)

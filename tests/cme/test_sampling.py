@@ -5,6 +5,8 @@ import pytest
 from repro.cache.config import CacheConfig
 from repro.cme.sampling import (
     PAPER_SAMPLE_SIZE,
+    CMEEstimate,
+    estimate_at_points,
     estimate_program,
     required_sample_size,
     sample_original_points,
@@ -27,6 +29,45 @@ def test_sample_size_monotonicity():
         required_sample_size(width=0.0)
     with pytest.raises(ValueError):
         required_sample_size(confidence=1.0)
+
+
+def test_sample_size_rejects_degenerate_inputs():
+    """Validation happens before any quantile computation."""
+    # confidence at or below 1/2 makes the one-sided quantile
+    # non-positive — rejected rather than silently producing n=0.
+    with pytest.raises(ValueError):
+        required_sample_size(confidence=0.5)
+    with pytest.raises(ValueError):
+        required_sample_size(confidence=0.1)
+    with pytest.raises(ValueError):
+        required_sample_size(confidence=0.0)
+    # A very wide interval at barely-above-coin-flip confidence needs
+    # fewer than one point; refuse the degenerate single-point sample.
+    with pytest.raises(ValueError, match="fewer than one sample point"):
+        required_sample_size(width=0.99, confidence=0.55)
+
+
+def test_zero_access_estimate_ratios_are_zero():
+    """Regression: empty samples used to raise ZeroDivisionError."""
+    est = CMEEstimate(
+        sampled_points=0, sampled_accesses=0, hits=0, cold=0, replacement=0
+    )
+    assert est.miss_ratio == 0.0
+    assert est.replacement_ratio == 0.0
+    assert est.compulsory_ratio == 0.0
+    assert est.ci_halfwidth() == 0.0
+    assert est.estimated_replacement_misses == 0.0
+    assert "miss=" in est.summary()
+
+
+def test_estimate_at_points_empty_sample():
+    nest = make_small_mm(8)
+    layout = MemoryLayout(nest.arrays())
+    est = estimate_at_points(
+        program_from_nest(nest), layout, CacheConfig(1024, 32, 1), []
+    )
+    assert est.sampled_accesses == 0
+    assert est.miss_ratio == 0.0
 
 
 def test_sample_points_in_bounds_and_deterministic():

@@ -1,0 +1,136 @@
+"""Shared evaluation layer: memoisation, batching, parallel fan-out.
+
+The load-bearing property is the equivalence contract of
+:mod:`repro.evaluation`: ``workers`` may change wall-clock time but
+never a result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.evaluation import BatchObjective, Evaluator, as_batch_objective
+from repro.ga.engine import GAConfig, GeneticAlgorithm
+from repro.ga.objective import MemoizedObjective
+from repro.ga.tiling_search import optimize_tiling, tiling_genome
+from tests.conftest import make_small_mm
+
+CACHE = CacheConfig(1024, 32, 1)
+QUICK = GAConfig(population_size=8, min_generations=3, max_generations=4, seed=0)
+
+
+def _square(values):
+    """Module-level (picklable) objective for worker tests."""
+    return float(sum(v * v for v in values))
+
+
+def test_evaluator_memoises_and_counts():
+    calls = []
+
+    def fn(values):
+        calls.append(values)
+        return float(values[0])
+
+    ev = Evaluator(fn)
+    assert ev((3,)) == 3.0
+    assert ev((3,)) == 3.0
+    assert ev((4,)) == 4.0
+    assert ev.calls == 3
+    assert ev.distinct_evaluations == 2
+    assert calls == [(3,), (4,)]
+
+
+def test_evaluate_batch_dedups_and_preserves_order():
+    calls = []
+
+    def fn(values):
+        calls.append(values)
+        return float(values[0])
+
+    ev = Evaluator(fn)
+    out = ev.evaluate_batch([(5,), (2,), (5,), (2,), (7,)])
+    assert out.tolist() == [5.0, 2.0, 5.0, 2.0, 7.0]
+    assert calls == [(5,), (2,), (7,)]  # distinct, first-appearance order
+    assert ev.calls == 5
+    assert ev.distinct_evaluations == 3
+    # A second batch reuses the cache entirely.
+    out2 = ev.evaluate_batch([(2,), (5,)])
+    assert out2.tolist() == [2.0, 5.0]
+    assert len(calls) == 3
+
+
+def test_parallel_batch_matches_serial():
+    serial = Evaluator(_square, workers=1)
+    with Evaluator(_square, workers=4) as parallel:
+        batch = [(i % 5, i % 3) for i in range(20)]
+        a = serial.evaluate_batch(batch)
+        b = parallel.evaluate_batch(batch)
+    assert a.tolist() == b.tolist()
+    assert not parallel.parallel_fallback
+    assert serial.distinct_evaluations == parallel.distinct_evaluations
+
+
+def test_unpicklable_objective_falls_back_to_serial():
+    with Evaluator(lambda v: float(v[0]), workers=4) as ev:
+        out = ev.evaluate_batch([(1,), (2,)])
+    assert out.tolist() == [1.0, 2.0]
+    assert ev.parallel_fallback
+
+
+def test_workers_validation():
+    with pytest.raises(ValueError):
+        Evaluator(_square, workers=0)
+
+
+def test_as_batch_objective_passthrough_and_wrap():
+    ev = Evaluator(_square)
+    assert as_batch_objective(ev) is ev
+    wrapped = as_batch_objective(_square)
+    assert isinstance(wrapped, Evaluator)
+    assert isinstance(ev, BatchObjective)
+    assert wrapped((2, 2)) == 8.0
+
+
+def test_memoized_objective_alias_is_evaluator():
+    obj = MemoizedObjective(_square)
+    assert isinstance(obj, Evaluator)
+    assert obj((2, 3)) == 13.0
+    assert obj.distinct_evaluations == 1
+
+
+def test_ga_engine_uses_batch_hook():
+    """The engine hands whole populations to evaluate_batch."""
+    batches = []
+
+    class Spy(Evaluator):
+        def evaluate_batch(self, batch):
+            batches.append(list(batch))
+            return super().evaluate_batch(batch)
+
+    genome = tiling_genome(make_small_mm(8))
+    spy = Spy(_square)
+    res = GeneticAlgorithm(genome, spy, QUICK).run()
+    assert batches, "evaluate_batch never called"
+    assert all(len(b) == QUICK.population_size for b in batches)
+    assert res.evaluations == res.generations * QUICK.population_size
+    assert res.distinct_evaluations == spy.distinct_evaluations
+
+
+def test_ga_parallel_equals_serial_on_mm():
+    """Same seeds → same best_values/best_objective for any workers."""
+    nest = make_small_mm(16)
+    r1 = optimize_tiling(nest, CACHE, config=QUICK, seed=3, workers=1)
+    r4 = optimize_tiling(nest, CACHE, config=QUICK, seed=3, workers=4)
+    assert r1.tile_sizes == r4.tile_sizes
+    assert r1.ga.best_objective == r4.ga.best_objective
+    assert r1.ga.convergence_trace == r4.ga.convergence_trace
+    assert r1.distinct_evaluations == r4.distinct_evaluations
+
+
+def test_close_is_idempotent():
+    ev = Evaluator(_square, workers=2)
+    ev.evaluate_batch([(1,), (2,)])
+    ev.close()
+    ev.close()
+    # the evaluator still answers after close (cache + serial path)
+    assert ev((9,)) == 81.0

@@ -65,6 +65,26 @@ def test_history_recorded():
     assert res.evaluations == res.generations * 10
 
 
+def test_distinct_evaluations_reported():
+    """Regression: evaluations over-reported work; the result now also
+    carries the distinct-genotype count the memo layer actually solves."""
+    genome = Genome([(1, 4)])  # tiny space forces heavy revisiting
+    res = GeneticAlgorithm(
+        genome, quadratic_objective((2,)), GAConfig(population_size=10, seed=7)
+    ).run()
+    assert res.evaluations == res.generations * 10
+    assert 0 < res.distinct_evaluations <= 4
+    assert res.distinct_evaluations < res.evaluations
+
+    from repro.ga.objective import MemoizedObjective
+
+    memo = MemoizedObjective(quadratic_objective((2,)))
+    res2 = GeneticAlgorithm(
+        genome, memo, GAConfig(population_size=10, seed=7)
+    ).run()
+    assert res2.distinct_evaluations == memo.distinct_evaluations
+
+
 def test_best_ever_tracked_across_generations():
     genome = Genome([(1, 128)])
     res = GeneticAlgorithm(
