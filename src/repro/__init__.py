@@ -32,6 +32,7 @@ from repro.ga.tiling_search import optimize_tiling
 from repro.ir.arrays import Array, ArrayRef, read, write
 from repro.ir.loops import Loop, LoopNest
 from repro.layout.memory import MemoryLayout, PaddingSpec
+from repro.search import run_search, search_tiling
 from repro.simulator.classify import simulate_program
 from repro.transform.tiling import tile_program
 
@@ -57,6 +58,8 @@ __all__ = [
     "LoopNest",
     "MemoryLayout",
     "PaddingSpec",
+    "run_search",
+    "search_tiling",
     "simulate_program",
     "tile_program",
     "__version__",

@@ -8,6 +8,7 @@ return plain tile-size tuples; evaluation goes through the common
 :class:`~repro.cme.analyzer.LocalityAnalyzer`.
 """
 
+from repro.baselines.common import BaselineSearchResult
 from repro.baselines.exhaustive import exhaustive_search
 from repro.baselines.random_search import random_search
 from repro.baselines.hillclimb import hill_climb
@@ -18,6 +19,7 @@ from repro.baselines.sarkar_megiddo import sarkar_megiddo_tiles
 from repro.baselines.ghosh_cme import ghosh_cme_tiles
 
 __all__ = [
+    "BaselineSearchResult",
     "exhaustive_search",
     "random_search",
     "hill_climb",

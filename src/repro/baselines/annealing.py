@@ -6,21 +6,26 @@ uphill moves with the Metropolis criterion.  Shares the tile-vector
 interface of the other baselines so it can be benchmarked against the
 GA at equal evaluation budgets.
 
-The Metropolis chain is inherently serial, but evaluation still goes
-through the shared :mod:`repro.evaluation` layer so revisited tile
-vectors hit the memo cache instead of re-solving the CMEs.
+Runs on :class:`repro.search.AnnealingStrategy`: ``speculation=K``
+proposes the candidate tree of the next ``K`` Metropolis steps under
+every accept/reject outcome, so the inherently serial chain still
+fans out over ``workers`` processes — with the true chain replayed
+bit-for-bit from the memo afterwards.  ``budget`` counts chain steps
+(the cooling schedule is calibrated to it); the result reports both
+``evaluations`` (steps) and ``distinct_evaluations`` (actual CME
+solves the chain consumed).
 """
 
 from __future__ import annotations
 
-import math
 from typing import Callable
 
 import numpy as np
 
-from repro.evaluation import as_batch_objective
+from repro.baselines.common import BaselineSearchResult
 from repro.ir.loops import LoopNest
-from repro.utils.rng import make_rng
+from repro.search.driver import run_search
+from repro.search.strategies import AnnealingStrategy
 
 
 def simulated_annealing(
@@ -30,39 +35,25 @@ def simulated_annealing(
     t_start: float = 1.0,
     t_end: float = 0.01,
     seed: int | np.random.Generator = 0,
-) -> tuple[tuple[int, ...], float, int]:
-    """Anneal tile sizes; returns (best_tiles, best_value, evaluations).
+    workers: int = 1,
+    speculation: int = 1,
+    checkpoint_path: str | None = None,
+) -> BaselineSearchResult:
+    """Anneal tile sizes; unpacks as ``(best_tiles, best_value, evaluations)``.
 
     The temperature scales acceptance relative to the running best, so
     no problem-specific energy normalisation is needed.
     """
-    rng = make_rng(seed)
     extents = [loop.extent for loop in nest.loops]
-    objective = as_batch_objective(objective)
-    current = tuple(max(1, e // 2) for e in extents)
-    current_val = objective(current)
-    best, best_val = current, current_val
-    evals = 1
-    alpha = (t_end / t_start) ** (1.0 / max(1, budget - 1))
-    temp = t_start
-    while evals < budget:
-        d = int(rng.integers(0, len(extents)))
-        factor = math.exp(rng.normal(0.0, 0.5))
-        cand = list(current)
-        cand[d] = min(max(1, round(current[d] * factor)), extents[d])
-        cand = tuple(cand)
-        if cand == current:
-            cand = list(current)
-            cand[d] = min(max(1, current[d] + int(rng.choice([-1, 1]))), extents[d])
-            cand = tuple(cand)
-        val = objective(cand)
-        evals += 1
-        scale = max(best_val, 1.0)
-        if val <= current_val or rng.random() < math.exp(
-            -(val - current_val) / (scale * temp)
-        ):
-            current, current_val = cand, val
-        if val < best_val:
-            best, best_val = cand, val
-        temp *= alpha
-    return best, best_val, evals
+    strategy = AnnealingStrategy(
+        extents,
+        budget=budget,
+        t_start=t_start,
+        t_end=t_end,
+        seed=seed,
+        speculation=speculation,
+    )
+    result = run_search(
+        strategy, objective, workers=workers, checkpoint_path=checkpoint_path
+    )
+    return BaselineSearchResult.from_search(result, strategy)

@@ -1,0 +1,58 @@
+"""Shared result type for the generic search baselines.
+
+The pre-refactor baselines returned a bare ``(tiles, value, evals)``
+tuple whose ``evals`` conflated objective *calls* with actual CME
+solves — memoised revisits counted against ``max_evals``.
+:class:`BaselineSearchResult` keeps the 3-tuple unpacking shape for
+backward compatibility while reporting both numbers, mirroring
+``GAResult``:
+
+``evaluations``
+    Objective values the algorithm consumed, revisits included (the
+    legacy ``evals`` number).
+``distinct_evaluations``
+    Distinct genotypes the algorithm consumed — the CME solves it is
+    responsible for.  Budget charging moved here (see
+    :mod:`repro.search.strategies` for the per-strategy semantics).
+
+``search`` carries the full :class:`repro.search.SearchResult`,
+including the per-step trace and the evaluator-level accounting
+(which additionally counts speculative evaluations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.search.base import SearchResult, SearchStrategy
+
+
+@dataclass
+class BaselineSearchResult:
+    """Outcome of one baseline search, unpackable as (tiles, value, evals)."""
+
+    tile_sizes: tuple[int, ...]
+    objective: float
+    evaluations: int
+    distinct_evaluations: int
+    search: SearchResult
+
+    @classmethod
+    def from_search(
+        cls, result: SearchResult, strategy: SearchStrategy
+    ) -> "BaselineSearchResult":
+        """Package a finished strategy + driver result uniformly."""
+        return cls(
+            tile_sizes=result.best_values,
+            objective=result.best_objective,
+            evaluations=strategy.consumed,
+            distinct_evaluations=strategy.consumed_distinct,
+            search=result,
+        )
+
+    def __iter__(self):
+        """Legacy unpacking: ``tiles, value, evals = search(...)``."""
+        return iter((self.tile_sizes, self.objective, self.evaluations))
+
+    def __getitem__(self, idx):
+        return (self.tile_sizes, self.objective, self.evaluations)[idx]

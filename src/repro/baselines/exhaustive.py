@@ -4,35 +4,28 @@ Exhaustive search is the gold standard the GA is judged against
 ("near-optimal"): for small search spaces it enumerates every tile
 vector; for larger spaces a logarithmic grid bounds the work while
 still bracketing the optimum region.  Grid points are independent, so
-they are evaluated in batches through the shared
-:mod:`repro.evaluation` layer (deduplicated, optionally parallel).
+:class:`repro.search.ExhaustiveStrategy` streams them through the
+shared evaluation layer in chunks (deduplicated, optionally
+parallel).  Ties keep the lexicographically first tile vector, as the
+serial enumeration did.
 """
 
 from __future__ import annotations
 
-from itertools import islice, product
 from typing import Callable
 
-import numpy as np
-
-from repro.evaluation import as_batch_objective
+from repro.baselines.common import BaselineSearchResult
 from repro.ir.loops import LoopNest
+from repro.search.driver import run_search
+from repro.search.strategies import ExhaustiveStrategy, log_grid
 
 #: Grid points evaluated per batch (bounds peak memo-queue memory).
 BATCH_SIZE = 1024
 
 
 def _grid(extent: int, max_points: int) -> list[int]:
-    """Log-spaced candidate tile sizes in [1, extent], always incl. ends."""
-    if extent <= max_points:
-        return list(range(1, extent + 1))
-    vals = {1, extent}
-    x = 1.0
-    ratio = extent ** (1.0 / (max_points - 1))
-    for _ in range(max_points):
-        x *= ratio
-        vals.add(min(extent, max(1, round(x))))
-    return sorted(vals)
+    """Back-compat alias for :func:`repro.search.strategies.log_grid`."""
+    return log_grid(extent, max_points)
 
 
 def exhaustive_search(
@@ -40,38 +33,20 @@ def exhaustive_search(
     objective: Callable[[tuple[int, ...]], float],
     max_points_per_dim: int | None = None,
     workers: int = 1,
-) -> tuple[tuple[int, ...], float, int]:
+    chunk: int = BATCH_SIZE,
+    checkpoint_path: str | None = None,
+) -> BaselineSearchResult:
     """Minimise ``objective`` over (a grid of) all tile vectors.
 
-    Returns ``(best_tiles, best_value, evaluations)``.  With
+    Unpacks as ``(best_tiles, best_value, evaluations)``.  With
     ``max_points_per_dim=None`` the search is truly exhaustive — only
-    sensible when ``Π extent_i`` is small.  Ties keep the first (lex
-    smallest) tile vector, as the original serial loop did.
+    sensible when ``Π extent_i`` is small.
     """
-    axes = []
-    for loop in nest.loops:
-        if max_points_per_dim is None:
-            axes.append(list(range(1, loop.extent + 1)))
-        else:
-            axes.append(_grid(loop.extent, max_points_per_dim))
-    evaluator = as_batch_objective(objective, workers=workers)
-    best: tuple[int, ...] | None = None
-    best_val = float("inf")
-    count = 0
-    grid = product(*axes)
-    try:
-        while True:
-            batch = list(islice(grid, BATCH_SIZE))
-            if not batch:
-                break
-            vals = evaluator.evaluate_batch(batch)
-            count += len(batch)
-            idx = int(np.argmin(vals))  # first occurrence on ties
-            if vals[idx] < best_val:
-                best_val = float(vals[idx])
-                best = batch[idx]
-    finally:
-        if evaluator is not objective:
-            evaluator.close()
-    assert best is not None
-    return best, best_val, count
+    extents = [loop.extent for loop in nest.loops]
+    strategy = ExhaustiveStrategy(
+        extents, max_points_per_dim=max_points_per_dim, chunk=chunk
+    )
+    result = run_search(
+        strategy, objective, workers=workers, checkpoint_path=checkpoint_path
+    )
+    return BaselineSearchResult.from_search(result, strategy)

@@ -6,17 +6,22 @@ and accepts strict improvements.  Hill climbing exposes exactly the
 local-minimum problem §3.1 raises for nonlinear integer optimisation —
 the motivation for using a global (genetic) search.
 
-The move sequence is inherently serial, but evaluation still goes
-through the shared :mod:`repro.evaluation` layer so revisited tile
-vectors hit the memo cache instead of re-solving the CMEs.
+Runs on :class:`repro.search.HillClimbStrategy`: each wave proposes
+the whole coordinate neighborhood of the current point, fanned out
+over ``workers`` processes, and the first-improvement sweep replays
+serially from the memo — bit-for-bit the pre-refactor trajectory.
+``max_evals`` is charged in *distinct* CME solves; revisited tile
+vectors hit the memo and no longer burn budget (they used to).
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.evaluation import as_batch_objective
+from repro.baselines.common import BaselineSearchResult
 from repro.ir.loops import LoopNest
+from repro.search.driver import run_search
+from repro.search.strategies import HillClimbStrategy
 
 
 def hill_climb(
@@ -24,31 +29,25 @@ def hill_climb(
     objective: Callable[[tuple[int, ...]], float],
     start: tuple[int, ...] | None = None,
     max_evals: int = 450,
-) -> tuple[tuple[int, ...], float, int]:
-    """Greedy coordinate descent; returns (tiles, value, evaluations)."""
+    workers: int = 1,
+    neighborhood: bool | None = None,
+    checkpoint_path: str | None = None,
+) -> BaselineSearchResult:
+    """Greedy coordinate descent; unpacks as ``(tiles, value, evaluations)``.
+
+    ``neighborhood`` (whole-neighborhood speculative waves) defaults to
+    on only when ``workers > 1``: speculation roughly doubles the CME
+    solves, which pays off across a pool but is pure overhead for a
+    serial run.  Pass it explicitly when the objective carries its own
+    worker pool.
+    """
+    if neighborhood is None:
+        neighborhood = workers > 1
     extents = [loop.extent for loop in nest.loops]
-    objective = as_batch_objective(objective)
-    if start is None:
-        start = tuple(max(1, e // 2) for e in extents)
-    current = tuple(start)
-    evals = 0
-    current_val = objective(current)
-    evals += 1
-    improved = True
-    while improved and evals < max_evals:
-        improved = False
-        for d in range(len(extents)):
-            for move in (lambda t: t * 2, lambda t: t // 2, lambda t: t + 1, lambda t: t - 1):
-                cand = list(current)
-                cand[d] = min(max(1, move(current[d])), extents[d])
-                cand = tuple(cand)
-                if cand == current:
-                    continue
-                val = objective(cand)
-                evals += 1
-                if val < current_val:
-                    current, current_val = cand, val
-                    improved = True
-                if evals >= max_evals:
-                    return current, current_val, evals
-    return current, current_val, evals
+    strategy = HillClimbStrategy(
+        extents, start=start, max_distinct=max_evals, neighborhood=neighborhood
+    )
+    result = run_search(
+        strategy, objective, workers=workers, checkpoint_path=checkpoint_path
+    )
+    return BaselineSearchResult.from_search(result, strategy)

@@ -3,9 +3,12 @@
 Given the same evaluation budget as the GA (450 evaluations in the
 paper's configuration), random search quantifies how much the genetic
 operators actually contribute beyond blind sampling.  Candidates are
-independent, so the whole budget is evaluated through the shared
-:mod:`repro.evaluation` layer in one deduplicated (optionally
-parallel) batch.
+independent, so :class:`repro.search.RandomStrategy` streams the
+budget through the shared evaluation layer in fixed-size deduplicated
+(optionally parallel) chunks; the first occurrence wins ties exactly
+as the original whole-budget ``argmin`` decided them.  ``budget``
+counts draws; the result additionally reports the distinct genotypes
+actually solved.
 """
 
 from __future__ import annotations
@@ -14,9 +17,10 @@ from typing import Callable
 
 import numpy as np
 
-from repro.evaluation import as_batch_objective
+from repro.baselines.common import BaselineSearchResult
 from repro.ir.loops import LoopNest
-from repro.utils.rng import make_rng
+from repro.search.driver import run_search
+from repro.search.strategies import RandomStrategy
 
 
 def random_search(
@@ -25,23 +29,16 @@ def random_search(
     budget: int = 450,
     seed: int | np.random.Generator = 0,
     workers: int = 1,
-) -> tuple[tuple[int, ...], float, int]:
+    chunk: int = 64,
+    checkpoint_path: str | None = None,
+) -> BaselineSearchResult:
     """Sample ``budget`` uniform tile vectors; return the best.
 
-    The first best candidate wins ties, exactly as the original
-    serial loop decided them.
+    Unpacks as ``(best_tiles, best_value, evaluations)``.
     """
-    rng = make_rng(seed)
     extents = [loop.extent for loop in nest.loops]
-    evaluator = as_batch_objective(objective, workers=workers)
-    candidates = [
-        tuple(int(rng.integers(1, e + 1)) for e in extents)
-        for _ in range(budget)
-    ]
-    try:
-        vals = evaluator.evaluate_batch(candidates)
-    finally:
-        if evaluator is not objective:
-            evaluator.close()
-    best_idx = int(np.argmin(vals))  # first occurrence on ties
-    return candidates[best_idx], float(vals[best_idx]), budget
+    strategy = RandomStrategy(extents, budget=budget, seed=seed, chunk=chunk)
+    result = run_search(
+        strategy, objective, workers=workers, checkpoint_path=checkpoint_path
+    )
+    return BaselineSearchResult.from_search(result, strategy)

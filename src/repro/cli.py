@@ -14,32 +14,115 @@ Usage::
     python -m repro.cli kernels                 # list the Table 1 suite
     python -m repro.cli landscape MM 100        # ASCII objective heat map
     python -m repro.cli source MM 100           # export a kernel as DSL
+    python -m repro.cli search MM 500 --strategy hillclimb --workers 4
+
+Uniform flags (accepted anywhere on the command line):
+
+``--workers N``
+    Fan candidate evaluation out over ``N`` worker processes
+    (overrides ``REPRO_WORKERS``); results are identical for any
+    value (see :mod:`repro.evaluation`), only wall-clock changes.
+``--point-workers N``
+    Shard each single candidate's CME sample across ``N`` processes
+    instead (overrides ``REPRO_POINT_WORKERS``); same guarantee.
+``--strategy NAME``
+    Search strategy for the ``search`` command: ``ga`` (default),
+    ``hillclimb``, ``annealing``, ``random`` or ``exhaustive`` — all
+    run through the shared :mod:`repro.search` subsystem.
+``--budget N``  ``--seed N``  ``--speculation K``
+    Strategy knobs for ``search`` (distinct-solve budget, RNG seed,
+    annealing lookahead depth).
+``--checkpoint PATH`` / ``--resume PATH``
+    Persist resumable search state every step / continue from it.
 
 Set ``REPRO_FULL=1`` for the paper's full GA budget (population 30,
 15–25 generations); the default quick budget reproduces the shapes in
-minutes.  Set ``REPRO_WORKERS=N`` to fan objective evaluation out over
-``N`` worker processes — results are identical for any value (see
-:mod:`repro.evaluation`), only wall-clock time changes.
+minutes.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.experiments.associativity import format_associativity, run_associativity
-from repro.experiments.common import ExperimentConfig, full_mode
-from repro.experiments.convergence import format_convergence, run_convergence
-from repro.experiments.figure8 import format_figure, run_figure8
-from repro.experiments.figure9 import run_figure9
-from repro.experiments.solver_speed import format_validation, run_solver_validation
-from repro.experiments.table2 import format_table2, run_table2
-from repro.experiments.table3 import format_table3, run_table3
-from repro.experiments.table4 import format_table4, run_table4
+
+def parse_flags(args: list[str]) -> tuple[list[str], dict]:
+    """Split ``--flag value`` pairs (anywhere) from positional args."""
+    spec = {
+        "--workers": ("workers", int),
+        "--point-workers": ("point_workers", int),
+        "--strategy": ("strategy", str),
+        "--budget": ("budget", int),
+        "--seed": ("seed", int),
+        "--speculation": ("speculation", int),
+        "--checkpoint": ("checkpoint", str),
+        "--resume": ("resume", str),
+    }
+    positional: list[str] = []
+    flags: dict = {}
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg in spec:
+            name, conv = spec[arg]
+            if i + 1 >= len(args):
+                raise SystemExit(f"{arg} requires a value")
+            try:
+                flags[name] = conv(args[i + 1])
+            except ValueError:
+                raise SystemExit(f"{arg} expects {conv.__name__}, got {args[i+1]!r}")
+            i += 2
+        elif arg.startswith("--") and arg != "--help":
+            known = ", ".join(sorted(spec))
+            raise SystemExit(f"unknown flag {arg!r} (known: {known})")
+        else:
+            positional.append(arg)
+            i += 1
+    return positional, flags
+
+
+def _run_search_command(args: list[str], flags: dict) -> int:
+    """`search KERNEL [SIZE]`: any strategy through repro.search."""
+    from repro.cache.config import CACHE_8KB_DM
+    from repro.experiments.common import ExperimentConfig
+    from repro.kernels.registry import get_kernel
+    from repro.search.tiling import search_tiling
+
+    name = args[1] if len(args) > 1 else "MM"
+    size = int(args[2]) if len(args) > 2 else None
+    nest = get_kernel(name, size)
+    config = ExperimentConfig(
+        workers=flags.get("workers"),
+        point_workers=flags.get("point_workers"),
+        seed=flags.get("seed", 0),
+    )
+    outcome = search_tiling(
+        nest,
+        CACHE_8KB_DM,
+        strategy=flags.get("strategy", "ga"),
+        budget=flags.get("budget", 450),
+        seed=config.seed,
+        n_samples=config.n_samples,
+        workers=config.workers,
+        point_workers=config.point_workers,
+        ga_config=config.ga,
+        speculation=flags.get("speculation", 1),
+        checkpoint_path=flags.get("checkpoint"),
+        resume=flags.get("resume"),
+    )
+    print(outcome.summary())
+    trace = outcome.search.trace
+    if trace:
+        print(
+            f"steps={len(trace)} "
+            f"consumed={outcome.search.consumed} "
+            f"consumed_distinct={outcome.search.consumed_distinct}"
+        )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    if not args or args[0] in ("-h", "--help"):
+    args, flags = parse_flags(list(sys.argv[1:] if argv is None else argv))
+    if not args or "-h" in args or "--help" in args:
         print(__doc__)
         return 0
     what = args[0]
@@ -76,10 +159,29 @@ def main(argv: list[str] | None = None) -> int:
         print(nest_to_dsl(get_kernel(name, size)))
         return 0
 
-    config = ExperimentConfig()
+    if what == "search":
+        return _run_search_command(args, flags)
+
+    from repro.experiments.associativity import format_associativity, run_associativity
+    from repro.experiments.common import ExperimentConfig, full_mode
+    from repro.experiments.convergence import format_convergence, run_convergence
+    from repro.experiments.figure8 import format_figure, run_figure8
+    from repro.experiments.figure9 import run_figure9
+    from repro.experiments.solver_speed import format_validation, run_solver_validation
+    from repro.experiments.table2 import format_table2, run_table2
+    from repro.experiments.table3 import format_table3, run_table3
+    from repro.experiments.table4 import format_table4, run_table4
+
+    config = ExperimentConfig(
+        workers=flags.get("workers"),
+        point_workers=flags.get("point_workers"),
+        seed=flags.get("seed", 0),
+    )
     mode = "full (paper budget)" if full_mode() else "quick"
     if config.workers > 1:
         mode += f", {config.workers} workers"
+    if config.point_workers > 1:
+        mode += f", {config.point_workers} point-workers"
     print(f"# repro experiment runner — {mode} mode\n")
 
     if what in ("table2", "all"):

@@ -28,7 +28,16 @@ from repro.transform.tiling import tile_program
 
 
 class LocalityAnalyzer:
-    """Analyze one loop nest against one cache configuration."""
+    """Analyze one loop nest against one cache configuration.
+
+    ``point_workers > 1`` shards every sampled estimate's point batch
+    across a process pool (see :mod:`repro.evaluation.sharding`), so a
+    *single* candidate's classification scales with workers.  Results
+    are identical for any value.  Do not combine with candidate-level
+    fan-out (``workers`` on the objectives): an analyzer shipped into
+    an evaluation worker process downgrades itself to
+    ``point_workers=1`` to avoid nested pools.
+    """
 
     def __init__(
         self,
@@ -37,12 +46,17 @@ class LocalityAnalyzer:
         layout: MemoryLayout | None = None,
         n_samples: int = PAPER_SAMPLE_SIZE,
         seed: int = 0,
+        point_workers: int = 1,
     ):
+        if point_workers < 1:
+            raise ValueError("point_workers must be >= 1")
         self.nest = nest
         self.cache = cache
         self.layout = layout or MemoryLayout(nest.arrays())
         self.n_samples = n_samples
         self.seed = seed
+        self.point_workers = point_workers
+        self._point_pool = None
         self._points = sample_original_points(nest, n_samples, seed)
         self._candidate_cache: dict = {}
         self._layout_cache: dict = {}
@@ -92,13 +106,55 @@ class LocalityAnalyzer:
         """
         program = self.program(tile_sizes)
         layout = self.layout_with(padding)
+        use_points = self._points if points is None else points
+        if self.point_workers > 1:
+            from repro.evaluation.sharding import (
+                MIN_SHARD_POINTS,
+                estimate_at_points_sharded,
+            )
+
+            # Only spin the pool up for samples actually worth
+            # sharding (the helper would fall back serial anyway).
+            if len(use_points) >= 2 * MIN_SHARD_POINTS:
+                return estimate_at_points_sharded(
+                    program,
+                    layout,
+                    self.cache,
+                    use_points,
+                    workers=self.point_workers,
+                    candidates=self._candidates(layout, padding),
+                    pool=self._ensure_point_pool(),
+                )
         return estimate_at_points(
             program,
             layout,
             self.cache,
-            self._points if points is None else points,
+            use_points,
             candidates=self._candidates(layout, padding),
         )
+
+    def _ensure_point_pool(self):
+        if self._point_pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._point_pool = ProcessPoolExecutor(
+                max_workers=self.point_workers
+            )
+        return self._point_pool
+
+    def close(self) -> None:
+        """Shut the point-sharding pool down (idempotent; lazily rebuilt)."""
+        if self._point_pool is not None:
+            self._point_pool.shutdown(wait=True, cancel_futures=True)
+            self._point_pool = None
+
+    def __getstate__(self):
+        # Analyzers shipped into evaluation workers lose the pool and
+        # classify their shard serially (no nested process pools).
+        state = self.__dict__.copy()
+        state["_point_pool"] = None
+        state["point_workers"] = 1
+        return state
 
     def simulate(
         self, tile_sizes=None, padding: PaddingSpec | None = None

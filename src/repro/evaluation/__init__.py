@@ -34,7 +34,10 @@ serial path:
 
 The same contract holds one layer down: the batched
 ``PointClassifier.classify_batch`` path agrees outcome-for-outcome with
-scalar ``classify_point`` (see :mod:`repro.cme.solver`).
+scalar ``classify_point`` (see :mod:`repro.cme.solver`), and the
+point-sharded path of :mod:`repro.evaluation.sharding` — which splits a
+*single* candidate's sample across worker processes — merges back to
+exactly the unsharded estimate.
 """
 
 from repro.evaluation.batch import (
@@ -42,5 +45,17 @@ from repro.evaluation.batch import (
     Evaluator,
     as_batch_objective,
 )
+from repro.evaluation.sharding import (
+    estimate_at_points_sharded,
+    merge_estimates,
+    shard_points,
+)
 
-__all__ = ["BatchObjective", "Evaluator", "as_batch_objective"]
+__all__ = [
+    "BatchObjective",
+    "Evaluator",
+    "as_batch_objective",
+    "estimate_at_points_sharded",
+    "merge_estimates",
+    "shard_points",
+]

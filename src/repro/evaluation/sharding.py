@@ -1,0 +1,129 @@
+"""Point-batch sharding: parallel classification of ONE candidate's sample.
+
+The candidate-level fan-out in :class:`repro.evaluation.Evaluator`
+leaves a gap: a search wave with a *single* expensive candidate (a
+hill-climbing move, a lone annealing step, the before/after estimates
+of a finished search) runs on one core no matter how many workers are
+configured.  This module closes the gap one layer down: the sampled
+iteration points of a single CME estimate are split into contiguous
+shards, each shard is classified in a worker process via the same
+:func:`repro.cme.sampling.estimate_at_points` path, and the per-shard
+:class:`~repro.cme.sampling.CMEEstimate` counts are summed.
+
+Equivalence contract (the same one :mod:`repro.evaluation` states for
+candidate batching): points are classified independently, so sharding
+changes no outcome — ``merge_estimates`` over any partition of the
+sample equals the unsharded estimate, count for count, including the
+per-reference breakdown.  Solver statistics are summed across shards;
+only wall-clock time depends on the worker count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import fields
+
+from repro.cme.sampling import CMEEstimate, estimate_at_points
+from repro.cme.solver import SolverStats
+
+#: Below this many points per shard, process overhead beats the win.
+MIN_SHARD_POINTS = 8
+
+
+def shard_points(points: list, n_shards: int) -> list[list]:
+    """Split ``points`` into up to ``n_shards`` contiguous, non-empty shards."""
+    n = len(points)
+    n_shards = max(1, min(n_shards, n))
+    bounds = [round(i * n / n_shards) for i in range(n_shards + 1)]
+    return [
+        points[bounds[i] : bounds[i + 1]]
+        for i in range(n_shards)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
+def merge_solver_stats(parts: list[SolverStats | None]) -> SolverStats | None:
+    """Sum per-shard solver instrumentation (congruence dicts key-wise)."""
+    parts = [p for p in parts if p is not None]
+    if not parts:
+        return None
+    merged = SolverStats()
+    for part in parts:
+        for f in fields(SolverStats):
+            if f.name == "congruence":
+                continue
+            setattr(merged, f.name, getattr(merged, f.name) + getattr(part, f.name))
+        for key, val in part.congruence.items():
+            if isinstance(val, (int, float)):
+                merged.congruence[key] = merged.congruence.get(key, 0) + val
+            else:
+                merged.congruence[key] = val
+    return merged
+
+
+def merge_estimates(parts: list[CMEEstimate]) -> CMEEstimate:
+    """Combine shard estimates of one sample into the whole-sample one."""
+    if not parts:
+        raise ValueError("nothing to merge")
+    per_ref: dict[int, dict[str, int]] = {}
+    for part in parts:
+        for pos, counts in part.per_ref.items():
+            slot = per_ref.setdefault(pos, {"hit": 0, "cold": 0, "replacement": 0})
+            for key, val in counts.items():
+                slot[key] += val
+    return CMEEstimate(
+        sampled_points=sum(p.sampled_points for p in parts),
+        sampled_accesses=sum(p.sampled_accesses for p in parts),
+        hits=sum(p.hits for p in parts),
+        cold=sum(p.cold for p in parts),
+        replacement=sum(p.replacement for p in parts),
+        confidence=parts[0].confidence,
+        per_ref=per_ref,
+        solver_stats=merge_solver_stats([p.solver_stats for p in parts]),
+        total_accesses=parts[0].total_accesses,
+    )
+
+
+def _classify_shard(payload) -> CMEEstimate:
+    """Worker-side shard classification (top-level for picklability)."""
+    program, layout, cache, points, confidence, candidates = payload
+    return estimate_at_points(
+        program, layout, cache, points, confidence, candidates
+    )
+
+
+def estimate_at_points_sharded(
+    program,
+    layout,
+    cache,
+    original_points: list,
+    workers: int,
+    confidence: float = 0.90,
+    candidates=None,
+    pool: ProcessPoolExecutor | None = None,
+) -> CMEEstimate:
+    """Sharded drop-in for :func:`repro.cme.sampling.estimate_at_points`.
+
+    Splits the sample into up to ``workers`` shards of at least
+    :data:`MIN_SHARD_POINTS` points and classifies them concurrently.
+    Falls back to the serial path when the sample is too small to be
+    worth sharding or no parallelism was requested.  Pass ``pool`` to
+    amortise executor start-up across many estimates (the caller keeps
+    ownership); otherwise a throwaway pool is used.
+    """
+    n_shards = min(workers, max(1, len(original_points) // MIN_SHARD_POINTS))
+    if n_shards <= 1:
+        return estimate_at_points(
+            program, layout, cache, original_points, confidence, candidates
+        )
+    shards = shard_points(original_points, n_shards)
+    payloads = [
+        (program, layout, cache, shard, confidence, candidates)
+        for shard in shards
+    ]
+    if pool is not None:
+        parts = list(pool.map(_classify_shard, payloads))
+    else:
+        with ProcessPoolExecutor(max_workers=len(shards)) as own:
+            parts = list(own.map(_classify_shard, payloads))
+    return merge_estimates(parts)

@@ -14,6 +14,13 @@ def full_mode() -> bool:
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
 
 
+def _env_workers(var: str) -> int:
+    try:
+        return max(1, int(os.environ.get(var, "1")))
+    except ValueError:
+        return 1
+
+
 def default_workers() -> int:
     """Worker processes for objective evaluation (``REPRO_WORKERS``).
 
@@ -21,10 +28,17 @@ def default_workers() -> int:
     evaluation layer guarantees it — so this is purely a wall-clock
     knob.
     """
-    try:
-        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
-    except ValueError:
-        return 1
+    return _env_workers("REPRO_WORKERS")
+
+
+def default_point_workers() -> int:
+    """Worker processes for point-batch sharding (``REPRO_POINT_WORKERS``).
+
+    Shards each *single* candidate's CME sample across processes (see
+    :mod:`repro.evaluation.sharding`).  Like ``REPRO_WORKERS``, purely
+    a wall-clock knob; don't enable both at once (nested pools).
+    """
+    return _env_workers("REPRO_POINT_WORKERS")
 
 
 @dataclass(frozen=True)
@@ -39,18 +53,26 @@ class ExperimentConfig:
     where they differ.
 
     ``workers`` fans the GA objective out over that many processes
-    per generation (see :mod:`repro.evaluation`; results are identical
-    for any value).  Defaults to ``REPRO_WORKERS`` or serial.
+    per generation; ``point_workers`` shards each candidate's sample
+    instead (see :mod:`repro.evaluation`; results are identical for
+    any value).  They default to ``REPRO_WORKERS`` /
+    ``REPRO_POINT_WORKERS`` or serial; the CLI's ``--workers`` /
+    ``--point-workers`` flags override the environment.
     """
 
     ga: GAConfig = field(default=None)  # type: ignore[assignment]
     n_samples: int = PAPER_SAMPLE_SIZE
     seed: int = 0
     workers: int = field(default=None)  # type: ignore[assignment]
+    point_workers: int = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self):
         if self.workers is None:
             object.__setattr__(self, "workers", default_workers())
+        if self.point_workers is None:
+            object.__setattr__(
+                self, "point_workers", default_point_workers()
+            )
         if self.ga is None:
             ga = (
                 GAConfig(seed=self.seed)

@@ -5,6 +5,15 @@ using the paper's parameters: population 30, crossover probability 0.9,
 mutation probability 0.001, at least 15 generations, at most 25, with
 early termination once the population has converged — the best
 individual's objective within 2% of the generation average (§3.3).
+
+Since the ``repro.search`` refactor the generational loop itself lives
+in :class:`repro.search.genetic.GAStrategy` (each population is one
+batch-proposal wave) and this engine is a thin façade: it builds the
+strategy, drives it through the shared :func:`repro.search.run_search`
+loop — which owns memoisation, worker fan-out, budget accounting and
+checkpointing — and repackages the outcome as a :class:`GAResult`.
+Trajectories are bit-for-bit identical to the pre-refactor engine for
+any worker count.
 """
 
 from __future__ import annotations
@@ -15,13 +24,7 @@ from typing import Callable
 import numpy as np
 
 from repro.ga.encoding import Genome
-from repro.ga.operators import (
-    mutate,
-    remainder_stochastic_selection,
-    single_point_crossover,
-    tournament_selection,
-)
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng  # noqa: F401  (re-export for callers)
 
 
 @dataclass(frozen=True)
@@ -106,112 +109,60 @@ class GeneticAlgorithm:
         self.config = config or GAConfig()
         self.initial_values = initial_values or []
 
-    def _evaluate_population(
-        self, values: list[tuple[int, ...]]
-    ) -> np.ndarray:
-        """Objective value per genotype, batched when the objective
-        supports it.
-
-        Objectives implementing the :class:`repro.evaluation`
-        ``BatchObjective`` protocol (an ``evaluate_batch`` method)
-        receive the whole population at once — that is where memo
-        dedup and worker fan-out happen.  Plain callables keep the
-        serial per-genotype loop; both paths yield identical arrays
-        for deterministic objectives.
-        """
-        batch = getattr(self.objective, "evaluate_batch", None)
-        if batch is not None:
-            return np.asarray(batch(values), dtype=float)
-        return np.array([self.objective(v) for v in values], dtype=float)
-
-    # -- fitness scaling ------------------------------------------------------
+    # -- kept for ablations/tests (canonical copies live in GAStrategy) ----
     @staticmethod
     def _fitness(objs: np.ndarray) -> np.ndarray:
-        """Positive fitness for minimisation via windowing.
+        from repro.search.genetic import GAStrategy
 
-        ``fitness = worst - obj + 10% of the spread`` so the worst
-        individual keeps a small reproduction chance; a flat population
-        degenerates to uniform fitness.
-        """
-        worst = objs.max()
-        best = objs.min()
-        spread = worst - best
-        if spread == 0:
-            return np.ones_like(objs)
-        return (worst - objs) + 0.1 * spread
+        return GAStrategy._fitness(objs)
 
     def _converged(self, objs: np.ndarray) -> bool:
         """§3.3: best within 2% of the generation average."""
-        avg = objs.mean()
-        best = objs.min()
-        if avg == 0:
-            return True
-        return (avg - best) / avg < self.config.convergence_threshold
+        from repro.search.genetic import population_converged
+
+        return population_converged(objs, self.config.convergence_threshold)
 
     # -- main loop ----------------------------------------------------------------
-    def run(self) -> GAResult:
-        cfg = self.config
-        rng = make_rng(cfg.seed)
-        n = cfg.population_size
-        pop = [self.genome.random_individual(rng) for _ in range(n)]
-        for slot, values in enumerate(self.initial_values[:n]):
-            pop[slot] = self.genome.encode(values)
+    def run(
+        self,
+        checkpoint_path: str | None = None,
+        resume: str | None = None,
+    ) -> GAResult:
+        """Drive the generational loop through ``repro.search``.
 
-        best_values: tuple[int, ...] | None = None
-        best_obj = float("inf")
-        history: list[GenerationRecord] = []
-        evaluations = 0
-        seen: set[tuple[int, ...]] = set()
-        converged = False
-        gen = 0
+        ``checkpoint_path``/``resume`` expose the shared driver's
+        checkpointing (see :mod:`repro.search`); the default is the
+        plain uninterrupted run.
+        """
+        from repro.search.driver import run_search
+        from repro.search.genetic import GAStrategy
 
-        while True:
-            values = [self.genome.decode(ind) for ind in pop]
-            objs = self._evaluate_population(values)
-            evaluations += n
-            seen.update(values)
-            gbest = int(objs.argmin())
-            if objs[gbest] < best_obj:
-                best_obj = float(objs[gbest])
-                best_values = values[gbest]
-            history.append(
-                GenerationRecord(gen, float(objs.min()), float(objs.mean()), values[gbest])
-            )
+        strategy = (
+            None
+            if resume is not None
+            else GAStrategy(self.genome, self.config, self.initial_values)
+        )
+        result = run_search(
+            strategy,
+            self.objective,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+        )
+        return self.result_from_strategy(result.strategy_ref)
 
-            # Fig. 7 termination schedule.
-            gen += 1
-            if gen >= cfg.max_generations:
-                break
-            if gen >= cfg.min_generations and self._converged(objs):
-                converged = True
-                break
-
-            # Selection → pairwise crossover → mutation (Fig. 6).
-            if cfg.selection == "tournament":
-                selected = tournament_selection(self._fitness(objs), rng)
-            else:
-                selected = remainder_stochastic_selection(self._fitness(objs), rng)
-            next_pop: list[np.ndarray] = []
-            for i in range(0, n, 2):
-                p1 = pop[selected[i]]
-                p2 = pop[selected[i + 1]]
-                if rng.random() < cfg.crossover_prob:
-                    c1, c2 = single_point_crossover(p1, p2, rng)
-                else:
-                    c1, c2 = p1.copy(), p2.copy()
-                next_pop.append(mutate(c1, cfg.mutation_prob, rng))
-                next_pop.append(mutate(c2, cfg.mutation_prob, rng))
-            if cfg.elitism:
-                next_pop[0] = pop[gbest].copy()
-            pop = next_pop
-
-        assert best_values is not None
+    @staticmethod
+    def result_from_strategy(strategy) -> GAResult:
+        """Package a finished ``GAStrategy`` as a :class:`GAResult`."""
+        assert strategy.best_values is not None
         return GAResult(
-            best_values=best_values,
-            best_objective=best_obj,
-            generations=gen,
-            converged_early=converged,
-            history=history,
-            evaluations=evaluations,
-            distinct_evaluations=len(seen),
+            best_values=strategy.best_values,
+            best_objective=strategy.best_objective,
+            generations=strategy.generations,
+            converged_early=strategy.converged_early,
+            history=[
+                GenerationRecord(g, b, a, tuple(v))
+                for g, b, a, v in strategy.history
+            ],
+            evaluations=strategy.consumed,
+            distinct_evaluations=strategy.consumed_distinct,
         )

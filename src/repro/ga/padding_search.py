@@ -67,9 +67,12 @@ def optimize_padding(
     seed: int = 0,
     pad_intra: bool = True,
     workers: int = 1,
+    point_workers: int = 1,
 ) -> PaddingResult:
     """GA search over padding parameters only (Table 3, column 3)."""
-    analyzer = LocalityAnalyzer(nest, cache, n_samples=n_samples, seed=seed)
+    analyzer = LocalityAnalyzer(
+        nest, cache, n_samples=n_samples, seed=seed, point_workers=point_workers
+    )
     space = _padding_space(nest, cache, pad_intra)
     objective = PaddingObjective(analyzer, space, workers=workers)
     genome = Genome([(0, v.upper) for v in space.variables])
@@ -86,15 +89,18 @@ def optimize_padding(
     )
     try:
         result = ga.run()
+        padding = space.decode(result.best_values)
+        before = analyzer.estimate()
+        after_padding = analyzer.estimate(padding=padding)
     finally:
         objective.close()
-    padding = space.decode(result.best_values)
+        analyzer.close()
     return PaddingResult(
         nest_name=nest.name,
         padding=padding,
         tile_sizes=None,
-        before=analyzer.estimate(),
-        after_padding=analyzer.estimate(padding=padding),
+        before=before,
+        after_padding=after_padding,
         after_padding_tiling=None,
         ga=result,
     )
@@ -108,10 +114,11 @@ def optimize_padding_then_tiling(
     seed: int = 0,
     pad_intra: bool = True,
     workers: int = 1,
+    point_workers: int = 1,
 ) -> PaddingResult:
     """The sequential pipeline of Table 3 (padding, then tiling)."""
     pad_result = optimize_padding(
-        nest, cache, config, n_samples, seed, pad_intra, workers
+        nest, cache, config, n_samples, seed, pad_intra, workers, point_workers
     )
     padded_layout = MemoryLayout(nest.arrays(), pad_result.padding)
     tile_result: TilingResult = optimize_tiling(
@@ -122,6 +129,7 @@ def optimize_padding_then_tiling(
         n_samples=n_samples,
         seed=seed,
         workers=workers,
+        point_workers=point_workers,
     )
     return PaddingResult(
         nest_name=nest.name,
@@ -142,13 +150,16 @@ def optimize_joint_padding_tiling(
     seed: int = 0,
     pad_intra: bool = True,
     workers: int = 1,
+    point_workers: int = 1,
 ) -> PaddingResult:
     """Single-step padding+tiling search (the paper's future work).
 
     The genotype concatenates padding amounts and tile sizes so the GA
     can exploit their interaction directly.
     """
-    analyzer = LocalityAnalyzer(nest, cache, n_samples=n_samples, seed=seed)
+    analyzer = LocalityAnalyzer(
+        nest, cache, n_samples=n_samples, seed=seed, point_workers=point_workers
+    )
     space = _padding_space(nest, cache, pad_intra)
     objective = PaddingTilingObjective(analyzer, space, workers=workers)
     ranges = [(0, v.upper) for v in space.variables] + [
@@ -158,17 +169,21 @@ def optimize_joint_padding_tiling(
     ga = GeneticAlgorithm(genome, objective, config or GAConfig(seed=seed))
     try:
         result = ga.run()
+        npad = space.num_variables
+        padding = space.decode(result.best_values[:npad])
+        tiles = result.best_values[npad:]
+        before = analyzer.estimate()
+        after_padding = analyzer.estimate(padding=padding)
+        after_both = analyzer.estimate(tile_sizes=tiles, padding=padding)
     finally:
         objective.close()
-    npad = space.num_variables
-    padding = space.decode(result.best_values[:npad])
-    tiles = result.best_values[npad:]
+        analyzer.close()
     return PaddingResult(
         nest_name=nest.name,
         padding=padding,
         tile_sizes=tiles,
-        before=analyzer.estimate(),
-        after_padding=analyzer.estimate(padding=padding),
-        after_padding_tiling=analyzer.estimate(tile_sizes=tiles, padding=padding),
+        before=before,
+        after_padding=after_padding,
+        after_padding_tiling=after_both,
         ga=result,
     )

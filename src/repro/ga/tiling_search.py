@@ -89,6 +89,7 @@ def optimize_tiling(
     use_simulator: bool = False,
     seed_baselines: bool = True,
     workers: int = 1,
+    point_workers: int = 1,
 ) -> TilingResult:
     """Search tile sizes minimising replacement misses for ``nest``.
 
@@ -97,11 +98,13 @@ def optimize_tiling(
     ``seed_baselines`` plants the §5 analytical selectors' tiles in the
     initial population (set ``False`` for the paper's purely random
     initialisation, e.g. in the convergence study).  ``workers``
-    controls objective fan-out per generation; results are identical
-    for any value (see :mod:`repro.evaluation`).
+    controls objective fan-out per generation, ``point_workers``
+    shards each candidate's sample instead (pick one); results are
+    identical for any value (see :mod:`repro.evaluation`).
     """
     analyzer = LocalityAnalyzer(
-        nest, cache, layout=layout, n_samples=n_samples, seed=seed
+        nest, cache, layout=layout, n_samples=n_samples, seed=seed,
+        point_workers=point_workers,
     )
     objective = (
         SimulatorTilingObjective(analyzer, workers=workers)
@@ -114,10 +117,11 @@ def optimize_tiling(
     ga = GeneticAlgorithm(genome, objective, ga_config, initial_values=initial)
     try:
         result = ga.run()
+        before = analyzer.estimate()
+        after = analyzer.estimate(tile_sizes=result.best_values)
     finally:
         objective.close()
-    before = analyzer.estimate()
-    after = analyzer.estimate(tile_sizes=result.best_values)
+        analyzer.close()
     return TilingResult(
         nest_name=nest.name,
         tile_sizes=result.best_values,

@@ -35,6 +35,12 @@ class AffineExpr:
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("AffineExpr is immutable")
 
+    def __reduce__(self):
+        # Slots + the immutability guard defeat default pickling;
+        # rebuild through the constructor instead.  Required by the
+        # process-pool paths (point sharding, spawn-start platforms).
+        return (AffineExpr, (self.coeffs, self.const))
+
     # -- constructors -------------------------------------------------
     @staticmethod
     def var(name: str, coeff: int = 1) -> "AffineExpr":

@@ -1,0 +1,87 @@
+"""Unified batched search-strategy subsystem.
+
+Every search in this repository — the GA of §3, the baseline searches
+of §5, and anything the experiment harnesses run — is an instance of
+the same loop: *propose a batch of candidates, evaluate them, update
+state, repeat*.  This package makes that loop the architecture:
+
+* :class:`~repro.search.base.SearchStrategy` — the batch-proposer
+  protocol.  A strategy never calls an objective; it **yields waves of
+  candidate genotypes** and reads their objective values back from its
+  observation memo.  Serial algorithms (hill climbing's
+  first-improvement sweep, annealing's Metropolis chain) are written
+  as plain generators; the framework turns their value reads into
+  batch proposals without changing a single decision they make.
+* :func:`~repro.search.driver.run_search` — the one shared driver.
+  It owns the :class:`repro.evaluation.Evaluator` (memoisation,
+  dedup, process-pool fan-out), budget accounting (objective *calls*
+  vs *distinct* CME solves), per-step trace records, and
+  checkpoint/resume.
+* :mod:`~repro.search.strategies` — hill climbing, simulated
+  annealing, random sampling and exhaustive/grid enumeration as batch
+  proposers; :mod:`~repro.search.genetic` — the GA engine's
+  generational loop as a batch proposer (the engine in
+  :mod:`repro.ga.engine` now runs on top of it).
+
+Batch-proposal contract
+-----------------------
+``propose()`` returns the next wave of candidates (possibly empty →
+search finished); the driver evaluates the wave through the shared
+evaluator and hands ``(candidates, values)`` to ``observe()``, which
+stores them in the strategy's memo; ``propose()`` then advances the
+underlying algorithm until it needs a value the memo does not hold.
+Waves may contain *speculative* candidates (hill climbing proposes the
+whole coordinate neighborhood of the current point; annealing proposes
+the candidate tree of the next few chain steps under every possible
+accept/reject outcome).  Because objectives are pure, speculation can
+only waste evaluations, never change a decision: the algorithm replays
+its exact serial semantics from the memo.  Consequently ``workers=1``
+reproduces the pre-refactor serial trajectories bit-for-bit, and any
+``workers`` count yields the identical trajectory — only wall-clock
+time changes.
+
+Checkpoint format
+-----------------
+A checkpoint is a pickled dict
+``{"version": 1, "strategy": {"strategy": name, "params": ctor
+kwargs, "memo": {genotype: value}}, "step", "calls", "seen", "trace"}``.
+Restoring re-instantiates the strategy from ``params`` and replays its
+generator against the memo (deterministic, evaluation-free
+fast-forward), then warms the fresh evaluator's cache from the memo so
+no CME system is ever solved twice across a resume.
+"""
+
+from repro.search.base import (
+    REGISTRY,
+    SearchResult,
+    SearchStrategy,
+    StepRecord,
+    restore_strategy,
+)
+from repro.search.driver import load_checkpoint, run_search, save_checkpoint
+from repro.search.genetic import GAStrategy
+from repro.search.strategies import (
+    AnnealingStrategy,
+    ExhaustiveStrategy,
+    HillClimbStrategy,
+    RandomStrategy,
+)
+from repro.search.tiling import TilingSearchOutcome, search_tiling
+
+__all__ = [
+    "AnnealingStrategy",
+    "ExhaustiveStrategy",
+    "GAStrategy",
+    "HillClimbStrategy",
+    "RandomStrategy",
+    "REGISTRY",
+    "SearchResult",
+    "SearchStrategy",
+    "StepRecord",
+    "TilingSearchOutcome",
+    "load_checkpoint",
+    "restore_strategy",
+    "run_search",
+    "save_checkpoint",
+    "search_tiling",
+]

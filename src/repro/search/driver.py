@@ -1,0 +1,218 @@
+"""The one shared search loop: evaluate waves, account, trace, checkpoint.
+
+``run_search`` is the only place in the repository that drives a
+search strategy against an objective.  It owns:
+
+* the :class:`repro.evaluation.Evaluator` — plain callables are
+  wrapped (gaining memoisation and, with ``workers > 1``, process-pool
+  fan-out); objects already implementing the ``BatchObjective``
+  protocol pass through so one cache serves the whole search;
+* budget accounting — ``max_distinct`` caps the number of distinct
+  genotypes handed to the evaluator (i.e. actual CME solves,
+  speculation included), the honest version of the paper's
+  450-evaluation budget;
+* per-step :class:`~repro.search.base.StepRecord` traces;
+* checkpoint/resume (see the :mod:`repro.search` package docstring
+  for the format).  On resume the evaluator's cache is warmed from
+  the strategy's memo, so no CME system is solved twice across a
+  restart.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable
+
+from repro.evaluation import Evaluator, as_batch_objective
+from repro.search.base import (
+    SearchResult,
+    SearchStrategy,
+    StepRecord,
+    Values,
+    restore_strategy,
+)
+
+CHECKPOINT_VERSION = 1
+
+
+def _truncate_to_budget(
+    batch: list[Values], seen: set[Values], budget_left: int
+) -> list[Values]:
+    """Longest batch prefix whose distinct-new count fits the budget.
+
+    Memoised (already-seen) candidates ride along free; the strategy
+    re-proposes anything cut here, and the driver's budget check then
+    terminates the loop.
+    """
+    fresh: set[Values] = set()
+    for i, cand in enumerate(batch):
+        if cand not in seen and cand not in fresh:
+            if len(fresh) >= budget_left:
+                return batch[:i]
+            fresh.add(cand)
+    return batch
+
+
+def save_checkpoint(
+    path: str,
+    strategy: SearchStrategy,
+    step: int,
+    calls: int,
+    seen: set[Values],
+    trace: list[StepRecord],
+    fingerprint: object = None,
+) -> None:
+    """Atomically persist a search's full resumable state."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "strategy": strategy.state_dict(),
+        "step": step,
+        "calls": calls,
+        "seen": sorted(seen),
+        "trace": list(trace),
+        "fingerprint": fingerprint,
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> dict:
+    """Load and validate a checkpoint written by :func:`save_checkpoint`."""
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint {path!r} has version {version!r}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    return payload
+
+
+def run_search(
+    strategy: SearchStrategy | None,
+    objective: Callable[[Values], float],
+    *,
+    workers: int = 1,
+    max_distinct: int | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 1,
+    resume: str | None = None,
+    fingerprint: object = None,
+) -> SearchResult:
+    """Drive ``strategy`` against ``objective`` to completion.
+
+    ``workers`` fans evaluation waves out over a process pool: plain
+    callables are wrapped in an :class:`Evaluator` with that worker
+    count, and an objective already implementing ``BatchObjective``
+    has its pool widened to at least ``workers`` (it never shrinks a
+    wider configuration the caller set on the objective itself).
+    Results are bit-for-bit identical for every worker count —
+    parallelism only changes wall-clock time (see
+    :mod:`repro.evaluation`).
+
+    ``max_distinct`` caps distinct genotypes evaluated: oversized
+    waves are truncated to the remaining budget (memoised candidates
+    always pass through free).
+
+    ``resume`` restores strategy state and accounting from a
+    checkpoint file (``strategy`` may then be ``None``);
+    ``checkpoint_path`` writes a checkpoint every ``checkpoint_every``
+    completed steps and once more at termination.  ``fingerprint`` is
+    any picklable identity of the objective/problem; it is stored in
+    checkpoints and, when both sides provide one, must match on
+    resume — a memo of objective values is only valid against the
+    objective that produced it.
+    """
+    if resume is not None:
+        payload = load_checkpoint(resume)
+        saved_fp = payload.get("fingerprint")
+        if (
+            fingerprint is not None
+            and saved_fp is not None
+            and saved_fp != fingerprint
+        ):
+            raise ValueError(
+                f"checkpoint {resume!r} was captured against "
+                f"{saved_fp!r}, not {fingerprint!r}; refusing to warm "
+                "the evaluator with another objective's values"
+            )
+        strategy = restore_strategy(payload["strategy"])
+        step = payload["step"]
+        calls = payload["calls"]
+        seen: set[Values] = set(map(tuple, payload["seen"]))
+        trace: list[StepRecord] = list(payload["trace"])
+    else:
+        if strategy is None:
+            raise ValueError("strategy is required unless resuming")
+        step = 0
+        calls = 0
+        seen = set()
+        trace = []
+
+    evaluator = as_batch_objective(objective, workers=workers)
+    owned = evaluator is not objective
+    if isinstance(evaluator, Evaluator):
+        if workers > evaluator.workers and evaluator._pool is None:
+            evaluator.workers = workers
+        # Warm the cache with everything the strategy has observed:
+        # after a resume the evaluator is fresh but the values are not.
+        for cand, val in strategy._memo.items():
+            evaluator.cache.setdefault(cand, val)
+    try:
+        while not (max_distinct is not None and len(seen) >= max_distinct):
+            batch = strategy.propose()
+            if not batch:
+                break
+            if max_distinct is not None:
+                batch = _truncate_to_budget(
+                    batch, seen, max_distinct - len(seen)
+                )
+            values = evaluator.evaluate_batch(batch)
+            calls += len(batch)
+            before = len(seen)
+            seen.update(batch)
+            strategy.observe(batch, values)
+            # Consume the wave now (evaluation-free) so the trace and
+            # any budget-capped exit reflect the values just paid for.
+            strategy.advance()
+            step += 1
+            best_values, best_objective = strategy.best()
+            trace.append(
+                StepRecord(
+                    step=step,
+                    proposed=len(batch),
+                    new_distinct=len(seen) - before,
+                    best_objective=best_objective,
+                    best_values=best_values,
+                )
+            )
+            if checkpoint_path and step % checkpoint_every == 0:
+                save_checkpoint(
+                    checkpoint_path, strategy, step, calls, seen, trace,
+                    fingerprint,
+                )
+    finally:
+        if owned:
+            evaluator.close()
+    if checkpoint_path:
+        save_checkpoint(
+            checkpoint_path, strategy, step, calls, seen, trace, fingerprint
+        )
+    best_values, best_objective = strategy.best()
+    return SearchResult(
+        strategy=strategy.name,
+        best_values=best_values,
+        best_objective=best_objective,
+        steps=step,
+        evaluations=calls,
+        distinct_evaluations=len(seen),
+        consumed=strategy.consumed,
+        consumed_distinct=strategy.consumed_distinct,
+        finished=strategy.finished,
+        trace=trace,
+        strategy_ref=strategy,
+    )

@@ -1,0 +1,382 @@
+"""Baseline search algorithms as batch proposers.
+
+Each class re-states one of the §5 baseline searches in the
+:class:`~repro.search.base.SearchStrategy` protocol, preserving the
+pre-refactor serial semantics *exactly* (same move order, same RNG
+consumption, same tie-breaking) while exposing batch-level
+parallelism:
+
+* :class:`HillClimbStrategy` proposes the whole coordinate
+  neighborhood of the current point per wave; the first-improvement
+  sweep then replays serially from the memo.
+* :class:`AnnealingStrategy` proposes speculative Metropolis chains:
+  the candidate tree of the next ``speculation`` steps under every
+  possible accept/reject outcome (3 branches per step — accept
+  without drawing the acceptance uniform, accept after drawing it,
+  reject after drawing it — enumerated by cloning the RNG state).
+* :class:`RandomStrategy` streams its fixed sample in chunks.
+* :class:`ExhaustiveStrategy` streams the (full or log-spaced) grid
+  in chunks.
+
+Budget accounting follows :mod:`repro.search.base`: hill climbing
+charges ``max_distinct`` per *distinct* genotype consumed (memo
+revisits are free — the pre-refactor version burned budget on them);
+annealing's ``budget`` is the Metropolis chain length, because the
+geometric cooling schedule is calibrated to it; random and exhaustive
+enumerate fixed streams whose distinct count is bounded by the budget
+by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import islice, product
+
+import numpy as np
+
+from repro.search.base import SearchStrategy, Values
+from repro.utils.rng import make_rng
+
+
+class HillClimbStrategy(SearchStrategy):
+    """First-improvement coordinate descent over tile vectors.
+
+    The sweep walks (dimension, move) positions in a fixed order,
+    computing each candidate from the *live* current point — an
+    acceptance mid-sweep changes the candidates the remaining
+    positions generate, exactly as the pre-refactor loop did.  With
+    ``neighborhood=True`` every wave speculatively proposes all moves
+    reachable from the current point, which is precisely the set the
+    rest of the sweep will request unless another improvement is
+    accepted first.
+    """
+
+    name = "hillclimb"
+
+    #: Move set per dimension, in the sweep's fixed order.
+    MOVES = (
+        lambda t: t * 2,
+        lambda t: t // 2,
+        lambda t: t + 1,
+        lambda t: t - 1,
+    )
+
+    def __init__(
+        self,
+        extents: list[int],
+        start: Values | None = None,
+        max_distinct: int = 450,
+        neighborhood: bool = True,
+    ):
+        super().__init__()
+        self.extents = [int(e) for e in extents]
+        self.start = (
+            tuple(int(t) for t in start)
+            if start is not None
+            else tuple(max(1, e // 2) for e in self.extents)
+        )
+        self.max_distinct = max_distinct
+        self.neighborhood = neighborhood
+        self.current: Values = self.start
+        self.current_objective = float("inf")
+        #: Accepted (candidate, value) sequence — the trajectory.
+        self.accepted: list[tuple[Values, float]] = []
+
+    def _params(self) -> dict:
+        return {
+            "extents": self.extents,
+            "start": self.start,
+            "max_distinct": self.max_distinct,
+            "neighborhood": self.neighborhood,
+        }
+
+    def _move(self, d: int, move, base: Values) -> Values:
+        cand = list(base)
+        cand[d] = min(max(1, move(base[d])), self.extents[d])
+        return tuple(cand)
+
+    def _speculate(self) -> list[Values]:
+        if not self.neighborhood:
+            return []
+        seen: set[Values] = {self.current}
+        out: list[Values] = []
+        for d in range(len(self.extents)):
+            for move in self.MOVES:
+                cand = self._move(d, move, self.current)
+                if cand not in seen:
+                    seen.add(cand)
+                    out.append(cand)
+        return out
+
+    def _algorithm(self):
+        val = yield from self._need(self.start)
+        self.current, self.current_objective = self.start, val
+        self.accepted.append((self.start, val))
+        self._record_best(self.start, val)
+        improved = True
+        while improved and self.consumed_distinct < self.max_distinct:
+            improved = False
+            for d in range(len(self.extents)):
+                for move in self.MOVES:
+                    cand = self._move(d, move, self.current)
+                    if cand == self.current:
+                        continue
+                    val = yield from self._need(cand)
+                    if val < self.current_objective:
+                        self.current, self.current_objective = cand, val
+                        self.accepted.append((cand, val))
+                        self._record_best(cand, val)
+                        improved = True
+                    if self.consumed_distinct >= self.max_distinct:
+                        return
+
+
+class AnnealingStrategy(SearchStrategy):
+    """Simulated annealing with geometric cooling (§3.1's classic
+    alternative global optimiser) as a speculative-chain proposer.
+
+    The Metropolis chain is inherently serial: the next move's RNG
+    draws and starting point depend on whether the pending candidate
+    is accepted.  ``speculation=K`` therefore proposes the candidate
+    *tree* of the next ``K`` chain steps: each unresolved evaluation
+    forks three ways — accepted with ``val <= current`` (no acceptance
+    uniform drawn), accepted via the Metropolis uniform, or rejected
+    via it — and each fork's future draws are reproduced by cloning
+    the generator state.  Once values arrive, the true chain replays
+    from the memo; wrong branches only cost wasted (parallel)
+    evaluations.  ``speculation=1`` proposes one candidate at a time,
+    reproducing the pre-refactor serial evaluation order bit-for-bit.
+
+    ``budget`` counts chain steps (``consumed``), not distinct
+    genotypes: the cooling factor ``alpha`` is calibrated so the
+    temperature falls from ``t_start`` to ``t_end`` over exactly
+    ``budget`` steps, revisits included.
+    """
+
+    name = "annealing"
+
+    #: Upper bound on speculative candidates per wave (the branch tree
+    #: grows 3^K; beyond ~2 levels most of it is stale guesswork).
+    MAX_SPECULATIVE = 40
+
+    def __init__(
+        self,
+        extents: list[int],
+        budget: int = 450,
+        t_start: float = 1.0,
+        t_end: float = 0.01,
+        seed: int | np.random.Generator = 0,
+        speculation: int = 1,
+        rng_state: dict | None = None,
+    ):
+        super().__init__()
+        self.extents = [int(e) for e in extents]
+        self.budget = budget
+        self.t_start = t_start
+        self.t_end = t_end
+        self.speculation = speculation
+        self._rng = make_rng(seed)
+        if rng_state is not None:
+            self._rng.bit_generator.state = rng_state
+        # The *initial* generator state: checkpoints restore from it
+        # and replay, so a Generator passed as seed stays supported.
+        self._rng_state0 = self._rng.bit_generator.state
+        self.current: Values = tuple(max(1, e // 2) for e in self.extents)
+        self.current_objective = float("inf")
+        self.steps = 0
+        #: Chain of current points after each step — the trajectory.
+        self.chain: list[Values] = []
+
+    def _params(self) -> dict:
+        return {
+            "extents": self.extents,
+            "budget": self.budget,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "speculation": self.speculation,
+            "rng_state": self._rng_state0,
+        }
+
+    def _draw(self, rng: np.random.Generator, current: Values) -> Values:
+        """One neighbourhood move, consuming RNG exactly as the chain."""
+        d = int(rng.integers(0, len(self.extents)))
+        factor = math.exp(rng.normal(0.0, 0.5))
+        cand = list(current)
+        cand[d] = min(max(1, round(current[d] * factor)), self.extents[d])
+        cand = tuple(cand)
+        if cand == current:
+            cand = list(current)
+            cand[d] = min(
+                max(1, current[d] + int(rng.choice([-1, 1]))), self.extents[d]
+            )
+            cand = tuple(cand)
+        return cand
+
+    def _clone_rng(self, state: dict, burn_uniform: bool) -> np.random.Generator:
+        # Same BitGenerator class as the chain's, so a caller-supplied
+        # non-PCG64 generator (or a restored checkpoint of one) clones
+        # correctly.
+        rng = np.random.Generator(type(self._rng.bit_generator)())
+        rng.bit_generator.state = state
+        if burn_uniform:
+            rng.random()
+        return rng
+
+    def _speculate(self) -> list[Values]:
+        if self.speculation <= 1 or not self._pending:
+            return []
+        pending = self._pending[0]
+        state = self._rng.bit_generator.state
+        if self.steps == 0:
+            # The initial point's value decides nothing: one branch.
+            frontier = [(self._clone_rng(state, False), self.current)]
+        else:
+            frontier = [
+                (self._clone_rng(state, False), pending),
+                (self._clone_rng(state, True), pending),
+                (self._clone_rng(state, True), self.current),
+            ]
+        out: list[Values] = []
+        steps_left = self.budget - self.steps - 1
+        for _depth in range(self.speculation - 1):
+            if steps_left <= 0 or len(out) >= self.MAX_SPECULATIVE:
+                break
+            nxt = []
+            for rng, current in frontier:
+                cand = self._draw(rng, current)
+                out.append(cand)
+                if len(out) >= self.MAX_SPECULATIVE:
+                    break
+                child_state = rng.bit_generator.state
+                nxt.append((self._clone_rng(child_state, False), cand))
+                nxt.append((self._clone_rng(child_state, True), cand))
+                nxt.append((self._clone_rng(child_state, True), current))
+            frontier = nxt
+            steps_left -= 1
+        return out
+
+    def _algorithm(self):
+        val = yield from self._need(self.current)
+        self.current_objective = val
+        self.steps = 1
+        self._record_best(self.current, val)
+        self.chain.append(self.current)
+        alpha = (self.t_end / self.t_start) ** (1.0 / max(1, self.budget - 1))
+        temp = self.t_start
+        while self.steps < self.budget:
+            cand = self._draw(self._rng, self.current)
+            val = yield from self._need(cand)
+            self.steps += 1
+            scale = max(self.best_objective, 1.0)
+            if val <= self.current_objective or self._rng.random() < math.exp(
+                -(val - self.current_objective) / (scale * temp)
+            ):
+                self.current, self.current_objective = cand, val
+            self._record_best(cand, val)
+            temp *= alpha
+            self.chain.append(self.current)
+
+
+class RandomStrategy(SearchStrategy):
+    """Uniform random sampling, streamed in fixed-size chunks.
+
+    The whole sample is drawn up-front (consuming the generator in the
+    pre-refactor per-candidate, per-dimension order), then proposed in
+    chunks of ``chunk`` candidates; the incumbent is updated under
+    strict improvement, so the first occurrence wins ties exactly as
+    one whole-budget ``argmin`` decided them.
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        extents: list[int],
+        budget: int = 450,
+        seed: int | np.random.Generator = 0,
+        chunk: int = 64,
+        candidates: list[Values] | None = None,
+    ):
+        super().__init__()
+        self.extents = [int(e) for e in extents]
+        self.budget = budget
+        self.chunk = chunk
+        if candidates is None:
+            rng = make_rng(seed)
+            candidates = [
+                tuple(int(rng.integers(1, e + 1)) for e in self.extents)
+                for _ in range(budget)
+            ]
+        self.candidates = [tuple(c) for c in candidates]
+
+    def _params(self) -> dict:
+        return {
+            "extents": self.extents,
+            "budget": self.budget,
+            "chunk": self.chunk,
+            "candidates": self.candidates,
+        }
+
+    def _algorithm(self):
+        for i in range(0, len(self.candidates), self.chunk):
+            batch = self.candidates[i : i + self.chunk]
+            yield list(batch)
+            for cand in batch:
+                self._record_best(cand, self._consume(cand))
+
+
+def log_grid(extent: int, max_points: int) -> list[int]:
+    """Log-spaced candidate tile sizes in [1, extent], always incl. ends."""
+    if extent <= max_points:
+        return list(range(1, extent + 1))
+    vals = {1, extent}
+    x = 1.0
+    ratio = extent ** (1.0 / (max_points - 1))
+    for _ in range(max_points):
+        x *= ratio
+        vals.add(min(extent, max(1, round(x))))
+    return sorted(vals)
+
+
+class ExhaustiveStrategy(SearchStrategy):
+    """Exhaustive (or log-grid-bounded) enumeration in streamed chunks.
+
+    ``max_points_per_dim=None`` enumerates every tile vector — only
+    sensible when the space is small; otherwise each dimension is
+    restricted to a logarithmic grid.  Ties keep the lexicographically
+    first vector, as the serial enumeration did.
+    """
+
+    name = "exhaustive"
+
+    def __init__(
+        self,
+        extents: list[int],
+        max_points_per_dim: int | None = None,
+        chunk: int = 1024,
+    ):
+        super().__init__()
+        self.extents = [int(e) for e in extents]
+        self.max_points_per_dim = max_points_per_dim
+        self.chunk = chunk
+        if max_points_per_dim is None:
+            self.axes = [list(range(1, e + 1)) for e in self.extents]
+        else:
+            self.axes = [log_grid(e, max_points_per_dim) for e in self.extents]
+
+    def _params(self) -> dict:
+        return {
+            "extents": self.extents,
+            "max_points_per_dim": self.max_points_per_dim,
+            "chunk": self.chunk,
+        }
+
+    def _algorithm(self):
+        grid = product(*self.axes)
+        while True:
+            batch = list(islice(grid, self.chunk))
+            if not batch:
+                return
+            yield batch
+            for cand in batch:
+                self._record_best(cand, self._consume(cand))

@@ -1,0 +1,156 @@
+"""Strategy-agnostic tile-size search — the CLI's `search` command.
+
+``search_tiling`` wires any registered strategy (GA, hillclimb,
+annealing, random, exhaustive) to the sampled-CME tiling objective of
+:mod:`repro.ga.objective` and drives it through the shared
+:func:`repro.search.run_search` loop, with optional candidate-level
+worker fan-out, point-level sample sharding, and checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import CacheConfig
+from repro.cme.analyzer import LocalityAnalyzer
+from repro.cme.sampling import PAPER_SAMPLE_SIZE, CMEEstimate
+from repro.ir.loops import LoopNest
+from repro.search.base import SearchResult, SearchStrategy
+from repro.search.driver import run_search
+from repro.search.genetic import GAStrategy
+from repro.search.strategies import (
+    AnnealingStrategy,
+    ExhaustiveStrategy,
+    HillClimbStrategy,
+    RandomStrategy,
+)
+
+#: Strategy names accepted by :func:`make_tiling_strategy` / the CLI.
+STRATEGY_NAMES = ("ga", "hillclimb", "annealing", "random", "exhaustive")
+
+
+@dataclass
+class TilingSearchOutcome:
+    """A :class:`SearchResult` plus before/after miss-ratio estimates."""
+
+    nest_name: str
+    search: SearchResult
+    before: CMEEstimate
+    after: CMEEstimate
+
+    @property
+    def tile_sizes(self) -> tuple[int, ...]:
+        return self.search.best_values
+
+    def summary(self) -> str:
+        s = self.search
+        return (
+            f"{self.nest_name} [{s.strategy}]: T={s.best_values} "
+            f"repl {self.before.replacement_ratio:.2%} → "
+            f"{self.after.replacement_ratio:.2%} "
+            f"({s.steps} steps, {s.evaluations} evals, "
+            f"{s.distinct_evaluations} distinct)"
+        )
+
+
+def make_tiling_strategy(
+    name: str,
+    nest: LoopNest,
+    budget: int = 450,
+    seed: int = 0,
+    ga_config=None,
+    speculation: int = 1,
+    neighborhood: bool = False,
+) -> SearchStrategy:
+    """Build a registered strategy over ``nest``'s tile-size space."""
+    extents = [loop.extent for loop in nest.loops]
+    if name == "ga":
+        from repro.ga.engine import GAConfig
+        from repro.ga.tiling_search import tiling_genome
+
+        return GAStrategy(tiling_genome(nest), ga_config or GAConfig(seed=seed))
+    if name == "hillclimb":
+        return HillClimbStrategy(
+            extents, max_distinct=budget, neighborhood=neighborhood
+        )
+    if name == "annealing":
+        return AnnealingStrategy(
+            extents, budget=budget, seed=seed, speculation=speculation
+        )
+    if name == "random":
+        return RandomStrategy(extents, budget=budget, seed=seed)
+    if name == "exhaustive":
+        # Bound per-dimension points so the grid roughly fits the budget.
+        per_dim = max(2, round(budget ** (1.0 / max(1, nest.depth))))
+        return ExhaustiveStrategy(extents, max_points_per_dim=per_dim)
+    raise ValueError(
+        f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}"
+    )
+
+
+def search_tiling(
+    nest: LoopNest,
+    cache: CacheConfig,
+    strategy: str = "ga",
+    budget: int = 450,
+    seed: int = 0,
+    n_samples: int = PAPER_SAMPLE_SIZE,
+    workers: int = 1,
+    point_workers: int = 1,
+    ga_config=None,
+    speculation: int = 1,
+    checkpoint_path: str | None = None,
+    resume: str | None = None,
+) -> TilingSearchOutcome:
+    """Minimise sampled replacement misses for ``nest`` with any strategy.
+
+    ``workers`` fans *candidate* evaluation out over a process pool;
+    ``point_workers`` shards each candidate's *sample* instead (see
+    :mod:`repro.evaluation.sharding`) — useful when a strategy
+    proposes few candidates per wave.  Results are identical for any
+    worker configuration.
+    """
+    from repro.ga.objective import TilingObjective
+
+    analyzer = LocalityAnalyzer(
+        nest, cache, n_samples=n_samples, seed=seed, point_workers=point_workers
+    )
+    objective = TilingObjective(analyzer, workers=workers)
+    strat = (
+        None
+        if resume is not None
+        else make_tiling_strategy(
+            strategy, nest, budget=budget, seed=seed,
+            ga_config=ga_config, speculation=speculation,
+            # Speculative neighborhood waves only pay for themselves
+            # across a worker pool.
+            neighborhood=workers > 1,
+        )
+    )
+    try:
+        result = run_search(
+            strat,
+            objective,
+            # The budget caps *distinct CME solves*, speculation
+            # included — strategies also self-limit, but this is the
+            # uniform ceiling the CLI's --budget documents.
+            max_distinct=budget,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            # The memo in a checkpoint is only valid against the same
+            # sampled objective; refuse cross-problem resumes.
+            fingerprint=(nest.name, repr(cache), n_samples, seed),
+        )
+        if result.best_values is None:
+            raise ValueError(
+                f"budget {budget} too small: the {result.strategy} "
+                "strategy could not complete a single wave"
+            )
+        before = analyzer.estimate()
+        after = analyzer.estimate(tile_sizes=result.best_values)
+    finally:
+        objective.close()
+        analyzer.close()
+    return TilingSearchOutcome(
+        nest_name=nest.name, search=result, before=before, after=after
+    )

@@ -1,0 +1,123 @@
+"""Point-batch sharding: a single candidate's sample split across
+workers must merge to exactly the unsharded estimate."""
+
+import pickle
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cme.analyzer import LocalityAnalyzer
+from repro.cme.sampling import estimate_at_points, sample_original_points
+from repro.evaluation import (
+    estimate_at_points_sharded,
+    merge_estimates,
+    shard_points,
+)
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from repro.transform.tiling import tile_program
+from tests.conftest import make_small_mm, make_small_transpose
+
+CACHE = CacheConfig(1024, 32, 1)
+
+
+def test_shard_points_partitions_in_order():
+    pts = [(i,) for i in range(10)]
+    shards = shard_points(pts, 3)
+    assert [p for s in shards for p in s] == pts
+    assert len(shards) == 3
+    assert all(s for s in shards)
+    # degenerate cases
+    assert shard_points(pts, 1) == [pts]
+    assert shard_points(pts[:2], 8) == [[(0,)], [(1,)]]
+
+
+def test_merge_equals_unsharded_counts():
+    nest = make_small_mm(16)
+    layout = MemoryLayout(nest.arrays())
+    program = tile_program(nest, (4, 8, 8))
+    points = sample_original_points(nest, 60, 0)
+    whole = estimate_at_points(program, layout, CACHE, points)
+    parts = [
+        estimate_at_points(program, layout, CACHE, shard)
+        for shard in shard_points(points, 4)
+    ]
+    merged = merge_estimates(parts)
+    assert merged.sampled_points == whole.sampled_points
+    assert merged.sampled_accesses == whole.sampled_accesses
+    assert (merged.hits, merged.cold, merged.replacement) == (
+        whole.hits, whole.cold, whole.replacement
+    )
+    assert merged.per_ref == whole.per_ref
+    assert merged.total_accesses == whole.total_accesses
+    assert merged.miss_ratio == whole.miss_ratio
+    # instrumentation sums across shards
+    assert merged.solver_stats.points == whole.solver_stats.points
+
+
+def test_sharded_process_pool_path_matches_serial():
+    nest = make_small_transpose(32)
+    layout = MemoryLayout(nest.arrays())
+    program = program_from_nest(nest)
+    points = sample_original_points(nest, 48, 1)
+    whole = estimate_at_points(program, layout, CACHE, points)
+    sharded = estimate_at_points_sharded(
+        program, layout, CACHE, points, workers=3
+    )
+    assert sharded.per_ref == whole.per_ref
+    assert (sharded.hits, sharded.cold, sharded.replacement) == (
+        whole.hits, whole.cold, whole.replacement
+    )
+
+
+def test_small_samples_fall_back_to_serial():
+    nest = make_small_transpose(16)
+    layout = MemoryLayout(nest.arrays())
+    program = program_from_nest(nest)
+    points = sample_original_points(nest, 6, 0)
+    est = estimate_at_points_sharded(program, layout, CACHE, points, workers=4)
+    assert est.sampled_points == 6  # classified, no pool spun up
+
+
+def test_analyzer_point_workers_matches_serial():
+    nest = make_small_transpose(32)
+    serial = LocalityAnalyzer(nest, CACHE, n_samples=48, seed=0)
+    sharded = LocalityAnalyzer(
+        nest, CACHE, n_samples=48, seed=0, point_workers=3
+    )
+    try:
+        for tiles in (None, (8, 8), (32, 1)):
+            a = serial.estimate(tile_sizes=tiles)
+            b = sharded.estimate(tile_sizes=tiles)
+            assert a.per_ref == b.per_ref
+            assert a.replacement == b.replacement
+    finally:
+        sharded.close()
+        sharded.close()  # idempotent
+
+
+def test_analyzer_small_sample_never_spawns_pool():
+    analyzer = LocalityAnalyzer(
+        make_small_transpose(16), CACHE, n_samples=8, seed=0, point_workers=4
+    )
+    assert analyzer.estimate().sampled_points == 8
+    assert analyzer._point_pool is None  # serial fallback, no processes
+
+
+def test_analyzer_validates_point_workers():
+    with pytest.raises(ValueError):
+        LocalityAnalyzer(make_small_transpose(16), CACHE, point_workers=0)
+
+
+def test_pickled_analyzer_downgrades_to_serial():
+    """Analyzers shipped into evaluation workers must not nest pools."""
+    analyzer = LocalityAnalyzer(
+        make_small_transpose(16), CACHE, n_samples=12, seed=0, point_workers=4
+    )
+    try:
+        clone = pickle.loads(pickle.dumps(analyzer))
+    finally:
+        analyzer.close()
+    assert clone.point_workers == 1
+    assert clone._point_pool is None
+    assert clone.estimate().sampled_points == 12

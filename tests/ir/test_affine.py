@@ -104,6 +104,17 @@ def test_immutability():
         e.const = 5
 
 
+def test_pickle_roundtrip():
+    """Process-pool paths ship expressions through pickle; the slots +
+    immutability guard used to break unpickling (worker-side crash)."""
+    import pickle
+
+    e = AffineExpr({"i": 2, "j": -1}, 7)
+    clone = pickle.loads(pickle.dumps(e))
+    assert clone == e
+    assert hash(clone) == hash(e)
+
+
 def test_repr_roundtrip_readability():
     e = AffineExpr({"i": 1, "j": -2}, 3)
     s = repr(e)

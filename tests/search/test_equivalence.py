@@ -1,0 +1,260 @@
+"""Strategy-equivalence guarantees of the repro.search migration.
+
+Three families of checks:
+
+* **golden**: every migrated strategy reproduces the pre-refactor
+  serial implementation bit-for-bit at ``workers=1`` (trajectories
+  captured from the seed code in ``golden.json`` — accepted-move
+  sequences, raw objective call streams, final results, and the full
+  GA generation history on both toy and real CME objectives);
+* **workers**: trajectories are identical for ``workers=1`` vs
+  ``workers=4`` — parallelism only changes wall-clock time;
+* **speculation**: hill climbing's neighborhood waves and annealing's
+  speculative chains change which candidates get evaluated, never a
+  decision the algorithm makes.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.baselines.annealing import simulated_annealing
+from repro.baselines.exhaustive import exhaustive_search
+from repro.baselines.hillclimb import hill_climb
+from repro.baselines.random_search import random_search
+from repro.cache.config import CacheConfig
+from repro.cme.analyzer import LocalityAnalyzer
+from repro.ga.engine import GAConfig, GeneticAlgorithm
+from repro.ga.objective import TilingObjective
+from repro.ga.tiling_search import optimize_tiling, tiling_genome
+from repro.search import AnnealingStrategy, HillClimbStrategy, run_search
+from tests.conftest import make_small_transpose
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden.json").read_text()
+)
+CACHE = CacheConfig(1024, 32, 1)
+QUICK = GAConfig(population_size=8, min_generations=3, max_generations=5, seed=0)
+
+
+def toy(target):
+    def fn(tiles):
+        return float(sum((t - x) ** 2 for t, x in zip(tiles, target)))
+    return fn
+
+
+def _sq27(tiles):
+    """Module-level (picklable) toy objective, target (4, 27)."""
+    return float((tiles[0] - 4) ** 2 + (tiles[1] - 27) ** 2)
+
+
+def _sq230(tiles):
+    """Module-level (picklable) toy objective, target (2, 30)."""
+    return float((tiles[0] - 2) ** 2 + (tiles[1] - 30) ** 2)
+
+
+class Recorder:
+    """Record the raw (cache-miss) call stream of an objective."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.stream = []
+
+    def __call__(self, values):
+        v = self.fn(values)
+        self.stream.append([list(values), float(v)])
+        return v
+
+
+def _real_objective():
+    analyzer = LocalityAnalyzer(
+        make_small_transpose(32), CACHE, n_samples=48, seed=0
+    )
+    return lambda t: float(analyzer.estimate(tile_sizes=t).replacement)
+
+
+# -- golden: bit-for-bit vs the pre-refactor serial implementations ------
+
+def test_hillclimb_matches_seed_trajectory():
+    g = GOLDEN["hillclimb_toy"]
+    strategy = HillClimbStrategy([32, 32], start=(16, 16))
+    run_search(strategy, toy((4, 27)))
+    assert [[list(c), v] for c, v in strategy.accepted] == g["accepted"]
+    assert [list(strategy.current), strategy.current_objective,
+            strategy.consumed] == g["final"]
+
+
+def test_hillclimb_matches_seed_on_real_cme_objective():
+    g = GOLDEN["hillclimb_real"]
+    res = hill_climb(make_small_transpose(32), _real_objective(), start=(16, 16))
+    assert [list(res.tile_sizes), res.objective, res.evaluations] == g["final"]
+
+
+def test_annealing_matches_seed_stream_and_result():
+    g = GOLDEN["annealing_toy"]
+    rec = Recorder(toy((2, 30)))
+    res = simulated_annealing(
+        make_small_transpose(32), rec, budget=120, seed=3
+    )
+    # speculation=1 issues exactly the seed's distinct-first-call stream
+    assert rec.stream == g["stream"]
+    assert [list(res.tile_sizes), res.objective, res.evaluations] == g["final"]
+
+
+def test_annealing_matches_seed_on_real_cme_objective():
+    g = GOLDEN["annealing_real"]
+    rec = Recorder(_real_objective())
+    res = simulated_annealing(make_small_transpose(32), rec, budget=60, seed=5)
+    assert rec.stream == g["stream"]
+    assert [list(res.tile_sizes), res.objective, res.evaluations] == g["final"]
+
+
+def test_random_matches_seed():
+    g = GOLDEN["random_toy"]
+    rec = Recorder(toy((8, 8)))
+    res = random_search(make_small_transpose(16), rec, budget=60, seed=7)
+    assert [list(res.tile_sizes), res.objective, res.evaluations] == g["final"]
+    assert len(rec.stream) == g["stream_len"]  # distinct draws, seed order
+
+
+def test_exhaustive_matches_seed():
+    res = exhaustive_search(make_small_transpose(12), toy((5, 9)))
+    assert [list(res.tile_sizes), res.objective, res.evaluations] == (
+        GOLDEN["exhaustive_toy"]["final"]
+    )
+    res = exhaustive_search(
+        make_small_transpose(48), toy((48, 1)), max_points_per_dim=6
+    )
+    assert [list(res.tile_sizes), res.objective, res.evaluations] == (
+        GOLDEN["exhaustive_grid"]["final"]
+    )
+
+
+def test_ga_matches_seed_history():
+    g = GOLDEN["ga_toy"]
+    res = GeneticAlgorithm(
+        tiling_genome(make_small_transpose(16)), toy((5, 9)), QUICK
+    ).run()
+    assert list(res.best_values) == g["best_values"]
+    assert res.best_objective == g["best_objective"]
+    assert res.generations == g["generations"]
+    assert res.converged_early == g["converged_early"]
+    assert res.evaluations == g["evaluations"]
+    assert res.distinct_evaluations == g["distinct_evaluations"]
+    assert [
+        [r.generation, r.best, r.average, list(r.best_values)]
+        for r in res.history
+    ] == g["history"]
+
+
+def test_ga_tiling_pipeline_matches_seed():
+    g = GOLDEN["ga_tiling_real"]
+    r = optimize_tiling(make_small_transpose(48), CACHE, config=QUICK, seed=1)
+    assert list(r.tile_sizes) == g["tile_sizes"]
+    assert r.ga.best_objective == g["best_objective"]
+    assert r.ga.generations == g["generations"]
+    assert r.ga.evaluations == g["evaluations"]
+    assert r.ga.distinct_evaluations == g["distinct_evaluations"]
+    assert [[a, b, c] for a, b, c in r.ga.convergence_trace] == g["trace"]
+    assert r.replacement_after == g["replacement_after"]
+
+
+# -- workers: identical trajectories for 1 vs 4 workers -------------------
+
+@pytest.mark.parametrize(
+    "search,kwargs",
+    [
+        (hill_climb, {"start": (16, 16), "neighborhood": True}),
+        (simulated_annealing, {"budget": 80, "seed": 3, "speculation": 3}),
+        (random_search, {"budget": 50, "seed": 7}),
+        (exhaustive_search, {"max_points_per_dim": 6}),
+    ],
+    ids=["hillclimb", "annealing", "random", "exhaustive"],
+)
+def test_workers_do_not_change_trajectories(search, kwargs):
+    nest = make_small_transpose(32)
+    obj = _sq27 if search is hill_climb else _sq230
+    serial = search(nest, obj, workers=1, **kwargs)
+    parallel = search(nest, obj, workers=4, **kwargs)
+    assert serial == parallel  # full result: tiles, value, counts, trace
+
+
+def test_workers_do_not_change_hillclimb_on_real_objective():
+    nest = make_small_transpose(32)
+    analyzer = LocalityAnalyzer(nest, CACHE, n_samples=48, seed=0)
+    serial = hill_climb(nest, TilingObjective(analyzer), start=(16, 16))
+    analyzer2 = LocalityAnalyzer(nest, CACHE, n_samples=48, seed=0)
+    obj = TilingObjective(analyzer2, workers=4)
+    try:
+        parallel = hill_climb(nest, obj, start=(16, 16))
+    finally:
+        obj.close()
+    assert serial == parallel
+
+
+# -- speculation: lookahead never changes a decision ----------------------
+
+def test_hillclimb_neighborhood_speculation_is_inert():
+    plain = HillClimbStrategy([32, 32], start=(16, 16), neighborhood=False)
+    run_search(plain, toy((4, 27)))
+    spec = HillClimbStrategy([32, 32], start=(16, 16), neighborhood=True)
+    spec_result = run_search(spec, toy((4, 27)))
+    assert spec.accepted == plain.accepted
+    assert spec.consumed == plain.consumed
+    assert spec.consumed_distinct == plain.consumed_distinct
+    # the neighborhood waves actually batch: fewer driver steps than
+    # serial proposals, at the price of extra (speculative) evaluations
+    assert spec_result.steps < plain.consumed
+    assert spec_result.distinct_evaluations >= spec.consumed_distinct
+
+
+def test_annealing_speculation_clones_any_bit_generator():
+    """Speculation must clone the chain's BitGenerator class, not
+    assume PCG64 (callers may pass their own Generator)."""
+    import numpy as np
+
+    nest = make_small_transpose(32)
+    spec = simulated_annealing(
+        nest, toy((2, 30)), budget=30,
+        seed=np.random.Generator(np.random.MT19937(0)), speculation=3,
+    )
+    base = simulated_annealing(
+        nest, toy((2, 30)), budget=30,
+        seed=np.random.Generator(np.random.MT19937(0)), speculation=1,
+    )
+    assert spec.tile_sizes == base.tile_sizes
+    assert spec.objective == base.objective
+
+
+def test_annealing_speculative_chains_are_inert():
+    base = AnnealingStrategy([32, 32], budget=120, seed=3, speculation=1)
+    run_search(base, toy((2, 30)))
+    spec = AnnealingStrategy([32, 32], budget=120, seed=3, speculation=4)
+    spec_result = run_search(spec, toy((2, 30)))
+    assert spec.chain == base.chain
+    assert spec.best() == base.best()
+    assert spec.consumed == base.consumed == 120
+    # the whole point: far fewer synchronous waves than chain steps
+    assert spec_result.steps < base.consumed / 2
+
+
+def test_baselines_report_both_eval_counts():
+    nest = make_small_transpose(16)
+    res = random_search(nest, toy((8, 8)), budget=60, seed=7)
+    assert res.evaluations == 60
+    assert res.distinct_evaluations <= res.evaluations
+    assert res.search.distinct_evaluations == res.distinct_evaluations
+    tiles, val, evals = res  # legacy 3-tuple unpacking still works
+    assert (tiles, val, evals) == (
+        res.tile_sizes, res.objective, res.evaluations
+    )
+
+
+def test_hillclimb_budget_charged_in_distinct_solves():
+    """Memo revisits no longer burn max_evals (the satellite bugfix)."""
+    strategy = HillClimbStrategy([32, 32], start=(16, 16), max_distinct=20)
+    run_search(strategy, toy((4, 27)))
+    assert strategy.consumed_distinct <= 20
+    # the serial path revisits neighbours freely beyond the budget
+    assert strategy.consumed >= strategy.consumed_distinct

@@ -1,0 +1,183 @@
+"""Driver mechanics of the repro.search subsystem: propose/observe
+loop, accounting, budget capping, checkpoint/resume."""
+
+import pickle
+
+import pytest
+
+from repro.evaluation import Evaluator
+from repro.search import (
+    ExhaustiveStrategy,
+    HillClimbStrategy,
+    RandomStrategy,
+    load_checkpoint,
+    restore_strategy,
+    run_search,
+)
+
+
+def _quad(values):
+    """Module-level (picklable) objective: distance² to (3, 5)."""
+    return float((values[0] - 3) ** 2 + (values[1] - 5) ** 2)
+
+
+def test_run_search_result_accounting():
+    strategy = RandomStrategy([8, 8], budget=20, seed=0, chunk=6)
+    result = run_search(strategy, _quad)
+    assert result.strategy == "random"
+    assert result.finished
+    assert result.consumed == 20  # every draw consumed, dups included
+    assert result.consumed_distinct == strategy.consumed_distinct
+    assert result.consumed_distinct <= 20
+    assert result.distinct_evaluations == result.consumed_distinct
+    assert result.steps == len(result.trace)
+    # trace best-objective is monotone non-increasing
+    bests = [r.best_objective for r in result.trace]
+    assert bests == sorted(bests, reverse=True)
+
+
+def test_run_search_shares_batch_objective_cache():
+    """A BatchObjective passes through; its cache serves the search."""
+    ev = Evaluator(_quad)
+    ev((3, 5))  # pre-warm
+    result = run_search(RandomStrategy([8, 8], budget=10, seed=1), ev)
+    assert result.best_objective >= 0.0
+    assert (3, 5) in ev.cache  # same evaluator, same cache
+
+
+def test_max_distinct_caps_the_search():
+    strategy = ExhaustiveStrategy([8, 8], chunk=4)
+    result = run_search(strategy, _quad, max_distinct=12)
+    assert not result.finished
+    assert result.distinct_evaluations == 12  # 3 chunks of 4
+
+
+def test_max_distinct_truncates_oversized_waves():
+    """A single wave larger than the remaining budget is trimmed."""
+    strategy = ExhaustiveStrategy([32, 32], chunk=1024)
+    result = run_search(strategy, _quad, max_distinct=10)
+    assert result.distinct_evaluations == 10
+    assert result.evaluations == 10
+    assert not result.finished
+
+
+def test_capped_search_consumes_the_paid_wave():
+    """Values evaluated in the final (budget-capped) wave reach best()."""
+    strategy = ExhaustiveStrategy([8, 8], chunk=4)
+    result = run_search(strategy, _quad, max_distinct=4)
+    assert result.distinct_evaluations == 4
+    # the 4 candidates are (1,1)..(1,4); the best of them must show up
+    assert result.best_values == (1, 4)
+    assert result.best_objective == _quad((1, 4))
+
+
+def test_trace_records_post_consumption_best():
+    result = run_search(RandomStrategy([8, 8], budget=12, seed=0, chunk=4), _quad)
+    first = result.trace[0]
+    assert first.best_values is not None
+    assert first.best_objective < float("inf")
+    assert result.trace[-1].best_objective == result.best_objective
+
+
+def test_run_search_widens_batch_objective_pool():
+    """workers= on the driver reaches a passed-in Evaluator's pool."""
+    ev = Evaluator(_quad, workers=1)
+    try:
+        run_search(RandomStrategy([8, 8], budget=12, seed=0), ev, workers=3)
+        assert ev.workers == 3
+    finally:
+        ev.close()
+
+
+def test_search_tiling_enforces_budget():
+    from repro.cache.config import CacheConfig
+    from repro.search.tiling import search_tiling
+    from tests.conftest import make_small_transpose
+
+    nest = make_small_transpose(32)
+    cache = CacheConfig(1024, 32, 1)
+    out = search_tiling(
+        nest, cache, strategy="exhaustive", budget=30, n_samples=16
+    )
+    assert out.search.distinct_evaluations <= 30
+    # a budget too small for even one GA population is a clear error,
+    # not a silent untiled result
+    with pytest.raises(ValueError, match="budget"):
+        search_tiling(nest, cache, strategy="ga", budget=5, n_samples=8)
+
+
+def test_checkpoint_fingerprint_mismatch_refused(tmp_path):
+    ck = str(tmp_path / "fp.ck")
+    run_search(
+        RandomStrategy([8, 8], budget=6, seed=0),
+        _quad,
+        checkpoint_path=ck,
+        fingerprint=("T2D", 48),
+    )
+    with pytest.raises(ValueError, match="captured against"):
+        run_search(None, _quad, resume=ck, fingerprint=("MM", 500))
+    # same fingerprint (or none at all) resumes fine
+    assert run_search(None, _quad, resume=ck, fingerprint=("T2D", 48)).finished
+    assert run_search(None, _quad, resume=ck).finished
+
+
+def test_strategy_state_roundtrip():
+    strategy = HillClimbStrategy([16, 16], start=(8, 8), max_distinct=99)
+    run_search(strategy, _quad)
+    state = pickle.loads(pickle.dumps(strategy.state_dict()))
+    clone = restore_strategy(state)
+    replay = run_search(clone, _quad)
+    assert replay.evaluations == 0  # pure fast-forward, nothing re-proposed
+    assert clone.current == strategy.current
+    assert clone.accepted == strategy.accepted
+    assert clone.consumed == strategy.consumed
+    assert clone.consumed_distinct == strategy.consumed_distinct
+
+
+def test_restore_unknown_strategy_raises():
+    with pytest.raises(ValueError, match="unknown strategy"):
+        restore_strategy({"strategy": "nope", "params": {}, "memo": {}})
+
+
+def test_checkpoint_resume_equals_uninterrupted(tmp_path):
+    ck = str(tmp_path / "search.ck")
+    interrupted = run_search(
+        HillClimbStrategy([32, 32], start=(16, 16)),
+        _quad,
+        max_distinct=8,
+        checkpoint_path=ck,
+    )
+    assert not interrupted.finished
+    resumed = run_search(None, _quad, resume=ck)
+    full = run_search(HillClimbStrategy([32, 32], start=(16, 16)), _quad)
+    assert resumed.finished
+    assert resumed.best_values == full.best_values
+    assert resumed.best_objective == full.best_objective
+    assert resumed.consumed == full.consumed
+    assert resumed.consumed_distinct == full.consumed_distinct
+
+
+def test_checkpoint_version_guard(tmp_path):
+    path = tmp_path / "bad.ck"
+    path.write_bytes(pickle.dumps({"version": 99}))
+    with pytest.raises(ValueError, match="version"):
+        load_checkpoint(str(path))
+
+
+def test_resume_requires_strategy_or_checkpoint():
+    with pytest.raises(ValueError, match="strategy is required"):
+        run_search(None, _quad)
+
+
+def test_checkpoint_written_at_termination(tmp_path):
+    ck = str(tmp_path / "final.ck")
+    result = run_search(
+        RandomStrategy([6, 6], budget=9, seed=2, chunk=4),
+        _quad,
+        checkpoint_path=ck,
+        checkpoint_every=1000,  # only the final write fires
+    )
+    payload = load_checkpoint(ck)
+    assert payload["step"] == result.steps
+    restored = restore_strategy(payload["strategy"])
+    assert run_search(restored, _quad).evaluations == 0  # already done

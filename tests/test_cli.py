@@ -11,6 +11,11 @@ def test_help(capsys):
     assert "table2" in out and "REPRO_FULL" in out
 
 
+def test_help_after_subcommand(capsys):
+    assert cli.main(["search", "--help"]) == 0
+    assert "Uniform flags" in capsys.readouterr().out
+
+
 def test_validate_command(capsys):
     assert cli.main(["validate"]) == 0
     out = capsys.readouterr().out
@@ -46,3 +51,70 @@ def test_landscape_render(capsys):
     out = capsys.readouterr().out
     assert "replacement ratio over tile dims" in out
     assert "grid-local minima:" in out
+
+
+def test_flag_parsing():
+    positional, flags = cli.parse_flags(
+        ["search", "--workers", "4", "MM", "--strategy", "hillclimb",
+         "500", "--resume", "x.ck"]
+    )
+    assert positional == ["search", "MM", "500"]
+    assert flags == {"workers": 4, "strategy": "hillclimb", "resume": "x.ck"}
+
+
+def test_flag_parsing_rejects_bad_values():
+    with pytest.raises(SystemExit):
+        cli.parse_flags(["--workers", "lots"])
+    with pytest.raises(SystemExit):
+        cli.parse_flags(["search", "--workers"])
+
+
+def test_flag_parsing_rejects_unknown_flags():
+    with pytest.raises(SystemExit, match="unknown flag"):
+        cli.parse_flags(["table2", "--worker", "4"])  # typo
+    # --help stays a positional so the usage text still prints
+    assert cli.parse_flags(["--help"]) == (["--help"], {})
+
+
+def test_search_resume_refuses_other_kernel(tmp_path):
+    ck = str(tmp_path / "fp.ck")
+    assert (
+        cli.main(["search", "T2D", "48", "--strategy", "random",
+                  "--budget", "10", "--checkpoint", ck])
+        == 0
+    )
+    with pytest.raises(ValueError, match="captured against"):
+        cli.main(["search", "T2D", "64", "--resume", ck])
+
+
+def test_search_command_runs_any_strategy(capsys):
+    assert (
+        cli.main(["search", "T2D", "48", "--strategy", "random",
+                  "--budget", "20", "--seed", "1"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "[random]" in out and "T=" in out
+    assert "consumed_distinct=" in out
+
+
+def test_search_command_checkpoint_resume(tmp_path, capsys):
+    ck = str(tmp_path / "cli.ck")
+    assert (
+        cli.main(["search", "T2D", "48", "--strategy", "hillclimb",
+                  "--budget", "25", "--checkpoint", ck])
+        == 0
+    )
+    first = capsys.readouterr().out
+    assert (
+        cli.main(["search", "T2D", "48", "--resume", ck]) == 0
+    )
+    resumed = capsys.readouterr().out
+    assert first.splitlines()[0] == resumed.splitlines()[0]
+
+
+def test_workers_flag_reaches_experiment_config(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert cli.main(["nonsense", "--workers", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3 workers" in out
