@@ -10,6 +10,8 @@ pytest's capture.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
@@ -48,6 +50,70 @@ def publish(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print("\n" + text + "\n")
+
+
+def _split_sections(text: str) -> list[list[str]]:
+    """Split a results file into format_table sections.
+
+    A section starts at a title line whose next line is its ``===``
+    underline (the :func:`repro.experiments.common.format_table`
+    layout); leading content before the first title forms its own
+    block.
+    """
+    lines = text.split("\n")
+    sections: list[list[str]] = [[]]
+    for i, line in enumerate(lines):
+        underlined = (
+            i + 1 < len(lines)
+            and line
+            and lines[i + 1] == "=" * len(line)
+        )
+        if underlined:
+            sections.append([])
+        sections[-1].append(line)
+    return [s for s in sections if any(ln.strip() for ln in s)]
+
+
+def publish_section(name: str, text: str) -> None:
+    """Write one table into a multi-section bench_results file.
+
+    The section with the same title line is replaced in place (other
+    sections are preserved), so tests can regenerate their own table
+    in any order — standalone or repeated — without clobbering or
+    duplicating their neighbours'.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    title = text.splitlines()[0]
+    sections = _split_sections(path.read_text()) if path.exists() else []
+    new = "\n".join(ln for ln in text.split("\n")).strip("\n")
+    replaced = False
+    rendered: list[str] = []
+    for section in sections:
+        if section[0] == title:
+            rendered.append(new)
+            replaced = True
+        else:
+            rendered.append("\n".join(section).strip("\n"))
+    if not replaced:
+        rendered.append(new)
+    path.write_text("\n".join(rendered) + "\n")
+    print("\n" + text + "\n")
+
+
+def publish_bench_rows(name: str, rows: list[dict]) -> None:
+    """Machine-readable perf trajectory: ``bench_results/BENCH_<name>.json``.
+
+    Each row is ``{bench, config, wall_s, speedup, cpu_count}`` so the
+    numbers are comparable across PRs and uploadable as a CI artifact.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = [
+        {"bench": name, "cpu_count": os.cpu_count(), **row} for row in rows
+    ]
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"[bench] wrote {path}")
 
 
 @pytest.fixture(scope="session")

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import publish, publish_bench_rows
 from repro.cache.config import CACHE_8KB_DM
 from repro.cme.analyzer import LocalityAnalyzer
 from repro.cme.sampling import estimate_at_points, sample_original_points
@@ -140,6 +140,17 @@ def test_evaluation_subsystem_bench():
             "results are identical on any worker count.  Fallback used: "
             f"{obj_par.parallel_fallback}.",
         ),
+    )
+    publish_bench_rows(
+        "evaluation",
+        [
+            {"config": "classify-converged", "wall_s": round(conv_b, 4),
+             "speedup": round(conv_speedup, 3)},
+            {"config": "classify-mixed", "wall_s": round(mixed_b, 4),
+             "speedup": round(mixed_s / mixed_b, 3)},
+            {"config": "objective-workers2", "wall_s": round(t_obj_par, 4),
+             "speedup": round(t_obj_serial / t_obj_par, 3)},
+        ],
     )
     # The batched path must clearly beat the seed's per-point loop on
     # the search's steady-state workload (target ≥2×; asserted with

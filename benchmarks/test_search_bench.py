@@ -26,7 +26,7 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import publish, publish_bench_rows
 from repro.baselines.annealing import simulated_annealing
 from repro.baselines.hillclimb import hill_climb
 from repro.baselines.random_search import random_search
@@ -106,8 +106,8 @@ def test_search_subsystem_bench():
         )
         try:
             if point_workers > 1:
-                # Spawn the workers before timing (map forces it).
-                list(analyzer._ensure_point_pool().map(abs, range(64)))
+                # Spawn the workers before timing.
+                analyzer._ensure_point_pool().warm()
             return _timed(lambda: analyzer.estimate(tile_sizes=EXPENSIVE_TILES))
         finally:
             analyzer.close()
@@ -141,6 +141,25 @@ def test_search_subsystem_bench():
             "core; on a single-core machine the extra speculative "
             "work shows up as slowdown instead.",
         ),
+    )
+    publish_bench_rows(
+        "search",
+        [
+            {
+                "config": f"{strategy}-batched",
+                "wall_s": round(results[(strategy, "batched")][1], 4),
+                "speedup": round(
+                    results[(strategy, "serial")][1]
+                    / results[(strategy, "batched")][1],
+                    3,
+                ),
+            }
+            for strategy in ("hillclimb", "annealing", "random")
+        ]
+        + [
+            {"config": "classify-sharded", "wall_s": round(t_sharded, 4),
+             "speedup": round(t_unsharded / t_sharded, 3)},
+        ],
     )
     if MULTICORE:
         batched_speedups = [

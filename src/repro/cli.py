@@ -34,6 +34,13 @@ Uniform flags (accepted anywhere on the command line):
     annealing lookahead depth).
 ``--checkpoint PATH`` / ``--resume PATH``
     Persist resumable search state every step / continue from it.
+``--cascade-enum-limit N`` ``--cascade-partial-limit N``
+``--cascade-line-limit N`` ``--cascade-abs-budget N``
+    Congruence-cascade work budgets (accuracy/speed trade-off): exact
+    enumeration volume, partial-dimension enumeration volume, per-line
+    candidate cap, and the absolute-interval search node budget.  Each
+    sets the matching ``REPRO_CASCADE_BUDGET_*`` environment variable,
+    so worker processes inherit the same budgets.
 
 Set ``REPRO_FULL=1`` for the paper's full GA budget (population 30,
 15–25 generations); the default quick budget reproduces the shapes in
@@ -56,6 +63,10 @@ def parse_flags(args: list[str]) -> tuple[list[str], dict]:
         "--speculation": ("speculation", int),
         "--checkpoint": ("checkpoint", str),
         "--resume": ("resume", str),
+        "--cascade-enum-limit": ("cascade_enum_limit", int),
+        "--cascade-partial-limit": ("cascade_partial_limit", int),
+        "--cascade-line-limit": ("cascade_line_limit", int),
+        "--cascade-abs-budget": ("cascade_abs_budget", int),
     }
     positional: list[str] = []
     flags: dict = {}
@@ -120,11 +131,33 @@ def _run_search_command(args: list[str], flags: dict) -> int:
     return 0
 
 
+#: CLI flag → cascade-budget environment variable (inherited by workers).
+_CASCADE_ENV = {
+    "cascade_enum_limit": "REPRO_CASCADE_BUDGET_ENUM",
+    "cascade_partial_limit": "REPRO_CASCADE_BUDGET_PARTIAL",
+    "cascade_line_limit": "REPRO_CASCADE_BUDGET_LINE",
+    "cascade_abs_budget": "REPRO_CASCADE_BUDGET_ABS",
+}
+
+
+def _apply_cascade_flags(flags: dict) -> None:
+    import os
+
+    for flag, env in _CASCADE_ENV.items():
+        if flag in flags:
+            value = flags[flag]
+            if value < 1:
+                name = "--" + flag.replace("_", "-")
+                raise SystemExit(f"{name} must be >= 1, got {value}")
+            os.environ[env] = str(value)
+
+
 def main(argv: list[str] | None = None) -> int:
     args, flags = parse_flags(list(sys.argv[1:] if argv is None else argv))
     if not args or "-h" in args or "--help" in args:
         print(__doc__)
         return 0
+    _apply_cascade_flags(flags)
     what = args[0]
 
     if what == "kernels":

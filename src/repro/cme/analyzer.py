@@ -47,6 +47,7 @@ class LocalityAnalyzer:
         n_samples: int = PAPER_SAMPLE_SIZE,
         seed: int = 0,
         point_workers: int = 1,
+        cascade_budgets: dict[str, int] | None = None,
     ):
         if point_workers < 1:
             raise ValueError("point_workers must be >= 1")
@@ -56,6 +57,7 @@ class LocalityAnalyzer:
         self.n_samples = n_samples
         self.seed = seed
         self.point_workers = point_workers
+        self.cascade_budgets = cascade_budgets
         self._point_pool = None
         self._points = sample_original_points(nest, n_samples, seed)
         self._candidate_cache: dict = {}
@@ -116,6 +118,19 @@ class LocalityAnalyzer:
             # Only spin the pool up for samples actually worth
             # sharding (the helper would fall back serial anyway).
             if len(use_points) >= 2 * MIN_SHARD_POINTS:
+                if points is None:
+                    # The analyzer's fixed sample lives in the shard
+                    # workers (shipped once at pool start): address it
+                    # by index span under a stable candidate token.
+                    token = f"{tile_sizes!r}|{self._padding_key(padding)!r}"
+                    return self._ensure_point_pool().estimate(
+                        program,
+                        layout,
+                        self._candidates(layout, padding),
+                        token,
+                    )
+                # Ad-hoc sample: full-payload transport, but through
+                # the shared pool so executor start-up stays amortised.
                 return estimate_at_points_sharded(
                     program,
                     layout,
@@ -123,7 +138,8 @@ class LocalityAnalyzer:
                     use_points,
                     workers=self.point_workers,
                     candidates=self._candidates(layout, padding),
-                    pool=self._ensure_point_pool(),
+                    cascade_budgets=self.cascade_budgets,
+                    pool=self._ensure_point_pool().executor,
                 )
         return estimate_at_points(
             program,
@@ -131,21 +147,25 @@ class LocalityAnalyzer:
             self.cache,
             use_points,
             candidates=self._candidates(layout, padding),
+            cascade_budgets=self.cascade_budgets,
         )
 
     def _ensure_point_pool(self):
         if self._point_pool is None:
-            from concurrent.futures import ProcessPoolExecutor
+            from repro.evaluation.sharding import ShardPool
 
-            self._point_pool = ProcessPoolExecutor(
-                max_workers=self.point_workers
+            self._point_pool = ShardPool(
+                self.point_workers,
+                self.cache,
+                self._points,
+                cascade_budgets=self.cascade_budgets,
             )
         return self._point_pool
 
     def close(self) -> None:
         """Shut the point-sharding pool down (idempotent; lazily rebuilt)."""
         if self._point_pool is not None:
-            self._point_pool.shutdown(wait=True, cancel_futures=True)
+            self._point_pool.close()
             self._point_pool = None
 
     def __getstate__(self):
@@ -165,8 +185,13 @@ class LocalityAnalyzer:
         return simulate_program(program, layout, self.cache)
 
     def resample(self, seed: int | None = None) -> None:
-        """Draw a fresh fixed sample (e.g. per GA generation)."""
+        """Draw a fresh fixed sample (e.g. per GA generation).
+
+        The shard pool holds the old sample (shipped at pool start), so
+        it is torn down here and lazily rebuilt around the new one.
+        """
         self.seed = self.seed + 1 if seed is None else seed
         self._points = sample_original_points(
             self.nest, self.n_samples, self.seed
         )
+        self.close()

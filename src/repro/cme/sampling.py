@@ -141,6 +141,7 @@ def estimate_at_points(
     confidence: float = 0.90,
     candidates=None,
     batch: bool = True,
+    cascade_budgets: dict[str, int] | None = None,
 ) -> CMEEstimate:
     """Classify the given original-space points under ``program``.
 
@@ -148,8 +149,12 @@ def estimate_at_points(
     in one vectorised :meth:`PointClassifier.classify_batch` call;
     ``batch=False`` keeps the per-point scalar loop.  Both paths are
     outcome-equivalent (see :mod:`repro.evaluation`).
+    ``cascade_budgets`` overrides the congruence-cascade work budgets
+    (see :class:`repro.polyhedra.congruence.CongruenceTester`).
     """
-    classifier = PointClassifier(program, layout, cache, candidates)
+    classifier = PointClassifier(
+        program, layout, cache, candidates, cascade_budgets=cascade_budgets
+    )
     pm = program.point_map
     hits = cold = repl = 0
     per_ref: dict[int, dict[str, int]] = {

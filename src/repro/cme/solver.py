@@ -25,6 +25,7 @@ interference — conservative in the direction of over-reporting misses.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,7 +34,8 @@ from repro.cache.config import CacheConfig
 from repro.ir.program import AccessProgram
 from repro.layout.memory import MemoryLayout
 from repro.polyhedra.box import Box
-from repro.polyhedra.congruence import ENUM_LIMIT, CongruenceTester
+from repro.polyhedra.cascade import TRUE, UNKNOWN, BatchCascade
+from repro.polyhedra.congruence import CongruenceTester
 from repro.polyhedra.lexinterval import lex_between_boxes
 from repro.reuse.vectors import ReuseCandidate, compute_reuse_candidates
 
@@ -67,6 +69,9 @@ class PointClassifier:
         layout: MemoryLayout,
         cache: CacheConfig,
         candidates: dict[int, list[ReuseCandidate]] | None = None,
+        *,
+        cascade_budgets: dict[str, int] | None = None,
+        batch_cascade: bool | None = None,
     ):
         self.program = program
         self.layout = layout
@@ -77,7 +82,10 @@ class PointClassifier:
             )
         self.candidates = candidates
         self.stats = SolverStats()
-        self._tester = CongruenceTester()
+        self._tester = CongruenceTester(**(cascade_budgets or {}))
+        if batch_cascade is None:
+            batch_cascade = os.environ.get("REPRO_BATCH_CASCADE", "1") != "0"
+        self._use_batch_cascade = bool(batch_cascade)
 
         vars_ = program.space.vars
         self._refs = sorted(program.refs, key=lambda r: r.position)
@@ -120,6 +128,23 @@ class PointClassifier:
             self._groups.append(
                 (dims, ridx, self._Cmat[np.ix_(ridx, dims)], self._c0vec[ridx])
             )
+        # Per-reference batched-cascade invariants (gcd tables, period
+        # decompositions, dimension orderings), built lazily once per
+        # candidate and reused across every wave of this classifier.
+        self._ref_cascades: list[BatchCascade | None] = [None] * len(self._refs)
+
+    def _ref_cascade(self, idx: int) -> BatchCascade:
+        cascade = self._ref_cascades[idx]
+        if cascade is None:
+            cascade = BatchCascade(
+                self._coeffs[idx],
+                self._consts[idx],
+                self._M,
+                self._L,
+                self._tester,
+            )
+            self._ref_cascades[idx] = cascade
+        return cascade
 
     # -- address helpers ---------------------------------------------------
     def _addr(self, ref_idx: int, point: tuple[int, ...]) -> int:
@@ -155,10 +180,13 @@ class PointClassifier:
         pair submits its next reuse source, all small source→use
         intervals of the wave are enumerated in one concatenated numpy
         pass (exact wherever the serial cascade would enumerate exactly
-        as well), and only oversized intervals fall back to the
-        per-source congruence cascade.  The waves examine exactly the
-        sources the scalar early-exit loop would examine, in the same
-        order, so outcomes are identical by construction.
+        as well), and oversized intervals go through the *batched*
+        congruence cascade (:mod:`repro.polyhedra.cascade`), which is
+        verdict-identical to the scalar tester.  For associative
+        caches the distinct-line counting is likewise batched per wave.
+        The waves examine exactly the sources the scalar early-exit
+        loop would examine, in the same order, so outcomes are
+        identical by construction.
         """
         n = len(points)
         if n == 0:
@@ -199,12 +227,25 @@ class PointClassifier:
                 self.stats.sources_checked += 1
                 killed: bool | None
                 if self._k != 1:
-                    # Associative counting stays serial: its per-box
-                    # distinct-line overcount is documented conservative
-                    # behaviour that batch mode must reproduce.
-                    killed = self._reuse_killed(
-                        src, spos, pt, idx, line0_start, wlo
-                    )
+                    if not self._use_batch_cascade:
+                        # Serial associative counting: the per-box
+                        # distinct-line overcount is documented
+                        # conservative behaviour batch mode reproduces.
+                        killed = self._reuse_killed(
+                            src, spos, pt, idx, line0_start, wlo
+                        )
+                    else:
+                        pre = self._endpoint_line_count(
+                            src, spos, pt, idx, line0_start, wlo, self._k
+                        )
+                        if pre >= self._k:
+                            killed = True
+                        elif src == pt:
+                            killed = False
+                        else:
+                            jobs.append((w, src, pre))
+                            pending.append(w)
+                            continue
                 elif self._endpoint_interference(
                     src, spos, pt, idx, line0_start, wlo
                 ):
@@ -217,7 +258,12 @@ class PointClassifier:
                     continue
                 self._resolve(w, killed, out, survivors)
             if jobs:
-                for w, killed in zip(pending, self._run_interval_jobs(jobs)):
+                run = (
+                    self._run_count_jobs
+                    if self._k != 1
+                    else self._run_interval_jobs
+                )
+                for w, killed in zip(pending, run(jobs)):
                     self._resolve(w, killed, out, survivors)
             active = survivors
         return out
@@ -491,41 +537,40 @@ class PointClassifier:
         for region in self._regions:
             rlo, rhi = region.lo, region.hi
             # {q ∈ region : q ≻ src}, prefix-peeling level by level.
-            gt: list[tuple[list[int], list[int]]] = []
-            lo = list(rlo)
-            hi = list(rhi)
+            # Pieces are assembled from tuple slices (prefix pinned to
+            # src, one dimension clamped, suffix full) — no list churn.
+            gt: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
             for level in range(d):
                 s = src[level]
                 if s < rlo[level]:
-                    gt.append((lo, hi))
+                    gt.append((src[:level] + rlo[level:], src[:level] + rhi[level:]))
                     break
                 if s + 1 <= rhi[level]:
-                    nlo = lo.copy()
-                    nlo[level] = s + 1
-                    gt.append((nlo, hi.copy()))
+                    gt.append(
+                        (
+                            src[:level] + (s + 1,) + rlo[level + 1:],
+                            src[:level] + rhi[level:],
+                        )
+                    )
                 if s > rhi[level]:
                     break
-                lo = lo.copy()
-                hi = hi.copy()
-                lo[level] = hi[level] = s
             # Intersect each piece with {q : q ≺ use}.
             for glo, ghi in gt:
-                lo = glo
-                hi = ghi
                 for level in range(d):
                     u = use[level]
-                    if u > hi[level]:
-                        self._push_box(out, lo, hi)
+                    if u > ghi[level]:
+                        self._push_box(
+                            out, use[:level] + glo[level:], use[:level] + ghi[level:]
+                        )
                         break
-                    if u - 1 >= lo[level]:
-                        nhi = hi.copy()
-                        nhi[level] = u - 1
-                        self._push_box(out, lo, nhi)
-                    if u < lo[level]:
+                    if u - 1 >= glo[level]:
+                        self._push_box(
+                            out,
+                            use[:level] + glo[level:],
+                            use[:level] + (u - 1,) + ghi[level + 1:],
+                        )
+                    if u < glo[level]:
                         break
-                    lo = lo.copy()
-                    hi = hi.copy()
-                    lo[level] = hi[level] = u
         return out
 
     @staticmethod
@@ -563,6 +608,7 @@ class PointClassifier:
         self.stats.intervals_vectorized += len(jobs)
         L = self._L
         M = self._M
+        enum_limit = self._tester.enum_limit
         killed = [False] * len(jobs)
         blo: list[tuple[int, ...]] = []
         bhi: list[tuple[int, ...]] = []
@@ -635,7 +681,7 @@ class PointClassifier:
                     for gi in range(ngroups):
                         if not galive[b, gi]:
                             continue
-                        if pvol[b, gi] > ENUM_LIMIT:
+                        if pvol[b, gi] > enum_limit:
                             # Oversized projection: per-ref congruence
                             # cascade, as the scalar path runs it.
                             cascades.append((j, b, gi))
@@ -658,24 +704,78 @@ class PointClassifier:
                 for j, h in zip(batch_jobs[gi], np.concatenate(hits)):
                     if h:
                         killed[j] = True
-            for j, b, gi in cascades:
-                if killed[j]:
-                    continue  # another box already decided this job
-                if self._cascade_box_group(
-                    blo[b],
-                    bhi[b],
-                    gi,
-                    alive[b],
-                    int(wlo_box[b]),
-                    int(l0_box[b]),
-                ):
-                    killed[j] = True
+            if cascades and self._use_batch_cascade:
+                self._run_cascades_batched(
+                    cascades, Blo, Bhi, alive, wlo_box, l0_box, killed
+                )
+            else:
+                for j, b, gi in cascades:
+                    if killed[j]:
+                        continue  # another box already decided this job
+                    if self._cascade_box_group(
+                        blo[b],
+                        bhi[b],
+                        gi,
+                        alive[b],
+                        int(wlo_box[b]),
+                        int(l0_box[b]),
+                    ):
+                        killed[j] = True
             pending = [
                 j
                 for j in round_jobs
                 if not killed[j] and cursor[j] < len(queues[j])
             ]
         return killed
+
+    def _run_cascades_batched(
+        self,
+        cascades: list[tuple[int, int, int]],
+        Blo: np.ndarray,
+        Bhi: np.ndarray,
+        alive: np.ndarray,
+        wlo_box: np.ndarray,
+        l0_box: np.ndarray,
+        killed: list[bool],
+    ) -> None:
+        """All of a round's oversized-projection boxes, one batched call.
+
+        Replaces the per-(box, reference) scalar cascade loop: boxes are
+        grouped by reference group and decided by the vectorised cascade
+        one reference rank at a time, so early exit per box (first
+        reference that proves or cannot refute interference wins) is
+        preserved while the actual congruence work is shared across the
+        whole round.  Verdicts per (box, reference) are identical to the
+        scalar cascade, hence job outcomes are unchanged.
+        """
+        by_group: dict[int, list[tuple[int, int]]] = {}
+        for j, b, gi in cascades:
+            by_group.setdefault(gi, []).append((j, b))
+        for gi, pairs in by_group.items():
+            pending = [(j, b) for j, b in pairs if not killed[j]]
+            for i in self._groups[gi][1]:
+                if not pending:
+                    break
+                todo = [(j, b) for j, b in pending if not killed[j]]
+                sel = [(j, b) for j, b in todo if alive[b, i]]
+                rest = [(j, b) for j, b in todo if not alive[b, i]]
+                if not sel:
+                    pending = rest
+                    continue
+                bidx = np.array([b for _, b in sel], dtype=np.int64)
+                verdicts = self._ref_cascade(int(i)).exists_interference_many(
+                    Blo[bidx], Bhi[bidx], wlo_box[bidx], l0_box[bidx]
+                )
+                keep: list[tuple[int, int]] = []
+                for (j, b), v in zip(sel, verdicts):
+                    if v == TRUE:
+                        killed[j] = True
+                    elif v == UNKNOWN:
+                        self.stats.unknown_conservative += 1
+                        killed[j] = True
+                    else:
+                        keep.append((j, b))
+                pending = keep + rest
 
     def _cascade_box_group(
         self,
@@ -897,22 +997,17 @@ class PointClassifier:
         """Distinct interfering lines in the interval, capped at ``cap``."""
         L = self._L
         M = self._M
-        use_pos = self._refs[use_idx].position
-        lines: set[int] = set()
-        for point, i in self._endpoint_refs(src, spos, use, use_pos):
-            a = self._addr(i, point)
-            if (a % M) - (a % L) == wlo and a - (a % L) != line0_start:
-                lines.add(a // L)
-                if len(lines) >= cap:
-                    return len(lines)
-        if src == use:
-            return len(lines)
+        pre = self._endpoint_line_count(
+            src, spos, use, use_idx, line0_start, wlo, cap
+        )
+        if pre >= cap or src == use:
+            return pre
         self.stats.intervals_decomposed += 1
         nrefs = len(self._refs)
         # Summing per-box distinct counts can double-count a line seen
         # in several boxes; the resulting overestimate errs toward
         # reporting misses, the conservative direction.
-        total = len(lines)
+        total = pre
         for region in self._regions:
             for box in lex_between_boxes(src, use, region):
                 self.stats.boxes_tested += 1
@@ -934,6 +1029,103 @@ class PointClassifier:
                     if total >= cap:
                         return cap
         return total
+
+    def _endpoint_line_count(
+        self,
+        src: tuple[int, ...],
+        spos: int,
+        use: tuple[int, ...],
+        use_idx: int,
+        line0_start: int,
+        wlo: int,
+        cap: int,
+    ) -> int:
+        """Distinct interfering lines at the boundary iterations only."""
+        L = self._L
+        M = self._M
+        use_pos = self._refs[use_idx].position
+        lines: set[int] = set()
+        for point, i in self._endpoint_refs(src, spos, use, use_pos):
+            a = self._addr(i, point)
+            if (a % M) - (a % L) == wlo and a - (a % L) != line0_start:
+                lines.add(a // L)
+                if len(lines) >= cap:
+                    return len(lines)
+        return len(lines)
+
+    def _run_count_jobs(self, jobs: list[tuple[list, tuple, int]]) -> list[bool]:
+        """Associative interval counting for a whole wave at once.
+
+        Each job is (work item, reuse source, endpoint line count); the
+        strictly-between boxes decompose exactly as in the scalar path
+        and every (box, reference) pair contributes the same capped
+        distinct-line count the scalar
+        :meth:`_count_interfering_lines` would have accumulated —
+        ``None`` collapsing to the cap, so verdicts are identical.  A
+        box-rank frontier preserves the scalar early exit at the cap:
+        job ``j`` only decomposes further counting work while its
+        running total is still below ``k``.
+        """
+        self.stats.intervals_vectorized += len(jobs)
+        k = self._k
+        nrefs = len(self._refs)
+        totals = [pre for (_, _, pre) in jobs]
+        blo: list[tuple[int, ...]] = []
+        bhi: list[tuple[int, ...]] = []
+        queues: list[list[int]] = [[] for _ in jobs]
+        for j, (w, src, _pre) in enumerate(jobs):
+            for lo, hi, _vol in self._raw_between_boxes(src, w[2]):
+                queues[j].append(len(blo))
+                blo.append(lo)
+                bhi.append(hi)
+        nb = len(blo)
+        self.stats.boxes_tested += nb
+        if nb == 0:
+            return [t >= k for t in totals]
+        Blo = np.array(blo, dtype=np.int64)
+        Bhi = np.array(bhi, dtype=np.int64)
+        wlo_arr = np.empty(nb, dtype=np.int64)
+        l0_arr = np.empty(nb, dtype=np.int64)
+        for j, q in enumerate(queues):
+            w = jobs[j][0]
+            for b in q:
+                wlo_arr[b] = w[6]
+                l0_arr[b] = w[5]
+        cursor = [0] * len(jobs)
+        pending = [j for j, q in enumerate(queues) if q and totals[j] < k]
+        while pending:
+            batch_b = []
+            batch_j = []
+            for j in pending:
+                batch_b.append(queues[j][cursor[j]])
+                batch_j.append(j)
+                cursor[j] += 1
+            live = list(range(len(batch_b)))
+            for i in range(nrefs):
+                if not live:
+                    break
+                cascade = self._ref_cascade(i)
+                idx = np.array([batch_b[t] for t in live], dtype=np.int64)
+                counts = cascade.count_interfering_lines_many(
+                    Blo[idx], Bhi[idx], wlo_arr[idx], l0_arr[idx], cap=k
+                )
+                nxt = []
+                for t, c in zip(live, counts):
+                    j = batch_j[t]
+                    if c < 0:
+                        self.stats.unknown_conservative += 1
+                        totals[j] = k
+                    else:
+                        totals[j] += int(c)
+                    if totals[j] < k:
+                        nxt.append(t)
+                live = nxt
+            pending = [
+                j
+                for j in pending
+                if totals[j] < k and cursor[j] < len(queues[j])
+            ]
+        return [t >= k for t in totals]
 
     def finalize_stats(self) -> SolverStats:
         self.stats.congruence = self._tester.stats.as_dict()

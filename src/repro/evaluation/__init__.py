@@ -46,16 +46,24 @@ from repro.evaluation.batch import (
     as_batch_objective,
 )
 from repro.evaluation.sharding import (
+    ShardContext,
+    ShardPool,
     estimate_at_points_sharded,
     merge_estimates,
+    merge_solver_stats,
     shard_points,
+    shard_spans,
 )
 
 __all__ = [
     "BatchObjective",
     "Evaluator",
+    "ShardContext",
+    "ShardPool",
     "as_batch_objective",
     "estimate_at_points_sharded",
     "merge_estimates",
+    "merge_solver_stats",
     "shard_points",
+    "shard_spans",
 ]

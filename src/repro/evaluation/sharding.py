@@ -10,54 +10,83 @@ shards, each shard is classified in a worker process via the same
 :func:`repro.cme.sampling.estimate_at_points` path, and the per-shard
 :class:`~repro.cme.sampling.CMEEstimate` counts are summed.
 
+Two transports exist:
+
+* :func:`estimate_at_points_sharded` — the standalone drop-in: every
+  shard task carries the full ``(program, layout, cache, points,
+  candidates)`` payload.  Simple, stateless, but the payload is
+  re-pickled per shard per call.
+* :class:`ShardPool` — the zero-copy pool an analyzer owns for its
+  lifetime.  Everything invariant across calls (cache geometry,
+  confidence, the analyzer's fixed common-random-numbers sample,
+  cascade budgets) ships **once** at pool start via the executor
+  initializer; per-candidate invariants (program, layout, reuse
+  candidates) are pickled once per *candidate token* (the first call
+  attaches that one blob to each shard task, since the executor does
+  not target workers) and memoised worker-side, so every later
+  estimate of the token carries only ``(token, start, stop)`` — the
+  shard is a slice of the sample the workers already hold.
+
 Equivalence contract (the same one :mod:`repro.evaluation` states for
 candidate batching): points are classified independently, so sharding
 changes no outcome — ``merge_estimates`` over any partition of the
 sample equals the unsharded estimate, count for count, including the
-per-reference breakdown.  Solver statistics are summed across shards;
-only wall-clock time depends on the worker count.
+per-reference breakdown.  Solver *and congruence-tester* statistics are
+summed across shards (so the ``unknown`` accuracy-regression counter
+stays visible under sharding); only wall-clock time depends on the
+worker count.
 """
 
 from __future__ import annotations
 
+import pickle
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import fields
+from dataclasses import dataclass, fields
 
 from repro.cme.sampling import CMEEstimate, estimate_at_points
 from repro.cme.solver import SolverStats
+from repro.polyhedra.congruence import TesterStats
 
 #: Below this many points per shard, process overhead beats the win.
 MIN_SHARD_POINTS = 8
+
+#: Worker-side per-candidate bundle memo size (tokens).
+BUNDLE_CACHE_SIZE = 8
 
 
 def shard_points(points: list, n_shards: int) -> list[list]:
     """Split ``points`` into up to ``n_shards`` contiguous, non-empty shards."""
     n = len(points)
+    return [points[a:b] for a, b in shard_spans(n, n_shards)]
+
+
+def shard_spans(n: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, non-empty ``[start, stop)`` index spans over ``n`` points."""
     n_shards = max(1, min(n_shards, n))
     bounds = [round(i * n / n_shards) for i in range(n_shards + 1)]
     return [
-        points[bounds[i] : bounds[i + 1]]
+        (bounds[i], bounds[i + 1])
         for i in range(n_shards)
         if bounds[i] < bounds[i + 1]
     ]
 
 
 def merge_solver_stats(parts: list[SolverStats | None]) -> SolverStats | None:
-    """Sum per-shard solver instrumentation (congruence dicts key-wise)."""
+    """Sum per-shard solver instrumentation, congruence tiers included."""
     parts = [p for p in parts if p is not None]
     if not parts:
         return None
     merged = SolverStats()
+    congruence = TesterStats()
     for part in parts:
         for f in fields(SolverStats):
             if f.name == "congruence":
                 continue
             setattr(merged, f.name, getattr(merged, f.name) + getattr(part, f.name))
-        for key, val in part.congruence.items():
-            if isinstance(val, (int, float)):
-                merged.congruence[key] = merged.congruence.get(key, 0) + val
-            else:
-                merged.congruence[key] = val
+        if part.congruence:
+            congruence.merge(part.congruence)
+    merged.congruence = congruence.as_dict()
     return merged
 
 
@@ -84,11 +113,15 @@ def merge_estimates(parts: list[CMEEstimate]) -> CMEEstimate:
     )
 
 
+# -- legacy full-payload transport --------------------------------------------
+
 def _classify_shard(payload) -> CMEEstimate:
     """Worker-side shard classification (top-level for picklability)."""
-    program, layout, cache, points, confidence, candidates = payload
+    program, layout, cache, points, confidence, candidates = payload[:6]
+    budgets = payload[6] if len(payload) > 6 else None
     return estimate_at_points(
-        program, layout, cache, points, confidence, candidates
+        program, layout, cache, points, confidence, candidates,
+        cascade_budgets=budgets,
     )
 
 
@@ -101,6 +134,7 @@ def estimate_at_points_sharded(
     confidence: float = 0.90,
     candidates=None,
     pool: ProcessPoolExecutor | None = None,
+    cascade_budgets: dict | None = None,
 ) -> CMEEstimate:
     """Sharded drop-in for :func:`repro.cme.sampling.estimate_at_points`.
 
@@ -109,16 +143,19 @@ def estimate_at_points_sharded(
     Falls back to the serial path when the sample is too small to be
     worth sharding or no parallelism was requested.  Pass ``pool`` to
     amortise executor start-up across many estimates (the caller keeps
-    ownership); otherwise a throwaway pool is used.
+    ownership); otherwise a throwaway pool is used.  For long-lived
+    sharded estimation prefer :class:`ShardPool`, which ships the
+    invariant payload once instead of per shard per call.
     """
     n_shards = min(workers, max(1, len(original_points) // MIN_SHARD_POINTS))
     if n_shards <= 1:
         return estimate_at_points(
-            program, layout, cache, original_points, confidence, candidates
+            program, layout, cache, original_points, confidence, candidates,
+            cascade_budgets=cascade_budgets,
         )
     shards = shard_points(original_points, n_shards)
     payloads = [
-        (program, layout, cache, shard, confidence, candidates)
+        (program, layout, cache, shard, confidence, candidates, cascade_budgets)
         for shard in shards
     ]
     if pool is not None:
@@ -127,3 +164,188 @@ def estimate_at_points_sharded(
         with ProcessPoolExecutor(max_workers=len(shards)) as own:
             parts = list(own.map(_classify_shard, payloads))
     return merge_estimates(parts)
+
+
+def legacy_payload_bytes(
+    program, layout, cache, original_points, workers, confidence=0.90,
+    candidates=None,
+) -> int:
+    """Per-call pickled payload of the legacy transport (bench probe)."""
+    n_shards = min(workers, max(1, len(original_points) // MIN_SHARD_POINTS))
+    return sum(
+        len(pickle.dumps(
+            (program, layout, cache, shard, confidence, candidates)
+        ))
+        for shard in shard_points(original_points, max(n_shards, 1))
+    )
+
+
+# -- zero-copy pool transport -------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardContext:
+    """Analyzer-lifetime invariants shipped once per pool, at start."""
+
+    cache: object
+    confidence: float
+    points: tuple
+    cascade_budgets: dict | None = None
+
+
+class _ContextMiss(Exception):
+    """Worker lacks the bundle for a token; resend with the blob."""
+
+
+_POOL_CTX: ShardContext | None = None
+_BUNDLES: "OrderedDict[str, tuple]" = OrderedDict()
+
+
+def _init_pool_worker(ctx_bytes: bytes) -> None:
+    global _POOL_CTX
+    _POOL_CTX = pickle.loads(ctx_bytes)
+    _BUNDLES.clear()
+
+
+def _worker_ready() -> bool:
+    return _POOL_CTX is not None
+
+
+def _classify_span(task) -> CMEEstimate:
+    """Worker-side: classify one ``points[start:stop]`` slice.
+
+    ``task = (token, blob | None, start, stop)``; the bundle blob —
+    ``(program, layout, candidates)`` — is unpickled at most once per
+    worker per token and memoised, so repeat calls (and retries) reuse
+    the candidate invariants without any further deserialisation.
+    """
+    token, blob, start, stop = task
+    ctx = _POOL_CTX
+    if ctx is None:
+        raise RuntimeError("shard worker used before initialisation")
+    bundle = _BUNDLES.get(token)
+    if bundle is None:
+        if blob is None:
+            raise _ContextMiss(token)
+        bundle = pickle.loads(blob)
+        _BUNDLES[token] = bundle
+        while len(_BUNDLES) > BUNDLE_CACHE_SIZE:
+            _BUNDLES.popitem(last=False)
+    else:
+        _BUNDLES.move_to_end(token)
+    program, layout, candidates = bundle
+    return estimate_at_points(
+        program,
+        layout,
+        ctx.cache,
+        list(ctx.points[start:stop]),
+        ctx.confidence,
+        candidates,
+        cascade_budgets=ctx.cascade_budgets,
+    )
+
+
+class ShardPool:
+    """Process pool whose workers hold the per-analyzer invariants.
+
+    The executor initializer ships the :class:`ShardContext` (cache,
+    confidence, the fixed sample, cascade budgets) exactly once; each
+    ``estimate`` call then ships the candidate bundle once under a
+    stable token and addresses the sample by index span.  Payload bytes
+    are accounted per call (``last_payload_bytes`` / cumulative
+    ``payload_bytes``) so the IPC saving is measurable.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        cache,
+        points: list,
+        confidence: float = 0.90,
+        cascade_budgets: dict | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        ctx = ShardContext(
+            cache=cache,
+            confidence=confidence,
+            points=tuple(points),
+            cascade_budgets=cascade_budgets,
+        )
+        ctx_bytes = pickle.dumps(ctx)
+        self.workers = workers
+        self.n_points = len(ctx.points)
+        self.init_payload_bytes = len(ctx_bytes)
+        self.payload_bytes = 0
+        self.last_payload_bytes = 0
+        self.calls = 0
+        self._shipped: set[str] = set()
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_pool_worker,
+            initargs=(ctx_bytes,),
+        )
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The underlying executor (for full-payload ad-hoc tasks)."""
+        if self._pool is None:
+            raise RuntimeError("ShardPool is closed")
+        return self._pool
+
+    def estimate(self, program, layout, candidates, token: str) -> CMEEstimate:
+        """Sharded estimate of the context sample under one candidate.
+
+        ``token`` must uniquely identify ``(program, layout,
+        candidates)`` for this pool's lifetime — the analyzer derives it
+        from the (tile sizes, padding) candidate key.
+        """
+        if self._pool is None:
+            raise RuntimeError("ShardPool is closed")
+        spans = shard_spans(
+            self.n_points, min(self.workers, self.n_points // MIN_SHARD_POINTS)
+        )
+        blob = None
+        if token not in self._shipped:
+            blob = pickle.dumps((program, layout, candidates))
+        tasks = [(token, blob, start, stop) for start, stop in spans]
+        futures = [self._pool.submit(_classify_span, t) for t in tasks]
+        sent = sum(len(pickle.dumps(t)) for t in tasks)
+        parts: list = [None] * len(spans)
+        retries: list[tuple[int, tuple]] = []
+        for slot, (future, (start, stop)) in enumerate(zip(futures, spans)):
+            try:
+                parts[slot] = future.result()
+            except _ContextMiss:
+                # A worker that never saw this token (evicted bundle or
+                # freshly grown pool): resend with the blob attached —
+                # all retries in flight together, then gathered.
+                if blob is None:
+                    blob = pickle.dumps((program, layout, candidates))
+                retry = (token, blob, start, stop)
+                sent += len(pickle.dumps(retry))
+                retries.append(
+                    (slot, self._pool.submit(_classify_span, retry))
+                )
+        for slot, future in retries:
+            parts[slot] = future.result()
+        self._shipped.add(token)
+        self.calls += 1
+        self.last_payload_bytes = sent
+        self.payload_bytes += sent
+        return merge_estimates(parts)
+
+    def warm(self) -> None:
+        """Spawn and initialise every worker up front (honest timing)."""
+        if self._pool is None:
+            raise RuntimeError("ShardPool is closed")
+        futures = [
+            self._pool.submit(_worker_ready) for _ in range(self.workers)
+        ]
+        for future in futures:
+            future.result()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None

@@ -30,6 +30,7 @@ happens so accuracy regressions are visible.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from math import gcd
 
@@ -47,6 +48,27 @@ LINE_CANDIDATE_LIMIT = 512
 #: Node budget for the recursive absolute-interval search.
 ABS_SEARCH_BUDGET = 4096
 
+#: Environment overrides for the cascade work budgets (accuracy/speed
+#: trade-off knobs; see :class:`CongruenceTester`).
+_BUDGET_ENV = {
+    "enum_limit": "REPRO_CASCADE_BUDGET_ENUM",
+    "partial_limit": "REPRO_CASCADE_BUDGET_PARTIAL",
+    "line_candidate_limit": "REPRO_CASCADE_BUDGET_LINE",
+    "abs_search_budget": "REPRO_CASCADE_BUDGET_ABS",
+}
+
+
+def resolve_budget(name: str, override: int | None, default: int) -> int:
+    """One cascade budget: explicit kwarg > env var > module default."""
+    if override is not None:
+        value = int(override)
+    else:
+        raw = os.environ.get(_BUDGET_ENV[name], "")
+        value = int(raw) if raw else default
+    if value < 1:
+        raise ValueError(f"cascade budget {name} must be >= 1, got {value}")
+    return value
+
 
 @dataclass
 class TesterStats:
@@ -62,6 +84,13 @@ class TesterStats:
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
+
+    def merge(self, other: "TesterStats | dict[str, int]") -> "TesterStats":
+        """Accumulate another tester's counters (shard-merge helper)."""
+        items = other.items() if isinstance(other, dict) else other.__dict__.items()
+        for key, val in items:
+            setattr(self, key, getattr(self, key, 0) + int(val))
+        return self
 
 
 def _normalize(
@@ -125,6 +154,8 @@ def exists_mod_window(
     wlo: int,
     wlen: int,
     stats: TesterStats | None = None,
+    enum_limit: int = ENUM_LIMIT,
+    partial_limit: int = PARTIAL_LIMIT,
 ) -> bool | None:
     """Is there ``q ∈ box`` with ``f(q) mod m ∈ [wlo, wlo + wlen)``?
 
@@ -148,9 +179,9 @@ def exists_mod_window(
     volume = 1
     for _, n in dims:
         volume *= n
-        if volume > ENUM_LIMIT:
+        if volume > enum_limit:
             break
-    if volume <= ENUM_LIMIT:
+    if volume <= enum_limit:
         if stats:
             stats.enumerated += 1
         vals = _enum_values(dims, c0)
@@ -178,7 +209,7 @@ def exists_mod_window(
     pvol = 1
     for _, n in partial:
         pvol *= n
-        if pvol > PARTIAL_LIMIT:
+        if pvol > partial_limit:
             if stats:
                 stats.unknown += 1
             return None
@@ -202,12 +233,13 @@ def exists_absolute_interval(
     hi: int,
     stats: TesterStats | None = None,
     budget: int = ABS_SEARCH_BUDGET,
+    enum_limit: int = ENUM_LIMIT,
 ) -> bool | None:
     """Is there ``q ∈ box`` with ``lo <= f(q) <= hi``?  Exact or ``None``."""
     if box.is_empty or hi < lo:
         return False
     dims, c0 = _normalize(coeffs, const, box)
-    return _exists_abs(dims, c0, lo, hi, stats, [budget])
+    return _exists_abs(dims, c0, lo, hi, stats, [budget], enum_limit)
 
 
 def _exists_abs(
@@ -217,6 +249,7 @@ def _exists_abs(
     hi: int,
     stats: TesterStats | None,
     budget: list[int],
+    enum_limit: int = ENUM_LIMIT,
 ) -> bool | None:
     if not dims:
         return lo <= c0 <= hi
@@ -232,9 +265,9 @@ def _exists_abs(
     volume = 1
     for _, n in dims:
         volume *= n
-        if volume > ENUM_LIMIT:
+        if volume > enum_limit:
             break
-    if volume <= ENUM_LIMIT:
+    if volume <= enum_limit:
         if stats:
             stats.enumerated += 1
         vals = _enum_values(dims, c0)
@@ -261,7 +294,7 @@ def _exists_abs(
                 stats.unknown += 1
             return None
         budget[0] -= 1
-        sub = _exists_abs(rest, c0 + c * x, lo, hi, stats, budget)
+        sub = _exists_abs(rest, c0 + c * x, lo, hi, stats, budget, enum_limit)
         if sub is True:
             return True
         if sub is None:
@@ -279,6 +312,9 @@ def count_distinct_lines_in_window(
     cap: int,
     exclude_line_start: int | None = None,
     stats: TesterStats | None = None,
+    enum_limit: int = ENUM_LIMIT,
+    line_candidate_limit: int = LINE_CANDIDATE_LIMIT,
+    abs_search_budget: int = ABS_SEARCH_BUDGET,
 ) -> int | None:
     """Count distinct memory lines mapping into a cache-set window.
 
@@ -294,9 +330,9 @@ def count_distinct_lines_in_window(
     volume = 1
     for _, n in dims:
         volume *= n
-        if volume > ENUM_LIMIT:
+        if volume > enum_limit:
             break
-    if volume <= ENUM_LIMIT:
+    if volume <= enum_limit:
         if stats:
             stats.enumerated += 1
         vals = _enum_values(dims, c0)
@@ -313,7 +349,7 @@ def count_distinct_lines_in_window(
     n_candidates = k_hi - k_lo + 1
     if n_candidates <= 0:
         return 0
-    if n_candidates > LINE_CANDIDATE_LIMIT:
+    if n_candidates > line_candidate_limit:
         if stats:
             stats.unknown += 1
         return None
@@ -334,7 +370,14 @@ def count_distinct_lines_in_window(
         if stats:
             stats.line_queries += 1
         hit = exists_absolute_interval(
-            coeffs, const, box, line_start, line_start + line_size - 1, stats
+            coeffs,
+            const,
+            box,
+            line_start,
+            line_start + line_size - 1,
+            stats,
+            budget=abs_search_budget,
+            enum_limit=enum_limit,
         )
         if hit is True:
             found += 1
@@ -350,10 +393,42 @@ def count_distinct_lines_in_window(
 
 
 class CongruenceTester:
-    """Facade bundling the congruence queries with shared statistics."""
+    """Facade bundling the congruence queries with shared statistics.
 
-    def __init__(self) -> None:
+    The work budgets trade accuracy (fewer ``None`` verdicts) against
+    speed and are resolved per tester: explicit keyword > environment
+    variable (``REPRO_CASCADE_BUDGET_ENUM`` / ``_PARTIAL`` / ``_LINE``
+    / ``_ABS``) > module default.
+    """
+
+    def __init__(
+        self,
+        *,
+        enum_limit: int | None = None,
+        partial_limit: int | None = None,
+        line_candidate_limit: int | None = None,
+        abs_search_budget: int | None = None,
+    ) -> None:
         self.stats = TesterStats()
+        self.enum_limit = resolve_budget("enum_limit", enum_limit, ENUM_LIMIT)
+        self.partial_limit = resolve_budget(
+            "partial_limit", partial_limit, PARTIAL_LIMIT
+        )
+        self.line_candidate_limit = resolve_budget(
+            "line_candidate_limit", line_candidate_limit, LINE_CANDIDATE_LIMIT
+        )
+        self.abs_search_budget = resolve_budget(
+            "abs_search_budget", abs_search_budget, ABS_SEARCH_BUDGET
+        )
+
+    def budgets(self) -> dict[str, int]:
+        """The resolved budgets, as kwargs for a twin tester."""
+        return {
+            "enum_limit": self.enum_limit,
+            "partial_limit": self.partial_limit,
+            "line_candidate_limit": self.line_candidate_limit,
+            "abs_search_budget": self.abs_search_budget,
+        }
 
     def exists_interference(
         self,
@@ -373,7 +448,15 @@ class CongruenceTester:
         line?
         """
         any_hit = exists_mod_window(
-            coeffs, const, box, m, set_window_lo, line_size, self.stats
+            coeffs,
+            const,
+            box,
+            m,
+            set_window_lo,
+            line_size,
+            self.stats,
+            enum_limit=self.enum_limit,
+            partial_limit=self.partial_limit,
         )
         if any_hit is False:
             return False
@@ -393,6 +476,9 @@ class CongruenceTester:
             cap=1,
             exclude_line_start=line0_start,
             stats=self.stats,
+            enum_limit=self.enum_limit,
+            line_candidate_limit=self.line_candidate_limit,
+            abs_search_budget=self.abs_search_budget,
         )
         if count is None:
             return None
@@ -420,4 +506,7 @@ class CongruenceTester:
             cap=cap,
             exclude_line_start=line0_start,
             stats=self.stats,
+            enum_limit=self.enum_limit,
+            line_candidate_limit=self.line_candidate_limit,
+            abs_search_budget=self.abs_search_budget,
         )

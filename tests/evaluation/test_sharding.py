@@ -12,6 +12,7 @@ from repro.evaluation import (
     estimate_at_points_sharded,
     merge_estimates,
     shard_points,
+    shard_spans,
 )
 from repro.ir.program import program_from_nest
 from repro.layout.memory import MemoryLayout
@@ -107,6 +108,118 @@ def test_analyzer_small_sample_never_spawns_pool():
 def test_analyzer_validates_point_workers():
     with pytest.raises(ValueError):
         LocalityAnalyzer(make_small_transpose(16), CACHE, point_workers=0)
+
+
+def test_shard_spans_cover_in_order():
+    assert shard_spans(10, 3) == [(0, 3), (3, 7), (7, 10)]
+    assert shard_spans(2, 8) == [(0, 1), (1, 2)]
+    assert shard_spans(5, 1) == [(0, 5)]
+
+
+def test_shard_pool_zero_copy_payloads():
+    """Candidate bundles ship once per token; repeats are index spans."""
+    nest = make_small_transpose(32)
+    analyzer = LocalityAnalyzer(nest, CACHE, n_samples=48, seed=0, point_workers=3)
+    serial = LocalityAnalyzer(nest, CACHE, n_samples=48, seed=0)
+    try:
+        first = analyzer.estimate(tile_sizes=(8, 8))
+        pool = analyzer._point_pool
+        assert pool is not None and pool.calls == 1
+        first_bytes = pool.last_payload_bytes
+        again = analyzer.estimate(tile_sizes=(8, 8))
+        repeat_bytes = pool.last_payload_bytes
+        # The candidate bundle travelled once; the repeat call addressed
+        # the worker-held sample by span under the cached token.
+        assert repeat_bytes < first_bytes / 5
+        ref = serial.estimate(tile_sizes=(8, 8))
+        for est in (first, again):
+            assert est.per_ref == ref.per_ref
+            assert (est.hits, est.cold, est.replacement) == (
+                ref.hits, ref.cold, ref.replacement
+            )
+    finally:
+        analyzer.close()
+
+
+def test_shard_pool_context_miss_roundtrip():
+    """A worker without the bundle raises; the blob retry resolves it."""
+    import pickle
+
+    from repro.evaluation import sharding
+    from repro.ir.program import program_from_nest
+
+    nest = make_small_transpose(16)
+    layout = MemoryLayout(nest.arrays())
+    program = program_from_nest(nest)
+    points = sample_original_points(nest, 24, 0)
+    ctx = sharding.ShardContext(
+        cache=CACHE, confidence=0.90, points=tuple(points)
+    )
+    old_ctx, old_bundles = sharding._POOL_CTX, dict(sharding._BUNDLES)
+    try:
+        sharding._init_pool_worker(pickle.dumps(ctx))
+        with pytest.raises(sharding._ContextMiss):
+            sharding._classify_span(("tok", None, 0, 24))
+        blob = pickle.dumps((program, layout, None))
+        est = sharding._classify_span(("tok", blob, 0, 24))
+        # memoised now: the blob is no longer needed
+        est2 = sharding._classify_span(("tok", None, 0, 24))
+        ref = estimate_at_points(program, layout, CACHE, points)
+        assert est.per_ref == est2.per_ref == ref.per_ref
+    finally:
+        sharding._POOL_CTX = old_ctx
+        sharding._BUNDLES.clear()
+        sharding._BUNDLES.update(old_bundles)
+
+
+def test_shard_pool_adhoc_points_and_close_guard():
+    """Explicit samples reuse the pool's executor; closed pools refuse."""
+    nest = make_small_transpose(32)
+    analyzer = LocalityAnalyzer(nest, CACHE, n_samples=48, seed=0, point_workers=3)
+    try:
+        adhoc = sample_original_points(nest, 40, 7)
+        got = analyzer.estimate(tile_sizes=(8, 8), points=adhoc)
+        ref = estimate_at_points(
+            analyzer.program((8, 8)), analyzer.layout, CACHE, adhoc,
+            candidates=analyzer._candidates(analyzer.layout, None),
+        )
+        assert got.per_ref == ref.per_ref
+        pool = analyzer._point_pool
+        assert pool is not None  # the ad-hoc path shares the executor
+    finally:
+        analyzer.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.estimate(None, None, None, "t")
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.warm()
+
+
+def test_sharded_tester_stats_merge_sums_unknowns():
+    """Congruence-tier stats — notably `unknown` budget exhaustions —
+    survive point sharding: the merged counters equal the serial run's,
+    so the accuracy-regression counter stays visible with workers on."""
+    budgets = {"enum_limit": 8, "partial_limit": 8, "abs_search_budget": 2,
+               "line_candidate_limit": 4}
+    nest = make_small_mm(16)
+    serial = LocalityAnalyzer(
+        nest, CACHE, n_samples=48, seed=0, cascade_budgets=budgets
+    )
+    sharded = LocalityAnalyzer(
+        nest, CACHE, n_samples=48, seed=0, point_workers=3,
+        cascade_budgets=budgets,
+    )
+    try:
+        a = serial.estimate(tile_sizes=(4, 16, 16))
+        b = sharded.estimate(tile_sizes=(4, 16, 16))
+    finally:
+        sharded.close()
+    assert a.per_ref == b.per_ref
+    assert b.solver_stats.congruence == a.solver_stats.congruence
+    assert b.solver_stats.unknown_conservative == (
+        a.solver_stats.unknown_conservative
+    )
+    # the tight budgets actually exercised the exhaustion path
+    assert a.solver_stats.congruence["unknown"] > 0
 
 
 def test_pickled_analyzer_downgrades_to_serial():

@@ -69,6 +69,34 @@ def test_flag_parsing_rejects_bad_values():
         cli.parse_flags(["search", "--workers"])
 
 
+def test_cascade_budget_flags_set_env(capsys):
+    import os
+
+    saved = {
+        env: os.environ.pop(env, None) for env in cli._CASCADE_ENV.values()
+    }
+    try:
+        assert cli.main(
+            ["kernels", "--cascade-enum-limit", "1024",
+             "--cascade-abs-budget", "128"]
+        ) == 0
+        capsys.readouterr()
+        assert os.environ["REPRO_CASCADE_BUDGET_ENUM"] == "1024"
+        assert os.environ["REPRO_CASCADE_BUDGET_ABS"] == "128"
+        assert "REPRO_CASCADE_BUDGET_PARTIAL" not in os.environ
+        # the tester picks the env overrides up
+        from repro.polyhedra.congruence import CongruenceTester
+
+        tester = CongruenceTester()
+        assert tester.enum_limit == 1024 and tester.abs_search_budget == 128
+    finally:
+        for env, val in saved.items():
+            if val is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = val
+
+
 def test_flag_parsing_rejects_unknown_flags():
     with pytest.raises(SystemExit, match="unknown flag"):
         cli.parse_flags(["table2", "--worker", "4"])  # typo
