@@ -14,8 +14,9 @@ Quick start::
     result = optimize_tiling(nest, CACHE_8KB_DM)
     print(result.summary())
 
-See README.md for the architecture overview and DESIGN.md /
-EXPERIMENTS.md for the paper mapping.
+See README.md for install/quickstart and the layer map,
+docs/ARCHITECTURE.md for the load-bearing contracts, and docs/CLI.md
+for the command-line reference.
 """
 
 from repro import kernels

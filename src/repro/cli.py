@@ -15,6 +15,9 @@ Usage::
     python -m repro.cli landscape MM 100        # ASCII objective heat map
     python -m repro.cli source MM 100           # export a kernel as DSL
     python -m repro.cli search MM 500 --strategy hillclimb --workers 4
+    python -m repro.cli search MM 500 --strategy portfolio \
+        --members ga,hillclimb,annealing --restart stagnation:5
+    python -m repro.cli portfolio MM 100     # strategy comparison table
 
 Uniform flags (accepted anywhere on the command line):
 
@@ -27,11 +30,23 @@ Uniform flags (accepted anywhere on the command line):
     instead (overrides ``REPRO_POINT_WORKERS``); same guarantee.
 ``--strategy NAME``
     Search strategy for the ``search`` command: ``ga`` (default),
-    ``hillclimb``, ``annealing``, ``random`` or ``exhaustive`` — all
-    run through the shared :mod:`repro.search` subsystem.
+    ``hillclimb``, ``annealing``, ``random``, ``exhaustive`` or
+    ``portfolio`` — all run through the shared :mod:`repro.search`
+    subsystem.
 ``--budget N``  ``--seed N``  ``--speculation K``
     Strategy knobs for ``search`` (distinct-solve budget, RNG seed,
     annealing lookahead depth).
+``--members a,b,c``
+    Portfolio member strategies (default ``ga,hillclimb,annealing``);
+    each gets an even share of ``--budget`` and a distinct derived
+    seed.  Only meaningful with ``--strategy portfolio``.
+``--restart POLICY``
+    Portfolio restart policy: ``never`` (default), ``interval:K`` or
+    ``stagnation:K`` (see :mod:`repro.search.portfolio`).
+``--portfolio-mode MODE``
+    ``interleave`` (default: every member proposes each wave) or
+    ``race`` (half the budget qualifies members evenly, the rest goes
+    to the current best member in tranches).
 ``--checkpoint PATH`` / ``--resume PATH``
     Persist resumable search state every step / continue from it.
 ``--cascade-enum-limit N`` ``--cascade-partial-limit N``
@@ -52,22 +67,38 @@ from __future__ import annotations
 import sys
 
 
+#: Every uniform flag the CLI accepts: ``--flag → (name, converter)``.
+#: ``docs/CLI.md`` documents each one; ``tests/test_docs.py`` enforces it.
+FLAG_SPEC = {
+    "--workers": ("workers", int),
+    "--point-workers": ("point_workers", int),
+    "--strategy": ("strategy", str),
+    "--budget": ("budget", int),
+    "--seed": ("seed", int),
+    "--speculation": ("speculation", int),
+    "--members": ("members", str),
+    "--restart": ("restart", str),
+    "--portfolio-mode": ("portfolio_mode", str),
+    "--checkpoint": ("checkpoint", str),
+    "--resume": ("resume", str),
+    "--cascade-enum-limit": ("cascade_enum_limit", int),
+    "--cascade-partial-limit": ("cascade_partial_limit", int),
+    "--cascade-line-limit": ("cascade_line_limit", int),
+    "--cascade-abs-budget": ("cascade_abs_budget", int),
+}
+
+#: Commands understood by :func:`main` (anything else prints the
+#: experiment-runner banner and runs nothing).
+COMMANDS = (
+    "search", "portfolio", "table2", "table3", "table4", "figure8",
+    "figure9", "convergence", "validate", "associativity", "all",
+    "kernels", "landscape", "source",
+)
+
+
 def parse_flags(args: list[str]) -> tuple[list[str], dict]:
     """Split ``--flag value`` pairs (anywhere) from positional args."""
-    spec = {
-        "--workers": ("workers", int),
-        "--point-workers": ("point_workers", int),
-        "--strategy": ("strategy", str),
-        "--budget": ("budget", int),
-        "--seed": ("seed", int),
-        "--speculation": ("speculation", int),
-        "--checkpoint": ("checkpoint", str),
-        "--resume": ("resume", str),
-        "--cascade-enum-limit": ("cascade_enum_limit", int),
-        "--cascade-partial-limit": ("cascade_partial_limit", int),
-        "--cascade-line-limit": ("cascade_line_limit", int),
-        "--cascade-abs-budget": ("cascade_abs_budget", int),
-    }
+    spec = FLAG_SPEC
     positional: list[str] = []
     flags: dict = {}
     i = 0
@@ -106,6 +137,7 @@ def _run_search_command(args: list[str], flags: dict) -> int:
         point_workers=flags.get("point_workers"),
         seed=flags.get("seed", 0),
     )
+    members = flags.get("members")
     outcome = search_tiling(
         nest,
         CACHE_8KB_DM,
@@ -119,6 +151,9 @@ def _run_search_command(args: list[str], flags: dict) -> int:
         speculation=flags.get("speculation", 1),
         checkpoint_path=flags.get("checkpoint"),
         resume=flags.get("resume"),
+        members=tuple(members.split(",")) if members else None,
+        restart=flags.get("restart"),
+        portfolio_mode=flags.get("portfolio_mode", "interleave"),
     )
     print(outcome.summary())
     trace = outcome.search.trace
@@ -194,6 +229,31 @@ def main(argv: list[str] | None = None) -> int:
 
     if what == "search":
         return _run_search_command(args, flags)
+
+    if what == "portfolio":
+        from repro.experiments.common import ExperimentConfig
+        from repro.experiments.portfolio import (
+            DEFAULT_MEMBERS,
+            format_portfolio,
+            run_portfolio_comparison,
+        )
+
+        members = flags.get("members")
+        rows, sharing = run_portfolio_comparison(
+            kernel=args[1] if len(args) > 1 else "MM",
+            size=int(args[2]) if len(args) > 2 else 100,
+            config=ExperimentConfig(
+                workers=flags.get("workers"),
+                point_workers=flags.get("point_workers"),
+                seed=flags.get("seed", 0),
+            ),
+            budget=flags.get("budget"),
+            members=tuple(members.split(",")) if members else DEFAULT_MEMBERS,
+            restart=flags.get("restart", "stagnation:5"),
+            mode=flags.get("portfolio_mode", "interleave"),
+        )
+        print(format_portfolio(rows, sharing))
+        return 0
 
     from repro.experiments.associativity import format_associativity, run_associativity
     from repro.experiments.common import ExperimentConfig, full_mode

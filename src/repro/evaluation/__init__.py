@@ -38,6 +38,15 @@ scalar ``classify_point`` (see :mod:`repro.cme.solver`), and the
 point-sharded path of :mod:`repro.evaluation.sharding` — which splits a
 *single* candidate's sample across worker processes — merges back to
 exactly the unsharded estimate.
+
+One search, one cache
+---------------------
+:func:`repro.search.run_search` owns a single :class:`Evaluator` per
+search, so everything proposed through it — generational populations,
+speculative lookahead, and every member of a
+:class:`repro.search.PortfolioStrategy` composite — shares one memo:
+a candidate solved for one proposer is a free cache hit for all the
+others.
 """
 
 from repro.evaluation.batch import (

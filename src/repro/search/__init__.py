@@ -22,6 +22,13 @@ state, repeat*.  This package makes that loop the architecture:
   proposers; :mod:`~repro.search.genetic` — the GA engine's
   generational loop as a batch proposer (the engine in
   :mod:`repro.ga.engine` now runs on top of it).
+* :mod:`~repro.search.portfolio` — the restart/portfolio meta-search:
+  :class:`PortfolioStrategy` composes N member strategies (per-member
+  budget shares, fixed-interval / stagnation restart policies, a
+  ``race`` mode) into one composite proposer whose merged super-waves
+  run through the same driver, so every member shares the evaluator
+  cache and the whole ensemble inherits batching, fan-out and
+  checkpoint/resume.
 
 Batch-proposal contract
 -----------------------
@@ -60,6 +67,7 @@ from repro.search.base import (
 )
 from repro.search.driver import load_checkpoint, run_search, save_checkpoint
 from repro.search.genetic import GAStrategy
+from repro.search.portfolio import PortfolioStrategy
 from repro.search.strategies import (
     AnnealingStrategy,
     ExhaustiveStrategy,
@@ -73,6 +81,7 @@ __all__ = [
     "ExhaustiveStrategy",
     "GAStrategy",
     "HillClimbStrategy",
+    "PortfolioStrategy",
     "RandomStrategy",
     "REGISTRY",
     "SearchResult",

@@ -95,6 +95,11 @@ class SearchStrategy(ABC):
     list.  ``propose()`` internally advances the algorithm generator
     past every wave it can already answer from the memo, so a
     fully-memoised wave costs no driver round-trip.
+
+    The interface composes: :class:`repro.search.PortfolioStrategy`
+    drives *member* strategies through this same
+    ``advance``/``_pending``/``observe`` contract one level down,
+    merging their waves into the super-waves it proposes upward.
     """
 
     #: Registry key; subclasses must override.

@@ -16,6 +16,12 @@ search strategy against an objective.  It owns:
   for the format).  On resume the evaluator's cache is warmed from
   the strategy's memo, so no CME system is solved twice across a
   restart.
+
+Composite strategies need nothing extra from the driver: a
+:class:`repro.search.PortfolioStrategy` proposes merged member waves
+through the same protocol, and its checkpoint restores by replaying
+the composite generator — members, restarts and budget shares
+included — against the same memo.
 """
 
 from __future__ import annotations

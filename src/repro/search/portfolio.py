@@ -1,0 +1,586 @@
+"""Portfolio/restart meta-search: N member strategies as one proposer.
+
+The §5 comparison (GA vs hillclimb, annealing, random, exhaustive) is
+exactly the workload a *portfolio* serves: run several strategies
+against the same objective and keep the best answer.  Running them as
+one composite :class:`~repro.search.base.SearchStrategy` — instead of
+N separate searches — means every member runs through the same
+memoising :class:`repro.evaluation.Evaluator`, so a candidate solved
+for one member is a free memo hit for every other member, and the
+whole ensemble inherits batching, process-pool fan-out,
+checkpoint/resume and distinct-solve budget accounting from
+:func:`repro.search.run_search` unchanged.
+
+Design
+------
+:class:`PortfolioStrategy` drives its members through the same
+``advance``/``pending`` protocol the driver uses, one level down:
+
+* each round it collects every active member's pending wave, truncates
+  it to the member's remaining *budget share* (the driver's
+  ``max_distinct`` rule, applied per member: memoised candidates ride
+  along free, the longest prefix whose fresh-candidate count fits the
+  share is kept), and concatenates the per-member contributions into
+  one merged **super-wave**;
+* the super-wave is yielded to the driver and evaluated as a single
+  batch; the plan is kept tagged per member, so when values arrive
+  each contribution is routed back to the member that proposed it;
+* before a member proposes, its observation memo is pre-filled with
+  every value the portfolio has *resolved through its own waves*
+  (:meth:`_sync`), so anything already solved for any member is
+  consumed without charging the member's share or the global budget.
+
+**Budget shares** are charged in *fresh* candidates — genotypes not
+yet resolved by any portfolio wave when the member proposed them, i.e.
+the CME solves that member actually caused.  When two members propose
+the same fresh candidate in one super-wave, the earlier slot pays and
+the later one rides free (deterministic claim order).  A member that
+exhausts its share mid-wave has its contribution truncated to the
+share — *other* members' candidates queued after it in the merged wave
+are unaffected (see ``tests/search/test_portfolio.py`` for the
+regression).
+
+Bookkeeping deliberately never tests raw memo membership: the memo of
+a restored checkpoint (or a speculatively warmed evaluator) contains
+values "from the future" of the replayed trajectory, so charging and
+pre-fill are driven by the portfolio's own ``solved`` set — candidates
+its resolved waves actually routed — which replay rebuilds in step.
+
+**Restart policies** (``restart=``):
+
+* ``None`` / ``"never"`` — members run once; a finished member retires.
+* ``"interval:K"`` — a member is rebuilt with a reseeded RNG after
+  every ``K`` waves it participated in.
+* ``"stagnation:K"`` — a member is rebuilt after ``K`` consecutive
+  participated waves without improving its own incumbent.
+
+Under any policy other than ``"never"``, a member whose generator
+*finishes* with share left (a hill climber at a local optimum, an
+annealing chain that ran its schedule) is also restarted — the classic
+random-restart scheme — unless the previous restart contributed no
+fresh candidate (which would loop forever, e.g. a reseeded exhaustive
+enumeration that replays its memoised grid).  Reseeding is
+deterministic: the derived seed is a function of the portfolio seed,
+the slot index and the slot's restart count, so the composite
+trajectory is reproducible and checkpoint replay reconstructs it
+exactly.
+
+**Race mode** (``mode="race"``): half the budget is split evenly as a
+qualifying round; once every member has exhausted its allocation, the
+remaining budget is handed out in tranches (``race_tranche``, default
+``budget // 8``) to the member with the current best objective — ties
+break to the lowest slot — so the strongest member finishes the race
+with most of the budget.
+
+Determinism
+-----------
+Every decision above depends only on static configuration and on
+objective values read from the memo — never on wall-clock, pool
+ordering or worker count.  ``workers=N`` therefore yields the
+bit-identical composite trajectory for every ``N`` (pinned by golden
+traces in ``tests/search/test_portfolio.py``).  Member speculation
+(:meth:`_speculate` forwards each active member's speculative
+candidates) is fully inert for the composite: speculative values land
+only in the evaluator/driver memo, which the bookkeeping never reads,
+so plans, events and share charges are identical with and without it
+(asserted in the tests).  Its cost is visible only in the *driver's*
+global ``max_distinct`` budget — extras are charged there when
+evaluated — and its payoff only in wall-clock across a worker pool.
+
+Checkpointing
+-------------
+``_params()`` captures the static configuration (member specs, shares,
+budget, mode, restart policy, seed), so a checkpoint restores by
+replaying the composite generator against the memo — the standard
+evaluation-free fast-forward — rebuilding every member, restart and
+tranche decision.  :meth:`state_dict` additionally serialises each
+live member's recursive ``state_dict()`` (name, params, memo) under
+``"members"`` for introspection and external tooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.search.base import REGISTRY, SearchStrategy, Values
+from repro.search.driver import _truncate_to_budget
+
+#: Deterministic reseed strides (primes, so slots/restarts never collide
+#: for realistic portfolio sizes).
+_SLOT_STRIDE = 7919
+_RESTART_STRIDE = 104729
+
+#: Restart policy kinds accepted by :class:`PortfolioStrategy`.
+RESTART_KINDS = ("never", "interval", "stagnation")
+
+
+def parse_restart(spec: str | None) -> tuple[str, int]:
+    """Parse ``None``/``"never"``/``"interval:K"``/``"stagnation:K"``."""
+    if spec is None or spec == "never":
+        return "never", 0
+    kind, sep, arg = spec.partition(":")
+    if kind not in RESTART_KINDS or not sep:
+        raise ValueError(
+            f"bad restart policy {spec!r}; expected 'never', "
+            "'interval:K' or 'stagnation:K'"
+        )
+    every = int(arg)
+    if every < 1:
+        raise ValueError(f"restart period must be >= 1, got {every}")
+    return kind, every
+
+
+def _as_spec(member) -> dict:
+    """Normalise a member (strategy instance or spec dict) to a spec.
+
+    The spec format is the same ``{"strategy": name, "params": kwargs}``
+    pair that :meth:`SearchStrategy.state_dict` records, so specs
+    round-trip through checkpoints unchanged.
+    """
+    if isinstance(member, SearchStrategy):
+        return {"strategy": member.name, "params": member._params()}
+    if isinstance(member, dict) and "strategy" in member:
+        return {
+            "strategy": member["strategy"],
+            "params": dict(member.get("params", {})),
+        }
+    raise TypeError(
+        f"portfolio member must be a SearchStrategy or a "
+        f"{{'strategy', 'params'}} spec, got {member!r}"
+    )
+
+
+def _reseed_params(params: dict, derived_seed: int) -> dict:
+    """Constructor params for a restarted member, reseeded deterministically.
+
+    Strategy-agnostic: any ``seed`` kwarg is replaced, materialised
+    randomness (``rng_state``, a pre-drawn ``candidates`` list) is
+    dropped so the new seed actually takes effect, a ``config``
+    dataclass with a ``seed`` field (the GA) is re-seeded via
+    ``dataclasses.replace``, and a hill climber draws a fresh random
+    ``start`` — the classic restart move for a local searcher.
+    """
+    from repro.utils.rng import make_rng
+
+    params = dict(params)
+    # A strategy that materialises its randomness into params (annealing
+    # records rng_state, random its drawn candidates) accepts a ``seed``
+    # kwarg even though _params() omits it — drop the materialised state
+    # AND pin the derived seed, or the rebuild would silently fall back
+    # to the constructor's default seed.
+    takes_seed = (
+        "seed" in params or "rng_state" in params or "candidates" in params
+    )
+    if "rng_state" in params:
+        params["rng_state"] = None
+    if "candidates" in params:
+        params["candidates"] = None
+    if takes_seed:
+        params["seed"] = derived_seed
+    config = params.get("config")
+    if dataclasses.is_dataclass(config) and hasattr(config, "seed"):
+        params["config"] = dataclasses.replace(config, seed=derived_seed)
+    if "start" in params and "extents" in params:
+        rng = make_rng(derived_seed)
+        params["start"] = tuple(
+            int(rng.integers(1, e + 1)) for e in params["extents"]
+        )
+    return params
+
+
+class PortfolioStrategy(SearchStrategy):
+    """Compose member strategies into one batch proposer (module docs).
+
+    Parameters
+    ----------
+    members:
+        Strategy instances or ``{"strategy", "params"}`` specs.  Passed
+        instances are used as *templates* — their constructor params
+        are captured and fresh members are built from them, so the
+        originals are never mutated.
+    shares:
+        Distinct-solve budget per member.  Default: ``budget`` split
+        evenly (race mode: half of ``budget`` split evenly, the rest
+        raced in tranches).
+    budget:
+        Total distinct CME solves the portfolio may cause.  The driver
+        additionally enforces its own ``max_distinct``; this is the
+        portfolio-internal split between members.
+    mode:
+        ``"interleave"`` (every active member proposes each super-wave)
+        or ``"race"`` (see module docstring).
+    restart:
+        ``None``/``"never"``, ``"interval:K"`` or ``"stagnation:K"``.
+    seed:
+        Portfolio seed — the base of every derived restart seed.
+    race_tranche:
+        Race-mode tranche size (default ``budget // 8``).
+    """
+
+    name = "portfolio"
+
+    def __init__(
+        self,
+        members,
+        shares: list[int] | None = None,
+        budget: int = 450,
+        mode: str = "interleave",
+        restart: str | None = None,
+        seed: int = 0,
+        race_tranche: int | None = None,
+    ):
+        super().__init__()
+        self.member_specs = [_as_spec(m) for m in members]
+        if not self.member_specs:
+            raise ValueError("a portfolio needs at least one member")
+        n = len(self.member_specs)
+        self.budget = int(budget)
+        if mode not in ("interleave", "race"):
+            raise ValueError(f"mode must be 'interleave' or 'race', got {mode!r}")
+        self.mode = mode
+        self.restart = restart
+        self._restart_kind, self._restart_every = parse_restart(restart)
+        self.seed = int(seed)
+        if shares is not None:
+            shares = [int(s) for s in shares]
+            if len(shares) != n:
+                raise ValueError(
+                    f"{len(shares)} shares for {n} members"
+                )
+            if any(s < 1 for s in shares):
+                raise ValueError("every member share must be >= 1")
+            if sum(shares) > self.budget:
+                raise ValueError(
+                    f"shares sum to {sum(shares)} > budget {self.budget}"
+                )
+        self.shares = shares
+        if self.shares is None and self.budget < n:
+            raise ValueError(
+                f"budget {self.budget} cannot cover {n} members"
+            )
+        self.race_tranche = race_tranche
+        # -- observable composite trajectory (rebuilt on replay) ------------
+        #: Per super-wave: ``(slot, strategy name, proposed, fresh)`` per
+        #: participating member, in claim order.
+        self.plan_log: list[list[tuple[int, str, int, int]]] = []
+        #: Restart / retire / tranche events, in order.
+        self.events: list[str] = []
+        self.member_best: list[float] = [float("inf")] * n
+        self.member_restarts: list[int] = [0] * n
+        self.member_charged: list[int] = [0] * n
+        self.member_waves: list[int] = [0] * n
+        #: Values a member demanded that were solved by another member's
+        #: wave (or a previous life of the slot) — the cache-sharing win.
+        self.member_inherited: list[int] = [0] * n
+        #: Cumulative member read counters (lives before the current
+        #: restart included) — see :meth:`member_stats`.
+        self._member_consumed: list[int] = [0] * n
+        self._member_consumed_distinct: list[int] = [0] * n
+        self._slots: list[SearchStrategy | None] = [None] * n
+        self._active_plan: list[tuple[int, list[Values]]] = []
+        #: Candidates resolved through the portfolio's own waves — the
+        #: replay-safe "what is known" set (see module docstring).
+        self._solved: set[Values] = set()
+
+    def _params(self) -> dict:
+        return {
+            "members": [dict(spec) for spec in self.member_specs],
+            "shares": self.shares,
+            "budget": self.budget,
+            "mode": self.mode,
+            "restart": self.restart,
+            "seed": self.seed,
+            "race_tranche": self.race_tranche,
+        }
+
+    def state_dict(self) -> dict:
+        """Portable state, plus each member's recursive state dict.
+
+        The ``"members"`` entry is informational: restore replays the
+        composite generator against the memo, which rebuilds members
+        (and their restarts) deterministically.
+        """
+        state = super().state_dict()
+        state["members"] = [
+            m.state_dict() for m in self._slots if m is not None
+        ]
+        return state
+
+    def member_stats(self) -> list[dict]:
+        """Per-slot summary of the composite run (restarts cumulative).
+
+        ``consumed_distinct`` counts distinct candidates each member
+        *read* — sibling-solved candidates included — so
+        ``sum(consumed_distinct) - distinct_evaluations`` of the
+        surrounding :class:`~repro.search.base.SearchResult` is the
+        number of cross-member (and cross-restart) cache hits the
+        portfolio earned by sharing one evaluator.
+        """
+        stats = []
+        for i, spec in enumerate(self.member_specs):
+            live = self._slots[i]
+            stats.append(
+                {
+                    "slot": i,
+                    "strategy": spec["strategy"],
+                    "best": self.member_best[i],
+                    "charged": self.member_charged[i],
+                    "waves": self.member_waves[i],
+                    "restarts": self.member_restarts[i],
+                    "inherited": self.member_inherited[i],
+                    "consumed": self._member_consumed[i]
+                    + (live.consumed if live is not None else 0),
+                    "consumed_distinct": self._member_consumed_distinct[i]
+                    + (live.consumed_distinct if live is not None else 0),
+                }
+            )
+        return stats
+
+    # -- member plumbing ----------------------------------------------------
+    def _label(self, slot: int) -> str:
+        return self.member_specs[slot]["strategy"]
+
+    def _build(self, slot: int, reseed: bool) -> SearchStrategy:
+        spec = self.member_specs[slot]
+        params = spec["params"]
+        if reseed:
+            derived = (
+                self.seed
+                + (slot + 1) * _SLOT_STRIDE
+                + self.member_restarts[slot] * _RESTART_STRIDE
+            )
+            params = _reseed_params(params, derived)
+        cls = REGISTRY.get(spec["strategy"])
+        if cls is None:
+            raise ValueError(f"unknown member strategy {spec['strategy']!r}")
+        return cls(**params)
+
+    def _sync(self, slot: int, member: SearchStrategy) -> None:
+        """Advance ``member``, feeding it every portfolio-solved value.
+
+        This is the cache-sharing path: values solved for any member on
+        an earlier wave are consumed for free, and the member stops only
+        at a wave containing a genuinely unsolved candidate.  Only
+        wave-resolved values (``self._solved``) are forwarded — not raw
+        memo contents, which on a checkpoint replay include values the
+        trajectory has not reached yet.  A member's own contributions
+        reach its memo at wave resolution, so every value filled here
+        was inherited from a sibling (or a previous life of the slot)
+        and counts toward :attr:`member_inherited`.
+        """
+        while True:
+            member.advance()
+            if member.finished:
+                return
+            missing = list(
+                dict.fromkeys(
+                    c for c in member._pending if c not in member._memo
+                )
+            )
+            known = [c for c in missing if c in self._solved]
+            for c in known:
+                member._memo[c] = self._memo[c]
+            self.member_inherited[slot] += len(known)
+            if len(known) < len(missing):
+                return
+
+    def _speculate(self) -> list[Values]:
+        """Forward active members' speculative candidates (deduped).
+
+        Pure lookahead, like every :meth:`SearchStrategy._speculate`:
+        results land in the portfolio memo (= the evaluator cache),
+        which the composite bookkeeping deliberately never reads —
+        a member later demanding a speculated candidate is charged to
+        its share as usual and the evaluator answers from cache.  So a
+        wrong guess costs only a wasted (parallel) evaluation, and no
+        guess can change a plan, an event or a share charge.
+        """
+        out: list[Values] = []
+        seen: set[Values] = set()
+        for slot, _contrib in self._active_plan:
+            member = self._slots[slot]
+            if member is None:
+                continue
+            for cand in member._speculate():
+                cand = tuple(cand)
+                if cand not in seen:
+                    seen.add(cand)
+                    out.append(cand)
+        return out
+
+    # -- the composite loop -------------------------------------------------
+    def _initial_allocation(self) -> tuple[list[int], int]:
+        """(per-member share, race pool) for this configuration."""
+        n = len(self.member_specs)
+        if self.shares is not None:
+            pool = self.budget - sum(self.shares)
+            return list(self.shares), pool if self.mode == "race" else 0
+        split = self.budget // 2 if self.mode == "race" else self.budget
+        split = max(split, n)
+        base, rem = divmod(split, n)
+        shares = [base + (1 if i < rem else 0) for i in range(n)]
+        return shares, max(0, self.budget - split) if self.mode == "race" else 0
+
+    def _algorithm(self):
+        n = len(self.member_specs)
+        share_left, pool = self._initial_allocation()
+        tranche = self.race_tranche or max(1, self.budget // 8)
+        stall = [0] * n
+        #: Incumbent since the slot's last restart (stagnation baseline).
+        stall_best = [float("inf")] * n
+        fresh_since_restart = [0] * n
+        retired = [False] * n
+        self._solved = set()
+        for i in range(n):
+            self._slots[i] = self._build(i, reseed=False)
+
+        def restart(slot: int, why: str) -> None:
+            old = self._slots[slot]
+            self._member_consumed[slot] += old.consumed
+            self._member_consumed_distinct[slot] += old.consumed_distinct
+            self.member_restarts[slot] += 1
+            self.events.append(
+                f"restart[{slot}:{self._label(slot)}] {why} "
+                f"#{self.member_restarts[slot]}"
+            )
+            self._slots[slot] = self._build(slot, reseed=True)
+            stall[slot] = 0
+            stall_best[slot] = float("inf")
+            fresh_since_restart[slot] = 0
+
+        def retire(slot: int, why: str) -> None:
+            retired[slot] = True
+            self.events.append(f"retire[{slot}:{self._label(slot)}] {why}")
+
+        while True:
+            plan: list[tuple[int, list[Values], int]] = []
+            wave: list[Values] = []
+            wave_seen: set[Values] = set()
+            claimed: set[Values] = set(self._solved)
+            for i in range(n):
+                if retired[i]:
+                    continue
+                member = self._slots[i]
+                self._sync(i, member)
+                if member.finished:
+                    # Restart-on-finish: the classic random-restart move,
+                    # guarded against free-replay loops (module docs).
+                    can_restart = self._restart_kind != "never" and (
+                        self.member_restarts[i] == 0
+                        or fresh_since_restart[i] > 0
+                    )
+                    if can_restart and share_left[i] > 0:
+                        restart(i, "finished")
+                        member = self._slots[i]
+                        self._sync(i, member)
+                    elif can_restart and self.mode == "race" and pool > 0:
+                        continue  # out of share; eligible for a tranche
+                    if member.finished:
+                        retire(i, "finished")
+                        continue
+                if share_left[i] <= 0:
+                    if self.mode != "race":
+                        retire(i, "share exhausted")
+                    continue
+                pending = [tuple(c) for c in member._pending]
+                # The driver's max_distinct rule, applied per member:
+                # memoised/claimed candidates ride free, the wave is cut
+                # to the longest prefix whose fresh count fits the share.
+                contrib = _truncate_to_budget(pending, claimed, share_left[i])
+                fresh = 0
+                seen_contrib: set[Values] = set()
+                for c in contrib:
+                    if c in seen_contrib:
+                        continue
+                    seen_contrib.add(c)
+                    if c not in claimed:
+                        claimed.add(c)
+                        fresh += 1
+                    elif c not in member._memo:
+                        # Claimed by an earlier slot in this super-wave:
+                        # a same-wave cache-sharing hit, charged to the
+                        # sibling, free for this member.
+                        self.member_inherited[i] += 1
+                if len(contrib) < len(pending):
+                    self.events.append(
+                        f"exhaust[{i}:{self._label(i)}]"
+                        f"@wave{len(self.plan_log)}"
+                    )
+                if not contrib:
+                    if self.mode != "race":
+                        retire(i, "share exhausted")
+                    continue
+                share_left[i] -= fresh
+                self.member_charged[i] += fresh
+                fresh_since_restart[i] += fresh
+                plan.append((i, contrib, fresh))
+                for c in contrib:
+                    if c not in wave_seen:
+                        wave_seen.add(c)
+                        wave.append(c)
+
+            if not plan:
+                if self.mode == "race" and pool > 0:
+                    # Reallocate the next budget wave to the current best
+                    # member still able to run (lowest slot wins ties).
+                    best_slot = None
+                    for i in range(n):
+                        if retired[i]:
+                            continue
+                        if (
+                            best_slot is None
+                            or self.member_best[i] < self.member_best[best_slot]
+                        ):
+                            best_slot = i
+                    if best_slot is not None:
+                        amount = min(tranche, pool)
+                        pool -= amount
+                        share_left[best_slot] += amount
+                        self.events.append(
+                            f"tranche[{best_slot}:{self._label(best_slot)}] "
+                            f"+{amount}"
+                        )
+                        continue
+                return
+
+            self._active_plan = [(i, contrib) for i, contrib, _ in plan]
+            yield wave
+            self._active_plan = []
+
+            # Resolution: every wave candidate is memoised now.  Route
+            # each contribution back to its member, charge the
+            # portfolio's own consumption counters, and track bests.
+            log_row = []
+            for i, contrib, fresh in plan:
+                improved = False
+                member = self._slots[i]
+                for c in contrib:
+                    self._solved.add(c)
+                    val = self._consume(c)
+                    self._record_best(c, val)
+                    # Route the value back to the proposing member now,
+                    # so later _sync fills measure only *inherited* hits.
+                    member._memo[c] = val
+                    if val < self.member_best[i]:
+                        self.member_best[i] = val
+                    if val < stall_best[i]:
+                        stall_best[i] = val
+                        improved = True
+                self.member_waves[i] += 1
+                stall[i] = 0 if improved else stall[i] + 1
+                log_row.append((i, self._label(i), len(contrib), fresh))
+            self.plan_log.append(log_row)
+
+            for i, _contrib, _fresh in plan:
+                if retired[i]:
+                    continue
+                if (
+                    self._restart_kind == "interval"
+                    and self.member_waves[i] % self._restart_every == 0
+                ):
+                    restart(i, "interval")
+                elif (
+                    self._restart_kind == "stagnation"
+                    and stall[i] >= self._restart_every
+                ):
+                    restart(i, "stagnation")

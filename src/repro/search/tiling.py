@@ -18,6 +18,7 @@ from repro.ir.loops import LoopNest
 from repro.search.base import SearchResult, SearchStrategy
 from repro.search.driver import run_search
 from repro.search.genetic import GAStrategy
+from repro.search.portfolio import PortfolioStrategy
 from repro.search.strategies import (
     AnnealingStrategy,
     ExhaustiveStrategy,
@@ -26,7 +27,12 @@ from repro.search.strategies import (
 )
 
 #: Strategy names accepted by :func:`make_tiling_strategy` / the CLI.
-STRATEGY_NAMES = ("ga", "hillclimb", "annealing", "random", "exhaustive")
+STRATEGY_NAMES = (
+    "ga", "hillclimb", "annealing", "random", "exhaustive", "portfolio"
+)
+
+#: Default member mix for ``--strategy portfolio``.
+DEFAULT_PORTFOLIO_MEMBERS = ("ga", "hillclimb", "annealing")
 
 
 @dataclass
@@ -61,14 +67,71 @@ def make_tiling_strategy(
     ga_config=None,
     speculation: int = 1,
     neighborhood: bool = False,
+    members: tuple[str, ...] | None = None,
+    restart: str | None = None,
+    portfolio_mode: str = "interleave",
 ) -> SearchStrategy:
-    """Build a registered strategy over ``nest``'s tile-size space."""
+    """Build a registered strategy over ``nest``'s tile-size space.
+
+    ``members``/``restart``/``portfolio_mode`` configure the
+    ``"portfolio"`` strategy: member strategy names (each built over
+    the same space with a distinct derived seed and an even share of
+    ``budget``), the restart policy spec, and interleave vs race
+    scheduling (see :mod:`repro.search.portfolio`).
+    """
+    import dataclasses
+
     extents = [loop.extent for loop in nest.loops]
     if name == "ga":
         from repro.ga.engine import GAConfig
         from repro.ga.tiling_search import tiling_genome
 
         return GAStrategy(tiling_genome(nest), ga_config or GAConfig(seed=seed))
+    if name == "portfolio":
+        from repro.search.portfolio import _reseed_params
+
+        names = tuple(members or DEFAULT_PORTFOLIO_MEMBERS)
+        if "portfolio" in names:
+            raise ValueError("portfolio members must be leaf strategies")
+        share = max(1, budget // max(1, len(names)))
+        built = []
+        for j, member in enumerate(names):
+            strat = make_tiling_strategy(
+                member,
+                nest,
+                budget=share,
+                # Distinct per-member seeds so same-name members diverge.
+                seed=seed + j,
+                ga_config=(
+                    None
+                    if ga_config is None
+                    else dataclasses.replace(ga_config, seed=seed + j)
+                ),
+                speculation=speculation,
+                # Member config must not vary with the worker count:
+                # under a binding distinct-solve budget, speculative
+                # extras change what gets solved, and the portfolio
+                # (unlike a lone hill climber that converges early)
+                # always runs the budget to the cap.  Parallelism for
+                # the composite comes from the merged super-waves.
+                neighborhood=False,
+            )
+            if member in names[:j]:
+                # Seed-less repeats (hillclimb: no seed kwarg, midpoint
+                # start) would be identical clones proposing the same
+                # waves; reseed them the way a restart would (hillclimb
+                # draws a fresh random start; seeded strategies are
+                # unchanged in kind).  Exhaustive has no randomness at
+                # all — repeating it buys nothing.
+                strat = type(strat)(**_reseed_params(strat._params(), seed + j))
+            built.append(strat)
+        return PortfolioStrategy(
+            built,
+            budget=budget,
+            mode=portfolio_mode,
+            restart=restart,
+            seed=seed,
+        )
     if name == "hillclimb":
         return HillClimbStrategy(
             extents, max_distinct=budget, neighborhood=neighborhood
@@ -101,6 +164,9 @@ def search_tiling(
     speculation: int = 1,
     checkpoint_path: str | None = None,
     resume: str | None = None,
+    members: tuple[str, ...] | None = None,
+    restart: str | None = None,
+    portfolio_mode: str = "interleave",
 ) -> TilingSearchOutcome:
     """Minimise sampled replacement misses for ``nest`` with any strategy.
 
@@ -108,7 +174,9 @@ def search_tiling(
     ``point_workers`` shards each candidate's *sample* instead (see
     :mod:`repro.evaluation.sharding`) — useful when a strategy
     proposes few candidates per wave.  Results are identical for any
-    worker configuration.
+    worker configuration.  ``members``/``restart``/``portfolio_mode``
+    configure ``strategy="portfolio"`` (see
+    :func:`make_tiling_strategy`).
     """
     from repro.ga.objective import TilingObjective
 
@@ -125,6 +193,7 @@ def search_tiling(
             # Speculative neighborhood waves only pay for themselves
             # across a worker pool.
             neighborhood=workers > 1,
+            members=members, restart=restart, portfolio_mode=portfolio_mode,
         )
     )
     try:

@@ -1,0 +1,358 @@
+"""PortfolioStrategy contracts: golden trajectory, worker invariance,
+cache sharing, budget shares, restart policies, race mode, recursive
+checkpoints, and the mid-wave share-exhaustion regression."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.search import (
+    AnnealingStrategy,
+    HillClimbStrategy,
+    PortfolioStrategy,
+    RandomStrategy,
+    restore_strategy,
+    run_search,
+)
+from repro.search.portfolio import parse_restart
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden.json").read_text()
+)
+
+
+def _quad(values):
+    """Module-level (picklable) toy objective: distance² to (4, 27)."""
+    return float((values[0] - 4) ** 2 + (values[1] - 27) ** 2)
+
+
+def _members(budget=24, chunk=6):
+    return [
+        HillClimbStrategy(
+            [32, 32], start=(16, 16), max_distinct=budget, neighborhood=False
+        ),
+        AnnealingStrategy([32, 32], budget=budget, seed=3),
+        RandomStrategy([32, 32], budget=budget, seed=7, chunk=chunk),
+    ]
+
+
+def _golden_portfolio():
+    return PortfolioStrategy(
+        _members(), budget=72, restart="stagnation:3", seed=0
+    )
+
+
+# -- golden: the composite trajectory is pinned ---------------------------
+
+def test_portfolio_matches_golden_trace():
+    g = GOLDEN["portfolio_toy"]
+    strategy = _golden_portfolio()
+    res = run_search(strategy, _quad)
+    assert [
+        list(res.best_values), res.best_objective, res.steps,
+        res.distinct_evaluations, res.consumed, res.consumed_distinct,
+    ] == g["final"]
+    assert [[list(e) for e in row] for row in strategy.plan_log] == g["plan_log"]
+    assert strategy.events == g["events"]
+    assert strategy.member_charged == g["member_charged"]
+    assert strategy.member_restarts == g["member_restarts"]
+    assert strategy.member_inherited == g["member_inherited"]
+    assert strategy.member_best == g["member_best"]
+    assert [r.best_objective for r in res.trace] == g["trace_best"]
+
+
+# -- workers: identical composite trajectory for 1 vs 4 -------------------
+
+def test_workers_do_not_change_portfolio_trajectory():
+    serial = _golden_portfolio()
+    res1 = run_search(serial, _quad, workers=1)
+    parallel = _golden_portfolio()
+    res4 = run_search(parallel, _quad, workers=4)
+    assert res1 == res4  # SearchResult equality: best, counts, full trace
+    assert serial.plan_log == parallel.plan_log
+    assert serial.events == parallel.events
+    assert serial.member_inherited == parallel.member_inherited
+
+
+# -- cache sharing: one evaluator serves every member ---------------------
+
+def test_members_share_the_evaluator_cache():
+    """A candidate solved by one member is a memo hit for every other:
+    the portfolio's distinct solves are strictly fewer than the sum of
+    the members run in isolation."""
+    portfolio = PortfolioStrategy(_members(), budget=72, seed=0)
+    res = run_search(portfolio, _quad)
+    isolated = sum(
+        run_search(m, _quad).distinct_evaluations for m in _members()
+    )
+    assert res.distinct_evaluations < isolated
+    # the gap is visible member-side too: hillclimb and annealing both
+    # start from the midpoint, so at least one demand was inherited
+    assert sum(portfolio.member_inherited) >= 1
+    # and shares are only charged for solves a member actually caused
+    assert sum(portfolio.member_charged) == res.consumed_distinct
+
+
+def test_portfolio_respects_budget_shares():
+    shares = [10, 10, 30]
+    portfolio = PortfolioStrategy(
+        _members(budget=40, chunk=5), shares=shares, budget=50, seed=0
+    )
+    run_search(portfolio, _quad)
+    for charged, share in zip(portfolio.member_charged, shares):
+        assert charged <= share
+    assert sum(portfolio.member_charged) <= 50
+
+
+# -- the satellite bugfix: mid-wave share exhaustion ----------------------
+
+def test_share_exhaustion_mid_wave_does_not_strand_other_members():
+    """Slot 0 proposes one 30-candidate wave but owns a share of 8: its
+    contribution is truncated to the driver's max_distinct rule, while
+    slot 1's candidates — queued after it in the merged super-wave —
+    must ride in the same wave untouched."""
+    big = RandomStrategy([64, 64], budget=30, seed=11, chunk=30)
+    small = RandomStrategy([64, 64], budget=6, seed=12, chunk=6)
+    portfolio = PortfolioStrategy(
+        [big, small], shares=[8, 6], budget=14, seed=0
+    )
+    res = run_search(portfolio, _quad)
+    (slot0, name0, proposed0, fresh0), (slot1, name1, proposed1, fresh1) = (
+        portfolio.plan_log[0]
+    )
+    assert (slot0, slot1) == (0, 1)
+    assert proposed0 == 8 and fresh0 == 8  # truncated: 30 proposed, 8 kept
+    assert proposed1 == 6 and fresh1 == 6  # NOT stranded by slot 0's cut
+    assert res.trace[0].proposed == 14
+    assert portfolio.member_charged == [8, 6]
+    assert any(e.startswith("exhaust[0") for e in portfolio.events)
+    # slot 0 retires with its truncated wave unresolved; slot 1 finishes
+    assert any(e.startswith("retire[0") for e in portfolio.events)
+
+
+def test_truncation_follows_driver_rule_memoised_candidates_ride_free():
+    """Candidates another member already solved do not burn the share."""
+    a = RandomStrategy([16, 16], budget=10, seed=5, chunk=10)
+    b = RandomStrategy([16, 16], budget=10, seed=5, chunk=10)  # same draws
+    portfolio = PortfolioStrategy([a, b], shares=[10, 1], budget=11, seed=0)
+    run_search(portfolio, _quad)
+    # slot 1 re-proposes slot 0's wave: every candidate rides free
+    assert portfolio.member_charged[1] == 0
+    assert portfolio.member_inherited == [0, len(set(b.candidates))]
+
+
+# -- restart policies ------------------------------------------------------
+
+def test_stagnation_restarts_reseed_members():
+    portfolio = PortfolioStrategy(
+        _members(), budget=72, restart="stagnation:2", seed=0
+    )
+    res = run_search(portfolio, _quad)
+    assert sum(portfolio.member_restarts) > 0
+    assert any("stagnation" in e for e in portfolio.events)
+    assert res.consumed_distinct <= 72
+
+
+def test_interval_restarts_fire_on_schedule():
+    portfolio = PortfolioStrategy(
+        [AnnealingStrategy([32, 32], budget=20, seed=3)],
+        budget=40, restart="interval:4", seed=0,
+    )
+    run_search(portfolio, _quad)
+    assert portfolio.member_restarts[0] >= 1
+    assert any("interval" in e for e in portfolio.events)
+
+
+def test_no_restart_policy_retires_finished_members():
+    portfolio = PortfolioStrategy(
+        [HillClimbStrategy([16, 16], start=(8, 8), neighborhood=False)],
+        budget=100, seed=0,
+    )
+    res = run_search(portfolio, _quad)
+    assert res.finished
+    assert portfolio.member_restarts == [0]
+    assert any(e.startswith("retire[0") for e in portfolio.events)
+
+
+def test_restarts_are_deterministically_reseeded():
+    runs = []
+    for _ in range(2):
+        p = PortfolioStrategy(
+            _members(), budget=72, restart="stagnation:2", seed=0
+        )
+        run_search(p, _quad)
+        runs.append((p.events, p.plan_log, p.member_best))
+    assert runs[0] == runs[1]
+
+
+def test_parse_restart_specs():
+    assert parse_restart(None) == ("never", 0)
+    assert parse_restart("never") == ("never", 0)
+    assert parse_restart("interval:7") == ("interval", 7)
+    assert parse_restart("stagnation:3") == ("stagnation", 3)
+    with pytest.raises(ValueError):
+        parse_restart("sometimes:3")
+    with pytest.raises(ValueError):
+        parse_restart("interval:0")
+    with pytest.raises(ValueError):
+        parse_restart("interval")
+
+
+# -- race mode -------------------------------------------------------------
+
+def test_race_mode_reallocates_budget_to_best_member():
+    portfolio = PortfolioStrategy(
+        _members(), budget=120, mode="race", restart="stagnation:3", seed=0
+    )
+    res = run_search(portfolio, _quad)
+    tranches = [e for e in portfolio.events if e.startswith("tranche")]
+    assert tranches  # the raced half of the budget was handed out
+    assert res.consumed_distinct <= 120
+    assert sum(portfolio.member_charged) <= 120
+    # the first tranche goes to the member that won the qualifying
+    # round (later tranches may fall to runners-up once it retires)
+    best_slot = min(
+        range(3), key=lambda i: (portfolio.member_best[i], i)
+    )
+    assert tranches[0].startswith(f"tranche[{best_slot}")
+
+
+def test_race_mode_is_worker_invariant():
+    results = {}
+    for workers in (1, 4):
+        p = PortfolioStrategy(
+            _members(), budget=96, mode="race", restart="stagnation:3", seed=0
+        )
+        results[workers] = (run_search(p, _quad, workers=workers), p.events)
+    assert results[1] == results[4]
+
+
+# -- speculation: member lookahead stays inert ----------------------------
+
+def test_member_speculation_is_inert_for_the_composite():
+    def build(spec):
+        return PortfolioStrategy(
+            [
+                HillClimbStrategy(
+                    [32, 32], start=(16, 16), max_distinct=24,
+                    neighborhood=spec,
+                ),
+                AnnealingStrategy(
+                    [32, 32], budget=24, seed=3,
+                    speculation=3 if spec else 1,
+                ),
+            ],
+            budget=48, restart="stagnation:3", seed=0,
+        )
+
+    plain = build(False)
+    res_plain = run_search(plain, _quad)
+    spec = build(True)
+    res_spec = run_search(spec, _quad)
+    # identical composite decisions: same plans, events, bests, charges
+    assert spec.plan_log == plain.plan_log
+    assert spec.events == plain.events
+    assert res_spec.best_values == res_plain.best_values
+    assert spec.member_charged == plain.member_charged
+    # the speculative work itself is visible only as extra evaluations
+    assert res_spec.distinct_evaluations >= res_plain.distinct_evaluations
+
+
+# -- checkpointing ---------------------------------------------------------
+
+def test_state_dict_recursively_serialises_members():
+    portfolio = _golden_portfolio()
+    run_search(portfolio, _quad)
+    state = portfolio.state_dict()
+    assert state["strategy"] == "portfolio"
+    assert len(state["members"]) == 3
+    names = [m["strategy"] for m in state["members"]]
+    assert names == ["hillclimb", "annealing", "random"]
+    for member_state in state["members"]:
+        assert set(member_state) == {"strategy", "params", "memo"}
+        # member memos are subsets of the composite memo
+        for cand, val in member_state["memo"].items():
+            assert state["memo"][cand] == val
+
+
+def test_restore_replays_the_composite_trajectory():
+    original = _golden_portfolio()
+    res = run_search(original, _quad)
+    restored = restore_strategy(
+        {
+            "strategy": "portfolio",
+            "params": original._params(),
+            "memo": dict(original._memo),
+        }
+    )
+    replayed = run_search(restored, _quad)
+    assert replayed.best_values == res.best_values
+    assert replayed.best_objective == res.best_objective
+    assert restored.plan_log == original.plan_log
+    assert restored.events == original.events
+    assert restored.member_charged == original.member_charged
+    assert restored.member_inherited == original.member_inherited
+
+
+def test_checkpoint_resume_continues_identically(tmp_path):
+    ck = str(tmp_path / "portfolio.ck")
+    full = run_search(_golden_portfolio(), _quad)
+    capped = run_search(
+        _golden_portfolio(), _quad, max_distinct=30, checkpoint_path=ck
+    )
+    assert not capped.finished
+    resumed = run_search(None, _quad, resume=ck)
+    assert resumed.finished
+    assert resumed.best_values == full.best_values
+    assert resumed.best_objective == full.best_objective
+    assert resumed.strategy_ref.plan_log == full.strategy_ref.plan_log
+    assert resumed.strategy_ref.events == full.strategy_ref.events
+
+
+# -- construction validation ----------------------------------------------
+
+def test_portfolio_rejects_bad_configuration():
+    with pytest.raises(ValueError, match="at least one member"):
+        PortfolioStrategy([])
+    with pytest.raises(ValueError, match="shares"):
+        PortfolioStrategy(_members(), shares=[1, 2], budget=30)
+    with pytest.raises(ValueError, match="share"):
+        PortfolioStrategy(_members(), shares=[0, 1, 1], budget=30)
+    with pytest.raises(ValueError, match="budget"):
+        PortfolioStrategy(_members(), shares=[20, 20, 20], budget=30)
+    with pytest.raises(ValueError, match="mode"):
+        PortfolioStrategy(_members(), mode="relay")
+    with pytest.raises(TypeError, match="member"):
+        PortfolioStrategy([42])
+    with pytest.raises(ValueError, match="budget 2"):
+        PortfolioStrategy(_members(), budget=2)
+
+
+def test_repeated_seedless_members_are_reseeded():
+    """`--members hillclimb,hillclimb` must not build identical clones:
+    the repeat gets a fresh random start (restart-style reseeding)."""
+    from repro.search.tiling import make_tiling_strategy
+    from tests.conftest import make_small_transpose
+
+    portfolio = make_tiling_strategy(
+        "portfolio", make_small_transpose(32), budget=40, seed=0,
+        members=("hillclimb", "hillclimb"),
+    )
+    starts = [spec["params"]["start"] for spec in portfolio.member_specs]
+    assert starts[0] != starts[1]
+    # seeded strategies already diverge through their derived seeds
+    seeded = make_tiling_strategy(
+        "portfolio", make_small_transpose(32), budget=40, seed=0,
+        members=("annealing", "annealing"),
+    )
+    states = [spec["params"]["rng_state"] for spec in seeded.member_specs]
+    assert states[0] != states[1]
+
+
+def test_member_instances_are_templates_not_mutated():
+    members = _members()
+    portfolio = PortfolioStrategy(members, budget=72, seed=0)
+    run_search(portfolio, _quad)
+    for m in members:
+        assert m.consumed == 0 and not m._memo  # originals untouched

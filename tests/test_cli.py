@@ -141,6 +141,44 @@ def test_search_command_checkpoint_resume(tmp_path, capsys):
     assert first.splitlines()[0] == resumed.splitlines()[0]
 
 
+def test_portfolio_flag_parsing():
+    positional, flags = cli.parse_flags(
+        ["search", "MM", "--strategy", "portfolio", "--members",
+         "ga,hillclimb", "--restart", "stagnation:5",
+         "--portfolio-mode", "race"]
+    )
+    assert positional == ["search", "MM"]
+    assert flags == {
+        "strategy": "portfolio",
+        "members": "ga,hillclimb",
+        "restart": "stagnation:5",
+        "portfolio_mode": "race",
+    }
+
+
+def test_search_command_runs_portfolio(capsys):
+    assert (
+        cli.main(["search", "T2D", "48", "--strategy", "portfolio",
+                  "--members", "hillclimb,random", "--restart",
+                  "stagnation:4", "--budget", "16", "--seed", "1"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "[portfolio]" in out and "T=" in out
+
+
+def test_portfolio_command_prints_comparison(capsys):
+    assert (
+        cli.main(["portfolio", "T2D", "48", "--budget", "12",
+                  "--members", "hillclimb,random"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Portfolio meta-search vs single strategies" in out
+    assert "portfolio[interleave]" in out
+    assert "Cache sharing" in out
+
+
 def test_workers_flag_reaches_experiment_config(capsys, monkeypatch):
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     assert cli.main(["nonsense", "--workers", "3"]) == 0
