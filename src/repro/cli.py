@@ -18,6 +18,9 @@ Usage::
     python -m repro.cli search MM 500 --strategy portfolio \
         --members ga,hillclimb,annealing --restart stagnation:5
     python -m repro.cli portfolio MM 100     # strategy comparison table
+    python -m repro.cli serve --port 7070    # cluster worker agent
+    python -m repro.cli search MM 500 --backend cluster \
+        --hosts hostA:7070,hostB:7070 --memo /shared/mm500.memo
 
 Uniform flags (accepted anywhere on the command line):
 
@@ -49,6 +52,18 @@ Uniform flags (accepted anywhere on the command line):
     to the current best member in tranches).
 ``--checkpoint PATH`` / ``--resume PATH``
     Persist resumable search state every step / continue from it.
+``--backend local|cluster`` ``--hosts host:port,…`` ``--memo PATH``
+    Evaluation backend for ``search``: ``cluster`` dispatches candidate
+    waves to ``repro.cli serve`` worker agents (``--hosts`` or
+    ``REPRO_HOSTS``; results are bit-identical to local, see
+    :mod:`repro.distributed`); ``--memo`` enables the persistent
+    cross-run memo store (either backend).
+``--port N`` ``--bind ADDR`` ``--capacity N``
+    Worker-agent knobs for the ``serve`` command: TCP port (0 picks a
+    free one and prints it), bind address (default loopback; use
+    ``0.0.0.0`` for real cross-host serving on a trusted network), and
+    advertised evaluation capacity (sizes the worker's own process
+    pool).
 ``--cascade-enum-limit N`` ``--cascade-partial-limit N``
 ``--cascade-line-limit N`` ``--cascade-abs-budget N``
     Congruence-cascade work budgets (accuracy/speed trade-off): exact
@@ -81,6 +96,12 @@ FLAG_SPEC = {
     "--portfolio-mode": ("portfolio_mode", str),
     "--checkpoint": ("checkpoint", str),
     "--resume": ("resume", str),
+    "--backend": ("backend", str),
+    "--hosts": ("hosts", str),
+    "--memo": ("memo", str),
+    "--port": ("port", int),
+    "--bind": ("bind", str),
+    "--capacity": ("capacity", int),
     "--cascade-enum-limit": ("cascade_enum_limit", int),
     "--cascade-partial-limit": ("cascade_partial_limit", int),
     "--cascade-line-limit": ("cascade_line_limit", int),
@@ -90,9 +111,9 @@ FLAG_SPEC = {
 #: Commands understood by :func:`main` (anything else prints the
 #: experiment-runner banner and runs nothing).
 COMMANDS = (
-    "search", "portfolio", "table2", "table3", "table4", "figure8",
-    "figure9", "convergence", "validate", "associativity", "all",
-    "kernels", "landscape", "source",
+    "search", "portfolio", "serve", "table2", "table3", "table4",
+    "figure8", "figure9", "convergence", "validate", "associativity",
+    "all", "kernels", "landscape", "source",
 )
 
 
@@ -136,6 +157,7 @@ def _run_search_command(args: list[str], flags: dict) -> int:
         workers=flags.get("workers"),
         point_workers=flags.get("point_workers"),
         seed=flags.get("seed", 0),
+        hosts=flags.get("hosts"),
     )
     members = flags.get("members")
     outcome = search_tiling(
@@ -154,8 +176,18 @@ def _run_search_command(args: list[str], flags: dict) -> int:
         members=tuple(members.split(",")) if members else None,
         restart=flags.get("restart"),
         portfolio_mode=flags.get("portfolio_mode", "interleave"),
+        backend=flags.get("backend"),
+        hosts=config.hosts,
+        memo_path=flags.get("memo"),
     )
     print(outcome.summary())
+    if outcome.backend is not None:
+        b = outcome.backend
+        print(
+            f"backend: {b['remote_solves']} remote, {b['local_solves']} "
+            f"local, {b['store_hits']} memo hits, "
+            f"{b['payload_bytes']} payload bytes"
+        )
     trace = outcome.search.trace
     if trace:
         print(
@@ -226,6 +258,15 @@ def main(argv: list[str] | None = None) -> int:
         size = int(args[2]) if len(args) > 2 else None
         print(nest_to_dsl(get_kernel(name, size)))
         return 0
+
+    if what == "serve":
+        from repro.distributed import serve
+
+        return serve(
+            flags.get("port", 7070),
+            host=flags.get("bind", "127.0.0.1"),
+            capacity=flags.get("capacity", 1),
+        )
 
     if what == "search":
         return _run_search_command(args, flags)

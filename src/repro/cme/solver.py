@@ -584,6 +584,99 @@ class PointClassifier:
             vol *= h - l + 1
         out.append((tuple(lo), tuple(hi), vol))
 
+    def _between_boxes_wave(
+        self, S: np.ndarray, U: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """`_raw_between_boxes` for a whole wave of (src, use) pairs.
+
+        Returns ``(Blo, Bhi, jid)`` where rows are grouped by job and,
+        within a job, appear in exactly the order the scalar per-job
+        decomposition emits them (region, then src-peel level, then
+        use-peel level) — the frontier queues built on top of this
+        order drive early exits, so it is part of the equivalence
+        contract.  The per-job Python loops become a handful of masked
+        array operations per (region, level, level) combination; the
+        job dimension is fully vectorised.
+        """
+        n, d = S.shape
+        los: list[np.ndarray] = []
+        his: list[np.ndarray] = []
+        jids: list[np.ndarray] = []
+        keys: list[np.ndarray] = []
+
+        def _emit(sel: np.ndarray, lo: np.ndarray, hi: np.ndarray, key: int):
+            keep = np.all(hi >= lo, axis=1)
+            if not keep.all():
+                sel, lo, hi = sel[keep], lo[keep], hi[keep]
+            if len(sel):
+                los.append(lo)
+                his.append(hi)
+                jids.append(sel)
+                keys.append(np.full(len(sel), key, dtype=np.int64))
+
+        def _intersect_lt_use(sel: np.ndarray, glo, ghi, base_key: int):
+            # {q ∈ piece : q ≺ use}, prefix-peeling on the use point.
+            Us = U[sel]
+            valid = np.ones(len(sel), dtype=bool)
+            for l2 in range(d):
+                u = Us[:, l2]
+                full = valid & (u > ghi[:, l2])
+                clamp = valid & (u <= ghi[:, l2]) & (u - 1 >= glo[:, l2])
+                for cond, clamped in ((full, False), (clamp, True)):
+                    if cond.any():
+                        sub = np.flatnonzero(cond)
+                        lo = np.empty((len(sub), d), dtype=np.int64)
+                        hi = np.empty((len(sub), d), dtype=np.int64)
+                        lo[:, :l2] = Us[sub, :l2]
+                        hi[:, :l2] = Us[sub, :l2]
+                        lo[:, l2:] = glo[sub, l2:]
+                        hi[:, l2:] = ghi[sub, l2:]
+                        if clamped:
+                            hi[:, l2] = u[sub] - 1
+                        _emit(sel[sub], lo, hi, base_key + 2 * l2 + clamped)
+                valid &= (u >= glo[:, l2]) & (u <= ghi[:, l2])
+                if not valid.any():
+                    break
+
+        for ri, region in enumerate(self._regions):
+            rlo = np.asarray(region.lo, dtype=np.int64)
+            rhi = np.asarray(region.hi, dtype=np.int64)
+            # {q ∈ region : q ≻ src}, prefix-peeling level by level —
+            # per level at most one piece per job (the two conditions
+            # are disjoint), so (region, l1, l2, clamped?) is a total
+            # order key over each job's boxes.
+            valid = np.ones(n, dtype=bool)
+            for l1 in range(d):
+                s = S[:, l1]
+                below = valid & (s < rlo[l1])
+                inside = valid & (s >= rlo[l1]) & (s + 1 <= rhi[l1])
+                for cond, bumped in ((below, False), (inside, True)):
+                    if cond.any():
+                        sel = np.flatnonzero(cond)
+                        glo = np.empty((len(sel), d), dtype=np.int64)
+                        ghi = np.empty((len(sel), d), dtype=np.int64)
+                        glo[:, :l1] = S[sel, :l1]
+                        ghi[:, :l1] = S[sel, :l1]
+                        glo[:, l1:] = rlo[l1:]
+                        ghi[:, l1:] = rhi[l1:]
+                        if bumped:
+                            glo[:, l1] = S[sel, l1] + 1
+                        _intersect_lt_use(
+                            sel, glo, ghi, 2 * d * (ri * d + l1)
+                        )
+                valid &= (s >= rlo[l1]) & (s <= rhi[l1])
+                if not valid.any():
+                    break
+        if not los:
+            empty = np.empty((0, d), dtype=np.int64)
+            return empty, empty.copy(), np.empty(0, dtype=np.int64)
+        Blo = np.concatenate(los)
+        Bhi = np.concatenate(his)
+        jid = np.concatenate(jids)
+        key = np.concatenate(keys)
+        order = np.lexsort((key, jid))
+        return Blo[order], Bhi[order], jid[order]
+
     #: Row cap per concatenated interval evaluation (memory guard).
     _JOB_CHUNK_ROWS = 1 << 20
     #: Per-job enumeration budget per round (early-exit granularity).
@@ -610,23 +703,16 @@ class PointClassifier:
         M = self._M
         enum_limit = self._tester.enum_limit
         killed = [False] * len(jobs)
-        blo: list[tuple[int, ...]] = []
-        bhi: list[tuple[int, ...]] = []
-        jid: list[int] = []
-        for j, (w, src) in enumerate(jobs):
-            for lo, hi, _vol in self._raw_between_boxes(src, w[2]):
-                blo.append(lo)
-                bhi.append(hi)
-                jid.append(j)
-        if not blo:
+        Blo, Bhi, jid_arr = self._between_boxes_wave(
+            np.array([src for _w, src in jobs], dtype=np.int64),
+            np.array([w[2] for w, _src in jobs], dtype=np.int64),
+        )
+        nb = len(jid_arr)
+        if nb == 0:
             return killed
-        nb = len(blo)
         self.stats.boxes_tested += nb
-        Blo = np.array(blo, dtype=np.int64)
-        Bhi = np.array(bhi, dtype=np.int64)
-        jid_arr = np.array(jid, dtype=np.int64)
-        wlo_box = np.array([jobs[j][0][6] for j in jid], dtype=np.int64)
-        l0_box = np.array([jobs[j][0][5] for j in jid], dtype=np.int64)
+        wlo_box = np.array([jobs[j][0][6] for j in jid_arr], dtype=np.int64)
+        l0_box = np.array([jobs[j][0][5] for j in jid_arr], dtype=np.int64)
         # Tier-1 rejection, vectorised over every (box, ref) pair: the
         # reachable address band [fmin, fmax] misses the set window.
         fmin = Blo @ self._Cpos.T + Bhi @ self._Cneg.T + self._c0vec
@@ -713,8 +799,8 @@ class PointClassifier:
                     if killed[j]:
                         continue  # another box already decided this job
                     if self._cascade_box_group(
-                        blo[b],
-                        bhi[b],
+                        tuple(int(x) for x in Blo[b]),
+                        tuple(int(x) for x in Bhi[b]),
                         gi,
                         alive[b],
                         int(wlo_box[b]),
@@ -1070,27 +1156,21 @@ class PointClassifier:
         k = self._k
         nrefs = len(self._refs)
         totals = [pre for (_, _, pre) in jobs]
-        blo: list[tuple[int, ...]] = []
-        bhi: list[tuple[int, ...]] = []
-        queues: list[list[int]] = [[] for _ in jobs]
-        for j, (w, src, _pre) in enumerate(jobs):
-            for lo, hi, _vol in self._raw_between_boxes(src, w[2]):
-                queues[j].append(len(blo))
-                blo.append(lo)
-                bhi.append(hi)
-        nb = len(blo)
+        Blo, Bhi, jid = self._between_boxes_wave(
+            np.array([src for (_w, src, _pre) in jobs], dtype=np.int64),
+            np.array([w[2] for (w, _src, _pre) in jobs], dtype=np.int64),
+        )
+        nb = len(jid)
         self.stats.boxes_tested += nb
         if nb == 0:
             return [t >= k for t in totals]
-        Blo = np.array(blo, dtype=np.int64)
-        Bhi = np.array(bhi, dtype=np.int64)
-        wlo_arr = np.empty(nb, dtype=np.int64)
-        l0_arr = np.empty(nb, dtype=np.int64)
-        for j, q in enumerate(queues):
-            w = jobs[j][0]
-            for b in q:
-                wlo_arr[b] = w[6]
-                l0_arr[b] = w[5]
+        # Rows come back grouped per job in decomposition order, so each
+        # queue is a consecutive run of box indices.
+        queues: list[list[int]] = [[] for _ in jobs]
+        for b, j in enumerate(jid):
+            queues[int(j)].append(b)
+        wlo_arr = np.array([jobs[int(j)][0][6] for j in jid], dtype=np.int64)
+        l0_arr = np.array([jobs[int(j)][0][5] for j in jid], dtype=np.int64)
         cursor = [0] * len(jobs)
         pending = [j for j, q in enumerate(queues) if q and totals[j] < k]
         while pending:

@@ -1,0 +1,317 @@
+"""Coordinator-side cluster access: connections, dispatch, retry.
+
+:class:`ClusterClient` owns one socket per configured host and turns a
+list of candidates into per-host ``op=eval`` jobs.  The scheduling is
+work-stealing — hosts pop chunks off a shared queue, so a fast host
+naturally takes more — and failure handling is uniform:
+
+* **worker loss** (connection reset, refused, EOF): the host's chunk
+  goes back on the queue for the surviving hosts, the connection is
+  closed, and the next ``evaluate`` call tries to reconnect (so a
+  restarted worker rejoins without coordinator restarts);
+* **stragglers** (no reply within ``timeout`` seconds): treated the
+  same — the chunk is re-dispatched elsewhere and the slow connection
+  is abandoned.  Objectives are pure, so re-computing a chunk on
+  another host can only change wall-clock time, never a value.
+
+If every host is lost mid-wave, :class:`ClusterUnavailable` carries the
+partial results out so the caller (:class:`DistributedEvaluator`)
+finishes the remainder locally — a killed worker never loses a wave.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import threading
+import time
+from collections import deque
+
+from repro.distributed import wire
+
+Values = tuple[int, ...]
+
+
+class ClusterUnavailable(RuntimeError):
+    """No live workers remain; ``partial`` holds values computed so far."""
+
+    def __init__(self, message: str, partial: dict[int, float] | None = None):
+        super().__init__(message)
+        self.partial = partial or {}
+
+
+class HostConnection:
+    """One handshaken socket to a worker, with per-connection state."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        fingerprint: object = None,
+        timeout: float | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.sock = socket.create_connection((host, port), timeout=5.0)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock.settimeout(timeout)
+        wire.client_handshake(self.sock, fingerprint)
+        self.objective_key: str | None = None
+        self.sent_bytes = 0
+        self.capacity = int(
+            self.request({"op": "capacity"}).get("capacity", 1)
+        )
+
+    def request(self, msg: dict) -> dict:
+        self.sent_bytes += wire.send_frame(self.sock, msg)
+        reply = wire.recv_frame(self.sock)
+        if reply.get("op") == "error":
+            raise wire.WireError(
+                f"{self.host}:{self.port}: {reply.get('message')}"
+            )
+        return reply
+
+    def ensure_objective(self, blob: bytes, key: str | None = None) -> None:
+        """Install the pickled objective once per connection.
+
+        Keyed by content digest (never object identity — a recycled
+        ``id()`` must not skip installing a *different* objective).
+        """
+        if key is None:
+            key = hashlib.sha256(blob).hexdigest()
+        if self.objective_key != key:
+            self.request({"op": "objective", "blob": blob})
+            self.objective_key = key
+
+    def install_shard_context(self, ctx_blob: bytes) -> None:
+        """Ship the ShardPool context (once per connection)."""
+        self.request({"op": "shard_context", "blob": ctx_blob})
+
+    def shard_estimate(self, token: str, bundle_blob: bytes, start: int, stop: int):
+        """One token/span shard job, with the ``_ContextMiss`` retry.
+
+        The first call under a token ships only the span; a worker that
+        does not hold the bundle (never seen, or LRU-evicted) answers
+        ``miss`` and the span is resent with the blob attached —
+        exactly the local :class:`ShardPool` retry, over TCP.
+        """
+        reply = self.request(
+            {"op": "shard", "token": token, "start": start, "stop": stop}
+        )
+        if reply.get("op") == "miss":
+            reply = self.request(
+                {
+                    "op": "shard",
+                    "token": token,
+                    "blob": bundle_blob,
+                    "start": start,
+                    "stop": stop,
+                }
+            )
+        if reply.get("op") != "estimate":
+            raise wire.WireError(f"bad shard reply: {reply.get('op')!r}")
+        return reply["estimate"]
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ClusterClient:
+    """Dispatch candidate batches across the configured worker hosts."""
+
+    def __init__(
+        self,
+        hosts,
+        fingerprint: object = None,
+        timeout: float | None = None,
+    ):
+        if isinstance(hosts, str):
+            hosts = wire.parse_hosts(hosts)
+        self.hosts: tuple[tuple[str, int], ...] = tuple(
+            (h, int(p)) for h, p in hosts
+        )
+        self.fingerprint = fingerprint
+        self.timeout = timeout
+        self._conns: dict[tuple[str, int], HostConnection | None] = {
+            addr: None for addr in self.hosts
+        }
+        #: Seconds to skip reconnect attempts to a host that just
+        #: failed — without it every wave of a long search pays a
+        #: multi-second blocking connect for each blackholed host.
+        self.reconnect_backoff = 30.0
+        self._last_failure: dict[tuple[str, int], float] = {}
+        #: Dispatch accounting (mirrors ShardPool's payload counters).
+        self.payload_bytes = 0
+        self.last_payload_bytes = 0
+        self.redispatched_chunks = 0
+        self.lost_hosts = 0
+
+    # -- connections ---------------------------------------------------------
+    def connect(self) -> list[HostConnection]:
+        """(Re)connect configured hosts that are not connected.
+
+        A host whose last attempt (or connection) failed within
+        ``reconnect_backoff`` seconds is skipped this round, so a dead
+        host costs one connect timeout per backoff window, not per
+        wave; a restarted worker rejoins on the first round after its
+        window expires.
+        """
+        live: list[HostConnection] = []
+        now = time.monotonic()
+        for addr, conn in self._conns.items():
+            if conn is None:
+                failed_at = self._last_failure.get(addr)
+                if (
+                    failed_at is not None
+                    and now - failed_at < self.reconnect_backoff
+                ):
+                    continue
+                try:
+                    conn = HostConnection(
+                        *addr,
+                        fingerprint=self.fingerprint,
+                        timeout=self.timeout,
+                    )
+                except (OSError, wire.WireError):
+                    self._last_failure[addr] = time.monotonic()
+                    continue
+                self._conns[addr] = conn
+                self._last_failure.pop(addr, None)
+            live.append(conn)
+        return live
+
+    def capacities(self) -> dict[str, int]:
+        """Registered capacity per live host (``host:port`` keyed)."""
+        return {
+            f"{c.host}:{c.port}": c.capacity for c in self.connect()
+        }
+
+    def _drop(self, conn: HostConnection) -> None:
+        conn.close()
+        self._conns[(conn.host, conn.port)] = None
+        self._last_failure[(conn.host, conn.port)] = time.monotonic()
+        self.lost_hosts += 1
+
+    # -- dispatch ------------------------------------------------------------
+    def evaluate(self, blob: bytes, candidates: list[Values]) -> list[float]:
+        """Values for ``candidates`` (in order), computed cluster-side.
+
+        Raises :class:`ClusterUnavailable` — with whatever partial
+        results arrived — when no live worker remains.
+        """
+        conns = self.connect()
+        if not conns:
+            raise ClusterUnavailable("no live workers")
+        n = len(candidates)
+        if n == 0:
+            return []
+        blob_key = hashlib.sha256(blob).hexdigest()
+        # A shared index queue with *per-host* grab sizes: each host
+        # takes at least its own capacity (its local pool wants whole
+        # batches) but small enough grabs that every host gets several
+        # (work stealing evens out stragglers).  Sizing the grab by the
+        # cluster-wide max would let one big host serialise the wave.
+        base = -(-n // (4 * len(conns)))
+        queue: deque[int] = deque(range(n))
+        results: dict[int, float] = {}
+        lock = threading.Lock()
+        sent_before = {id(c): c.sent_bytes for c in conns}
+
+        def host_loop(conn: HostConnection) -> None:
+            grab = max(1, conn.capacity, base)
+            while True:
+                with lock:
+                    if not queue:
+                        return
+                    idxs = [
+                        queue.popleft()
+                        for _ in range(min(grab, len(queue)))
+                    ]
+                try:
+                    conn.ensure_objective(blob, blob_key)
+                    payload = {
+                        "op": "eval",
+                        "candidates": [candidates[i] for i in idxs],
+                    }
+                    reply = conn.request(payload)
+                    values = reply.get("values")
+                    if (
+                        reply.get("op") != "values"
+                        or not isinstance(values, list)
+                        or len(values) != len(idxs)
+                    ):
+                        raise wire.WireError(
+                            f"bad eval reply from {conn.host}:{conn.port}"
+                        )
+                    with lock:
+                        for i, v in zip(idxs, values):
+                            results[i] = float(v)
+                except Exception:
+                    # OSError/WireError/timeout are the expected loss
+                    # and straggler cases; anything else (a malformed
+                    # value, an unpicklable surprise) must equally not
+                    # strand the chunk or leave a wedged connection
+                    # registered as live.
+                    # Worker lost or straggling: give the chunk back for
+                    # the surviving hosts and retire this connection.
+                    with lock:
+                        queue.extendleft(reversed(idxs))
+                        self.redispatched_chunks += 1
+                    self._drop(conn)
+                    return
+
+        wave_bytes = 0
+        # A handful of rounds bounds the pathological case where a
+        # candidate deterministically kills every worker: after that the
+        # caller's local fallback computes the remainder (and surfaces
+        # the real exception).  A round ends when its threads finish;
+        # chunks a dying host gave back after its siblings exited are
+        # re-dispatched in the next round, over freshly (re)connected
+        # hosts — so a restarted worker rejoins mid-search.
+        for _round in range(3):
+            threads = [
+                threading.Thread(target=host_loop, args=(c,), daemon=True)
+                for c in conns
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wave_bytes += sum(
+                c.sent_bytes - sent_before[id(c)] for c in conns
+            )
+            if len(results) == n:
+                break
+            conns = self.connect()
+            if not conns:
+                break
+            sent_before = {id(c): c.sent_bytes for c in conns}
+        self.last_payload_bytes = wave_bytes
+        self.payload_bytes += wave_bytes
+        if len(results) != n:
+            raise ClusterUnavailable(
+                f"lost all workers with {n - len(results)} candidates "
+                "outstanding",
+                partial=results,
+            )
+        return [results[i] for i in range(n)]
+
+    # -- lifecycle -----------------------------------------------------------
+    def shutdown_workers(self) -> None:
+        """Ask every live worker process to exit (loopback teardown)."""
+        for conn in self.connect():
+            try:
+                conn.request({"op": "shutdown"})
+            except (OSError, wire.WireError):
+                pass
+            self._drop(conn)
+        self.lost_hosts = 0
+
+    def close(self) -> None:
+        for addr, conn in self._conns.items():
+            if conn is not None:
+                conn.close()
+                self._conns[addr] = None

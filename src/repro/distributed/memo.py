@@ -1,0 +1,149 @@
+"""Persistent shared memo: objective values that outlive a process.
+
+The in-memory :class:`repro.evaluation.Evaluator` cache dies with its
+search.  A :class:`MemoStore` is the durable version: an append-only
+file of ``(fingerprint_key, candidate, value)`` records, so *any* later
+run against the same objective — a resumed search, another portfolio
+slot, a different host's coordinator pointing at a shared filesystem —
+starts from everything every prior run already solved.
+
+Design points:
+
+* **Append-only, length-prefixed records** (the same framing as the
+  wire protocol).  Writes are a single ``write`` + ``flush`` of one
+  record; a crash can only tear the *last* record, and the loader
+  ignores a torn tail (verified by tests), so the store can never be
+  corrupted into unreadability.
+* **Keyed by objective fingerprint** — the exact picklable identity
+  checkpoints already carry (``(kernel, cache repr, n_samples, seed)``
+  for tiling searches), hashed via
+  :func:`repro.distributed.wire.fingerprint_key`.  Values from a
+  different objective are invisible, never wrong.
+* **Multi-run friendly**: ``put`` appends one whole record per
+  ``write`` on an ``"ab"`` handle (O_APPEND semantics), so sequential
+  runs — and concurrent coordinators on POSIX filesystems — interleave
+  whole records.  Duplicate records are harmless: every writer computes
+  the same pure value, and the loader keeps the last.  One caveat: the
+  torn-tail *heal* (first write after a crash left a tear) atomically
+  rewrites the valid prefix, so records a still-live coordinator
+  appended after the torn bytes are discarded along with the tear —
+  they were unreadable anyway (framing is lost at a tear), and losing
+  a memo record costs a re-solve, never a wrong value.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+
+from repro.distributed.wire import fingerprint_key
+
+_LEN = struct.Struct(">I")
+
+Values = tuple[int, ...]
+
+
+class MemoStore:
+    """On-disk append-only memo of objective values, fingerprint-keyed.
+
+    ``store = MemoStore(path, fingerprint)`` loads every record whose
+    fingerprint matches into :attr:`values`; ``put`` appends (and
+    mirrors into :attr:`values`); ``get`` is a plain dict lookup.
+    Opening the same path with a different fingerprint sees a disjoint
+    value set.
+    """
+
+    def __init__(self, path: str, fingerprint: object = None):
+        self.path = str(path)
+        self.fingerprint = fingerprint
+        self.key = fingerprint_key(fingerprint)
+        self.values: dict[Values, float] = {}
+        self.records_seen = 0
+        self.torn_tail = False
+        self._load()
+        # Line-buffered append handle, opened lazily on first put.
+        self._fh = None
+
+    # -- read side -----------------------------------------------------------
+    def _load(self) -> None:
+        self._valid_bytes = 0
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        off = 0
+        n = len(data)
+        while off + _LEN.size <= n:
+            (length,) = _LEN.unpack_from(data, off)
+            if off + _LEN.size + length > n:
+                break  # torn tail: a write died mid-record
+            try:
+                key, cand, value = pickle.loads(
+                    data[off + _LEN.size : off + _LEN.size + length]
+                )
+            except Exception:
+                break  # treat an undecodable record as a torn tail
+            off += _LEN.size + length
+            self.records_seen += 1
+            if key == self.key:
+                self.values[tuple(cand)] = float(value)
+        self.torn_tail = off != n
+        self._valid_bytes = off
+
+    def get(self, candidate: Values) -> float | None:
+        return self.values.get(tuple(candidate))
+
+    def __contains__(self, candidate: Values) -> bool:
+        return tuple(candidate) in self.values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # -- write side ----------------------------------------------------------
+    def put(self, candidate: Values, value: float) -> None:
+        """Append one solved candidate (idempotent, flushed)."""
+        candidate = tuple(candidate)
+        value = float(value)
+        prev = self.values.get(candidate)
+        if prev is not None and (
+            prev == value or (prev != prev and value != value)  # NaN-safe
+        ):
+            return
+        if self._fh is None:
+            if self.torn_tail:
+                # Heal the tear before appending, or the new records
+                # would land behind bytes no loader ever reads past.
+                # The valid prefix is rewritten atomically (temp +
+                # rename) so the handle below is a plain O_APPEND one —
+                # positioned writes into a shared file would interleave
+                # mid-record with any concurrent appender.  (Tears only
+                # exist after a crash; a writer racing the heal itself
+                # would be appending to the replaced inode.)
+                tmp = f"{self.path}.heal.{os.getpid()}"
+                with open(self.path, "rb") as src, open(tmp, "wb") as dst:
+                    dst.write(src.read(self._valid_bytes))
+                    dst.flush()
+                    os.fsync(dst.fileno())
+                os.replace(tmp, self.path)
+                self.torn_tail = False
+            self._fh = open(self.path, "ab")
+        blob = pickle.dumps((self.key, candidate, value))
+        self._fh.write(_LEN.pack(len(blob)) + blob)
+        self._fh.flush()
+        self.values[candidate] = value
+
+    def put_many(self, pairs) -> None:
+        for cand, value in pairs:
+            self.put(cand, value)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "MemoStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

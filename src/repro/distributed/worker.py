@@ -1,0 +1,193 @@
+"""The worker agent behind ``python -m repro.cli serve``.
+
+A worker is a threaded TCP server speaking the frame protocol of
+:mod:`repro.distributed.wire`.  Each connection is an independent
+session holding exactly the state the zero-copy :class:`ShardPool`
+transport holds per process:
+
+* an **objective** — installed once per connection (``op=objective``,
+  the pickled pure function), after which evaluation jobs carry only
+  genotype tuples.  The worker wraps it in the shared
+  :class:`repro.evaluation.Evaluator`, so a worker with ``capacity>1``
+  fans a candidate batch out over its own local process pool;
+* a **shard context** (``op=shard_context``) plus a worker-side
+  candidate-bundle LRU — the existing ShardPool token/span messages
+  carried over TCP: ``op=shard`` jobs address the fixed sample by
+  ``(token, start, stop)`` span, bundles ship once per token, and an
+  evicted token answers ``op=miss`` so the client resends the blob
+  (the ``_ContextMiss`` retry, end to end).
+
+Replies to ``op=shard`` carry the full :class:`CMEEstimate` — solver
+and congruence ``TesterStats`` included — so the coordinator's
+``merge_estimates`` keeps the accuracy-regression counters live across
+hosts exactly as it does across local shard processes.
+
+Workers are stateless between connections and never touch the memo
+store: deduplication against past runs happens coordinator-side, which
+is what keeps result assembly deterministic regardless of worker
+count, capacity, or message arrival order.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import socketserver
+import threading
+from collections import OrderedDict
+
+from repro.distributed import wire
+from repro.evaluation import sharding
+
+#: Worker-side per-connection candidate-bundle memo size (tokens) —
+#: the same policy object as the local shard pools', re-exported as a
+#: module attribute so tests can shrink it per transport.
+BUNDLE_CACHE_SIZE = sharding.BUNDLE_CACHE_SIZE
+
+
+class _Session:
+    """Per-connection state: installed objective + shard context."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.evaluator = None
+        self.shard_ctx = None
+        self.bundles: "OrderedDict[str, tuple]" = OrderedDict()
+
+    # -- op handlers ---------------------------------------------------------
+    def handle(self, msg: dict) -> dict:
+        op = msg.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return {"op": "error", "message": f"unknown op {op!r}"}
+        try:
+            return handler(msg)
+        except Exception as exc:  # job errors go back as frames, not EOF
+            return {
+                "op": "error",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+
+    def _op_ping(self, msg: dict) -> dict:
+        return {"op": "pong"}
+
+    def _op_capacity(self, msg: dict) -> dict:
+        return {"op": "capacity", "capacity": self.capacity}
+
+    def _op_objective(self, msg: dict) -> dict:
+        from repro.evaluation import Evaluator
+
+        fn = pickle.loads(msg["blob"])
+        if self.evaluator is not None:
+            self.evaluator.close()  # don't leak the old pool's processes
+        self.evaluator = Evaluator(fn, workers=self.capacity)
+        return {"op": "ok"}
+
+    def _op_eval(self, msg: dict) -> dict:
+        if self.evaluator is None:
+            return {"op": "error", "message": "no objective installed"}
+        candidates = [tuple(c) for c in msg["candidates"]]
+        values = self.evaluator.evaluate_batch(candidates)
+        return {"op": "values", "values": [float(v) for v in values]}
+
+    def _op_shard_context(self, msg: dict) -> dict:
+        self.shard_ctx = pickle.loads(msg["blob"])
+        self.bundles.clear()
+        return {"op": "ok"}
+
+    def _op_shard(self, msg: dict) -> dict:
+        from repro.cme.sampling import estimate_at_points
+
+        ctx = self.shard_ctx
+        if ctx is None:
+            return {"op": "error", "message": "no shard context installed"}
+        token = msg["token"]
+        bundle = sharding.bundle_cache_get(self.bundles, token)
+        if bundle is None:
+            blob = msg.get("blob")
+            if blob is None:
+                # The _ContextMiss retry path, over the wire: the
+                # client resends the span with the bundle attached.
+                return {"op": "miss", "token": token}
+            bundle = pickle.loads(blob)
+            sharding.bundle_cache_put(self.bundles, token, bundle, BUNDLE_CACHE_SIZE)
+        program, layout, candidates = bundle
+        start, stop = msg["start"], msg["stop"]
+        est = estimate_at_points(
+            program,
+            layout,
+            ctx.cache,
+            list(ctx.points[start:stop]),
+            ctx.confidence,
+            candidates,
+            cascade_budgets=ctx.cascade_budgets,
+        )
+        return {"op": "estimate", "estimate": est}
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self):  # pragma: no cover - exercised via live sockets
+        sock: socket.socket = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            wire.server_handshake(sock)
+        except wire.WireError:
+            return
+        session = _Session(self.server.capacity)
+        try:
+            while True:
+                msg = wire.recv_frame(sock)
+                if msg.get("op") == "shutdown":
+                    wire.send_frame(sock, {"op": "ok"})
+                    self.server.shutdown_requested.set()
+                    return
+                wire.send_frame(sock, session.handle(msg))
+        except (wire.WireError, ConnectionError, OSError):
+            return  # client went away; session state dies with it
+        finally:
+            if session.evaluator is not None:
+                session.evaluator.close()
+
+
+class WorkerServer(socketserver.ThreadingTCPServer):
+    """Threaded worker agent; one `_Session` per client connection."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        super().__init__((host, port), _Handler)
+        self.capacity = capacity
+        self.shutdown_requested = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def serve_until_shutdown(self) -> None:
+        """Serve until a client sends ``op=shutdown`` (CLI entry)."""
+        poller = threading.Thread(target=self.serve_forever, daemon=True)
+        poller.start()
+        try:
+            self.shutdown_requested.wait()
+        finally:
+            self.shutdown()
+            poller.join(timeout=5)
+            self.server_close()
+
+
+def serve(port: int, host: str = "127.0.0.1", capacity: int = 1) -> int:
+    """Blocking entry point for ``python -m repro.cli serve``.
+
+    Prints the bound address (``--port 0`` picks a free port) so a
+    spawning parent — :class:`repro.distributed.cluster.LoopbackCluster`
+    or an operator's script — can read it back, then serves until a
+    client requests shutdown or the process is killed.
+    """
+    server = WorkerServer(host=host, port=port, capacity=capacity)
+    bound_host, bound_port = server.address
+    print(f"repro-serve listening on {bound_host}:{bound_port}", flush=True)
+    server.serve_until_shutdown()
+    return 0

@@ -64,6 +64,7 @@ class Evaluator:
         self.workers = workers
         self.cache: dict[Values, float] = {}
         self.calls = 0
+        self.new_solves = 0
         self.parallel_fallback = False
         self._pool: ProcessPoolExecutor | None = None
 
@@ -72,7 +73,7 @@ class Evaluator:
         self.calls += 1
         values = tuple(values)
         if values not in self.cache:
-            self.cache[values] = self._fn(values)
+            self.cache[values] = self._evaluate_missing([values])[0]
         return self.cache[values]
 
     # -- batch path ---------------------------------------------------------
@@ -92,6 +93,7 @@ class Evaluator:
         return np.array([self.cache[v] for v in batch], dtype=float)
 
     def _evaluate_missing(self, missing: list[Values]) -> list[float]:
+        self.new_solves += len(missing)
         if self.workers > 1 and len(missing) > 1:
             pool = self._ensure_pool()
             if pool is not None:
@@ -119,6 +121,11 @@ class Evaluator:
     def distinct_evaluations(self) -> int:
         """Actual objective computations — the memo cache's size."""
         return len(self.cache)
+
+    #: ``new_solves`` counts the objective computations *this process
+    #: actually paid for this run* — unlike ``distinct_evaluations`` it
+    #: excludes values served by a warm source such as the persistent
+    #: memo store of :class:`repro.distributed.DistributedEvaluator`.
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:

@@ -196,6 +196,31 @@ class _ContextMiss(Exception):
     """Worker lacks the bundle for a token; resend with the blob."""
 
 
+def bundle_cache_get(bundles: "OrderedDict", token: str):
+    """LRU lookup: a hit refreshes the token's recency."""
+    bundle = bundles.get(token)
+    if bundle is not None:
+        bundles.move_to_end(token)
+    return bundle
+
+
+def bundle_cache_put(
+    bundles: "OrderedDict", token: str, bundle, cap: int | None = None
+) -> None:
+    """LRU insert, evicting least-recently-used tokens beyond ``cap``.
+
+    The one bundle-memo policy for every transport: the local
+    :class:`ShardPool` workers and the TCP worker agent
+    (:mod:`repro.distributed.worker`) share it, so eviction behaviour
+    cannot drift between them.
+    """
+    bundles[token] = bundle
+    if cap is None:
+        cap = BUNDLE_CACHE_SIZE
+    while len(bundles) > cap:
+        bundles.popitem(last=False)
+
+
 _POOL_CTX: ShardContext | None = None
 _BUNDLES: "OrderedDict[str, tuple]" = OrderedDict()
 
@@ -222,16 +247,12 @@ def _classify_span(task) -> CMEEstimate:
     ctx = _POOL_CTX
     if ctx is None:
         raise RuntimeError("shard worker used before initialisation")
-    bundle = _BUNDLES.get(token)
+    bundle = bundle_cache_get(_BUNDLES, token)
     if bundle is None:
         if blob is None:
             raise _ContextMiss(token)
         bundle = pickle.loads(blob)
-        _BUNDLES[token] = bundle
-        while len(_BUNDLES) > BUNDLE_CACHE_SIZE:
-            _BUNDLES.popitem(last=False)
-    else:
-        _BUNDLES.move_to_end(token)
+        bundle_cache_put(_BUNDLES, token, bundle)
     program, layout, candidates = bundle
     return estimate_at_points(
         program,

@@ -41,6 +41,17 @@ def default_point_workers() -> int:
     return _env_workers("REPRO_POINT_WORKERS")
 
 
+def default_hosts() -> str | None:
+    """Cluster worker hosts (``REPRO_HOSTS``, ``host:port,…``).
+
+    When set, the CLI's ``search`` command evaluates candidate waves on
+    those ``repro.cli serve`` agents (``--hosts`` overrides).  Like the
+    worker knobs, purely a wall-clock choice: the distributed backend
+    is bit-identical to local (see :mod:`repro.distributed`).
+    """
+    return os.environ.get("REPRO_HOSTS") or None
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """Budget knobs shared by all experiment reproductions.
@@ -57,7 +68,10 @@ class ExperimentConfig:
     instead (see :mod:`repro.evaluation`; results are identical for
     any value).  They default to ``REPRO_WORKERS`` /
     ``REPRO_POINT_WORKERS`` or serial; the CLI's ``--workers`` /
-    ``--point-workers`` flags override the environment.
+    ``--point-workers`` flags override the environment.  ``hosts``
+    (``REPRO_HOSTS`` / ``--hosts``) names cluster worker agents for
+    the distributed evaluation backend — same identical-results
+    guarantee, across machines (:mod:`repro.distributed`).
     """
 
     ga: GAConfig = field(default=None)  # type: ignore[assignment]
@@ -65,6 +79,7 @@ class ExperimentConfig:
     seed: int = 0
     workers: int = field(default=None)  # type: ignore[assignment]
     point_workers: int = field(default=None)  # type: ignore[assignment]
+    hosts: str | None = field(default=None)
 
     def __post_init__(self):
         if self.workers is None:
@@ -73,6 +88,8 @@ class ExperimentConfig:
             object.__setattr__(
                 self, "point_workers", default_point_workers()
             )
+        if self.hosts is None:
+            object.__setattr__(self, "hosts", default_hosts())
         if self.ga is None:
             ga = (
                 GAConfig(seed=self.seed)

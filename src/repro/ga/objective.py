@@ -27,15 +27,29 @@ class MemoizedObjective(Evaluator):
     """
 
 
+class SampledTilingFn:
+    """Picklable pure objective: sampled replacement misses of a tiling.
+
+    The single definition of the tiling objective for *every* backend:
+    :class:`TilingObjective` wraps it for the local evaluator, and
+    :class:`repro.distributed.DistributedEvaluator` ships it (analyzer
+    and all, once per worker connection) to cluster hosts — so local
+    and remote evaluation cannot drift apart.
+    """
+
+    def __init__(self, analyzer: LocalityAnalyzer):
+        self.analyzer = analyzer
+
+    def __call__(self, tiles) -> float:
+        return float(self.analyzer.estimate(tile_sizes=tiles).replacement)
+
+
 class TilingObjective(MemoizedObjective):
     """Sampled replacement misses of a tiling candidate."""
 
     def __init__(self, analyzer: LocalityAnalyzer, workers: int = 1):
         self.analyzer = analyzer
-        super().__init__(self._evaluate, workers=workers)
-
-    def _evaluate(self, tiles: tuple[int, ...]) -> float:
-        return float(self.analyzer.estimate(tile_sizes=tiles).replacement)
+        super().__init__(SampledTilingFn(analyzer), workers=workers)
 
 
 class SimulatorTilingObjective(MemoizedObjective):

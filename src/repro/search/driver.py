@@ -69,7 +69,16 @@ def save_checkpoint(
     trace: list[StepRecord],
     fingerprint: object = None,
 ) -> None:
-    """Atomically persist a search's full resumable state."""
+    """Atomically persist a search's full resumable state.
+
+    The payload is pickled into a uniquely-named sibling temp file,
+    fsynced, and renamed over ``path`` — so a kill at *any* instant
+    (mid-``pickle.dump``, between write and rename, even a second
+    search checkpointing to the same path) leaves either the previous
+    complete checkpoint or the new one, never a torn file that fails
+    to resume.  An interrupted dump's temp file is removed on the way
+    out; only a hard kill can orphan one, and it is never read back.
+    """
     payload = {
         "version": CHECKPOINT_VERSION,
         "strategy": strategy.state_dict(),
@@ -79,10 +88,20 @@ def save_checkpoint(
         "trace": list(trace),
         "fingerprint": fingerprint,
     }
-    tmp = f"{path}.tmp"
-    with open(tmp, "wb") as fh:
-        pickle.dump(payload, fh)
-    os.replace(tmp, path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # Never leave a torn temp behind on an interrupted dump.
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(path: str) -> dict:

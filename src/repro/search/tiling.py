@@ -37,12 +37,19 @@ DEFAULT_PORTFOLIO_MEMBERS = ("ga", "hillclimb", "annealing")
 
 @dataclass
 class TilingSearchOutcome:
-    """A :class:`SearchResult` plus before/after miss-ratio estimates."""
+    """A :class:`SearchResult` plus before/after miss-ratio estimates.
+
+    ``backend`` carries the distributed backend's per-source counters
+    (store hits vs remote vs local solves, payload bytes, re-dispatches
+    — see :meth:`repro.distributed.DistributedEvaluator.backend_stats`)
+    when the search ran against one; ``None`` for the plain local path.
+    """
 
     nest_name: str
     search: SearchResult
     before: CMEEstimate
     after: CMEEstimate
+    backend: dict | None = None
 
     @property
     def tile_sizes(self) -> tuple[int, ...]:
@@ -167,6 +174,9 @@ def search_tiling(
     members: tuple[str, ...] | None = None,
     restart: str | None = None,
     portfolio_mode: str = "interleave",
+    backend: str | None = None,
+    hosts=None,
+    memo_path: str | None = None,
 ) -> TilingSearchOutcome:
     """Minimise sampled replacement misses for ``nest`` with any strategy.
 
@@ -177,13 +187,65 @@ def search_tiling(
     worker configuration.  ``members``/``restart``/``portfolio_mode``
     configure ``strategy="portfolio"`` (see
     :func:`make_tiling_strategy`).
-    """
-    from repro.ga.objective import TilingObjective
 
-    analyzer = LocalityAnalyzer(
-        nest, cache, n_samples=n_samples, seed=seed, point_workers=point_workers
+    ``backend="cluster"`` evaluates candidate waves on remote worker
+    agents instead of (or before falling back to) local processes:
+    ``hosts`` is the ``host:port,…`` spec the agents listen on
+    (defaulting to ``REPRO_HOSTS`` via the CLI).  ``memo_path`` points
+    either backend at a persistent :class:`repro.distributed.MemoStore`
+    so no run ever re-solves a candidate any prior run against the
+    same (kernel, cache, sampling, seed) fingerprint solved.  All
+    backends yield bit-identical trajectories — see
+    :mod:`repro.distributed`.
+    """
+    import hashlib
+
+    from repro.ga.objective import SampledTilingFn, TilingObjective
+    from repro.ir.parser import nest_to_dsl
+    from repro.polyhedra.congruence import CongruenceTester
+
+    # Resolve the cascade work budgets HERE (env > defaults) and pin
+    # them: they are part of the objective's identity — different
+    # budgets give different (honest) estimates — so they belong in the
+    # checkpoint/memo fingerprint, and pinning them into the analyzer
+    # means remote workers compute with the coordinator's budgets, not
+    # whatever their own host environment says.  The nest enters the
+    # fingerprint by *structure* (its DSL rendering), not just by name:
+    # the memo store is long-lived and shared, and two edits of a
+    # parsed kernel easily carry the same name.
+    cascade_budgets = CongruenceTester().budgets()
+    fingerprint = (
+        nest.name,
+        hashlib.sha256(nest_to_dsl(nest).encode()).hexdigest(),
+        repr(cache), n_samples, seed,
+        tuple(sorted(cascade_budgets.items())),
     )
-    objective = TilingObjective(analyzer, workers=workers)
+    if backend is None:
+        backend = "cluster" if hosts else "local"
+    if backend not in ("local", "cluster"):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'local' or 'cluster'"
+        )
+    if backend == "cluster" and not hosts:
+        raise ValueError(
+            "backend='cluster' needs hosts (--hosts or REPRO_HOSTS)"
+        )
+    analyzer = LocalityAnalyzer(
+        nest, cache, n_samples=n_samples, seed=seed,
+        point_workers=point_workers, cascade_budgets=cascade_budgets,
+    )
+    if backend == "cluster" or memo_path is not None:
+        from repro.distributed import DistributedEvaluator
+
+        objective = DistributedEvaluator(
+            SampledTilingFn(analyzer),
+            hosts=hosts if backend == "cluster" else (),
+            workers=workers,
+            memo_path=memo_path,
+            fingerprint=fingerprint,
+        )
+    else:
+        objective = TilingObjective(analyzer, workers=workers)
     strat = (
         None
         if resume is not None
@@ -207,8 +269,9 @@ def search_tiling(
             checkpoint_path=checkpoint_path,
             resume=resume,
             # The memo in a checkpoint is only valid against the same
-            # sampled objective; refuse cross-problem resumes.
-            fingerprint=(nest.name, repr(cache), n_samples, seed),
+            # sampled objective; refuse cross-problem resumes.  The
+            # persistent memo store keys by this same identity.
+            fingerprint=fingerprint,
         )
         if result.best_values is None:
             raise ValueError(
@@ -218,8 +281,14 @@ def search_tiling(
         before = analyzer.estimate()
         after = analyzer.estimate(tile_sizes=result.best_values)
     finally:
+        backend_stats = (
+            objective.backend_stats()
+            if hasattr(objective, "backend_stats")
+            else None
+        )
         objective.close()
         analyzer.close()
     return TilingSearchOutcome(
-        nest_name=nest.name, search=result, before=before, after=after
+        nest_name=nest.name, search=result, before=before, after=after,
+        backend=backend_stats,
     )

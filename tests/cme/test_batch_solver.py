@@ -81,3 +81,36 @@ def test_point_map_batch_roundtrip():
     ]
     back = pm.to_original_batch(mapped)
     assert [tuple(int(x) for x in row) for row in back] == list(pts)
+
+
+def test_between_boxes_wave_matches_raw_decomposition():
+    """The vectorised between-box decomposition emits the same boxes as
+    the per-job `_raw_between_boxes`, job by job, in the same order —
+    the frontier queues built on it charge budgets in that order."""
+    rng = np.random.default_rng(7)
+    for label, nest, prog in _programs():
+        layout = MemoryLayout(nest.arrays())
+        cls = PointClassifier(prog, layout, CACHE_DM)
+        lo = np.min([r.lo for r in cls._regions], axis=0)
+        hi = np.max([r.hi for r in cls._regions], axis=0)
+        pairs = [
+            (
+                tuple(int(x) for x in rng.integers(lo - 1, hi + 2)),
+                tuple(int(x) for x in rng.integers(lo - 1, hi + 2)),
+            )
+            for _ in range(40)
+        ]
+        Blo, Bhi, jid = cls._between_boxes_wave(
+            np.array([s for s, _ in pairs], dtype=np.int64),
+            np.array([u for _, u in pairs], dtype=np.int64),
+        )
+        got = [[] for _ in pairs]
+        for b, j in enumerate(jid):
+            got[int(j)].append(
+                (tuple(int(x) for x in Blo[b]), tuple(int(x) for x in Bhi[b]))
+            )
+        for j, (src, use) in enumerate(pairs):
+            want = [
+                (blo, bhi) for blo, bhi, _v in cls._raw_between_boxes(src, use)
+            ]
+            assert got[j] == want, (label, j, src, use)

@@ -1,0 +1,126 @@
+"""End-to-end loopback cluster: real `repro.cli serve` processes.
+
+The determinism acceptance tests for the distributed subsystem:
+
+* a loopback cluster run is **bit-identical** to the serial one —
+  pinned against the same golden traces as the local strategies;
+* SIGKILLing a worker mid-run loses nothing and changes nothing;
+* a second run against the same persistent memo store performs zero
+  new solves for previously-solved candidates.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.distributed import (
+    DistributedEvaluator,
+    LoopbackCluster,
+    SmokeObjective,
+)
+from repro.search import HillClimbStrategy, run_search
+from repro.search.tiling import search_tiling
+from tests.conftest import make_small_transpose
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent.parent / "search" / "golden.json").read_text()
+)
+CACHE = CacheConfig(1024, 32, 1)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LoopbackCluster(2) as c:
+        yield c
+
+
+def test_workers_come_up_and_register(cluster):
+    assert cluster.alive() == 2
+    assert len(cluster.hosts) == 2
+    assert "," in cluster.hosts_spec
+
+
+def test_cluster_run_matches_golden_trace(cluster):
+    """The loopback cluster reproduces the pre-refactor serial hill
+    climb bit-for-bit — the same golden.json entry the local backend
+    is pinned against."""
+    g = GOLDEN["hillclimb_toy"]
+    strategy = HillClimbStrategy([32, 32], start=(16, 16))
+    ev = DistributedEvaluator(SmokeObjective((4, 27)), hosts=cluster.hosts)
+    try:
+        run_search(strategy, ev)
+    finally:
+        ev.close()
+    assert [[list(c), v] for c, v in strategy.accepted] == g["accepted"]
+    assert [
+        list(strategy.current), strategy.current_objective, strategy.consumed
+    ] == g["final"]
+
+
+def test_search_tiling_cluster_backend_is_bit_identical(cluster, tmp_path):
+    nest = make_small_transpose(48)
+    kw = dict(strategy="ga", budget=30, seed=0, n_samples=32)
+    local = search_tiling(nest, CACHE, **kw)
+    memo = tmp_path / "t2d.memo"
+    dist = search_tiling(
+        nest, CACHE, backend="cluster", hosts=cluster.hosts,
+        memo_path=str(memo), **kw,
+    )
+    assert dist.search == local.search  # full trajectory, trace included
+    assert dist.tile_sizes == local.tile_sizes
+    assert dist.backend["remote_solves"] == dist.search.distinct_evaluations
+    assert dist.backend["local_solves"] == 0
+
+    # Warm start: a second run against the same memo store re-solves
+    # nothing — distinct evaluations previously solved cost zero.
+    warm = search_tiling(
+        nest, CACHE, backend="cluster", hosts=cluster.hosts,
+        memo_path=str(memo), **kw,
+    )
+    assert warm.search == local.search
+    assert warm.backend["new_solves"] == 0
+    assert warm.backend["store_hits"] == warm.search.distinct_evaluations
+
+
+def test_sigkill_mid_run_completes_identically():
+    """Killing a worker between waves neither loses the wave nor moves
+    the trajectory by one candidate."""
+    fn = SmokeObjective((4, 27))
+    serial = HillClimbStrategy([32, 32], start=(16, 16))
+    run_search(serial, fn)
+    with LoopbackCluster(2) as cluster:
+        strategy = HillClimbStrategy([32, 32], start=(16, 16))
+        ev = DistributedEvaluator(fn, hosts=cluster.hosts)
+        waves = [0]
+        original = ev._solve
+
+        def solve_and_kill(todo):
+            values = original(todo)
+            waves[0] += 1
+            if waves[0] == 2:  # mid-run, with plenty of search left
+                cluster.kill(0)
+            return values
+
+        ev._solve = solve_and_kill
+        try:
+            run_search(strategy, ev)
+        finally:
+            ev.close()
+        assert cluster.alive() == 1
+    assert strategy.accepted == serial.accepted
+    assert (strategy.current, strategy.current_objective) == (
+        serial.current, serial.current_objective
+    )
+    assert ev.backend_stats()["lost_hosts"] >= 1
+
+
+def test_repro_hosts_env_reaches_the_search_config(cluster, monkeypatch):
+    from repro.experiments.common import ExperimentConfig
+
+    monkeypatch.setenv("REPRO_HOSTS", cluster.hosts_spec)
+    config = ExperimentConfig()
+    assert config.hosts == cluster.hosts_spec
+    monkeypatch.delenv("REPRO_HOSTS")
+    assert ExperimentConfig().hosts is None

@@ -1,0 +1,96 @@
+"""Persistent memo store: durability, fingerprint keying, torn tails."""
+
+import struct
+
+from repro.distributed import MemoStore
+
+FP_A = ("MM", "cache-a", 164, 0)
+FP_B = ("MM", "cache-a", 164, 1)  # different seed → different objective
+
+
+def test_roundtrip_and_reload(tmp_path):
+    path = tmp_path / "memo.bin"
+    with MemoStore(path, FP_A) as store:
+        store.put((4, 8), 12.0)
+        store.put((4, 9), 7.5)
+        assert store.get((4, 8)) == 12.0
+        assert (4, 9) in store and len(store) == 2
+    again = MemoStore(path, FP_A)
+    assert again.get((4, 9)) == 7.5
+    assert len(again) == 2 and again.records_seen == 2
+    assert not again.torn_tail
+
+
+def test_fingerprint_keying_isolates_objectives(tmp_path):
+    path = tmp_path / "memo.bin"
+    with MemoStore(path, FP_A) as a:
+        a.put((4, 8), 1.0)
+    with MemoStore(path, FP_B) as b:
+        assert b.get((4, 8)) is None  # other objective's value is invisible
+        b.put((4, 8), 2.0)
+    assert MemoStore(path, FP_A).get((4, 8)) == 1.0
+    assert MemoStore(path, FP_B).get((4, 8)) == 2.0
+
+
+def test_torn_tail_is_ignored_not_fatal(tmp_path):
+    path = tmp_path / "memo.bin"
+    with MemoStore(path, FP_A) as store:
+        store.put((1, 1), 3.0)
+        store.put((2, 2), 4.0)
+    # Simulate a crash mid-append: chop the last record in half.
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 5])
+    survivor = MemoStore(path, FP_A)
+    assert survivor.torn_tail
+    assert survivor.get((1, 1)) == 3.0
+    assert survivor.get((2, 2)) is None
+    # The first append after a tear truncates the torn bytes, so new
+    # records stay loadable.
+    survivor.put((3, 3), 5.0)
+    survivor.close()
+    healed = MemoStore(path, FP_A)
+    assert not healed.torn_tail
+    assert healed.get((1, 1)) == 3.0
+    assert healed.get((3, 3)) == 5.0
+
+
+def test_garbage_record_stops_load_gracefully(tmp_path):
+    path = tmp_path / "memo.bin"
+    with MemoStore(path, FP_A) as store:
+        store.put((1, 1), 3.0)
+    garbage = b"\x00garbagebytes"
+    with open(path, "ab") as fh:
+        fh.write(struct.pack(">I", len(garbage)) + garbage)
+    store = MemoStore(path, FP_A)
+    assert store.get((1, 1)) == 3.0
+    assert store.torn_tail
+
+
+def test_duplicate_put_is_idempotent_and_last_wins_on_conflict(tmp_path):
+    path = tmp_path / "memo.bin"
+    with MemoStore(path, FP_A) as store:
+        store.put((1, 2), 9.0)
+        size_once = path.stat().st_size
+        store.put((1, 2), 9.0)  # no-op append
+        assert path.stat().st_size == size_once
+        store.put((1, 2), 10.0)  # conflicting rewrite appends
+    assert MemoStore(path, FP_A).get((1, 2)) == 10.0
+
+
+def test_missing_file_is_empty_store(tmp_path):
+    store = MemoStore(tmp_path / "absent.bin", FP_A)
+    assert len(store) == 0 and store.get((0,)) is None
+
+
+def test_nan_values_are_deduplicated(tmp_path):
+    path = tmp_path / "memo.bin"
+    nan = float("nan")
+    with MemoStore(path, FP_A) as store:
+        store.put((1, 1), nan)
+        size_once = path.stat().st_size
+        store.put((1, 1), nan)  # NaN != NaN, but it's still the same record
+        assert path.stat().st_size == size_once
+    again = MemoStore(path, FP_A)
+    assert again.records_seen == 1
+    got = again.get((1, 1))
+    assert got != got  # the NaN round-tripped

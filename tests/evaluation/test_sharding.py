@@ -234,3 +234,76 @@ def test_pickled_analyzer_downgrades_to_serial():
     assert clone.point_workers == 1
     assert clone._point_pool is None
     assert clone.estimate().sampled_points == 12
+
+
+def test_worker_bundle_lru_evicts_in_recency_order():
+    """The worker-side bundle memo is a true LRU: touching a token
+    protects it; the least-recently-used token is evicted first."""
+    from repro.evaluation import sharding
+
+    nest = make_small_transpose(16)
+    layout = MemoryLayout(nest.arrays())
+    program = program_from_nest(nest)
+    points = sample_original_points(nest, 16, 0)
+    ctx = sharding.ShardContext(cache=CACHE, confidence=0.90, points=tuple(points))
+    blob = pickle.dumps((program, layout, None))
+    old_ctx, old_bundles = sharding._POOL_CTX, dict(sharding._BUNDLES)
+    old_size = sharding.BUNDLE_CACHE_SIZE
+    try:
+        sharding.BUNDLE_CACHE_SIZE = 2
+        sharding._init_pool_worker(pickle.dumps(ctx))
+        sharding._classify_span(("a", blob, 0, 4))
+        sharding._classify_span(("b", blob, 0, 4))
+        sharding._classify_span(("a", None, 4, 8))   # touch a → b is LRU
+        sharding._classify_span(("c", blob, 0, 4))   # evicts b, not a
+        assert list(sharding._BUNDLES) == ["a", "c"]
+        sharding._classify_span(("a", None, 8, 12))  # a survived eviction
+        with pytest.raises(sharding._ContextMiss):
+            sharding._classify_span(("b", None, 4, 8))  # b needs a resend
+        est = sharding._classify_span(("b", blob, 4, 8))  # ...which heals it
+        ref = estimate_at_points(program, layout, CACHE, points[4:8])
+        assert est.per_ref == ref.per_ref
+    finally:
+        sharding.BUNDLE_CACHE_SIZE = old_size
+        sharding._POOL_CTX = old_ctx
+        sharding._BUNDLES.clear()
+        sharding._BUNDLES.update(old_bundles)
+
+
+def test_shard_pool_eviction_retry_end_to_end(monkeypatch):
+    """Cycling more candidates than the worker LRU holds exercises the
+    live _ContextMiss retry: the pool resends evicted bundles and every
+    estimate still matches the serial path, with the resend visible in
+    the payload accounting.  A single-worker pool makes the eviction
+    order deterministic (the wider-pool path is covered above)."""
+    import multiprocessing
+
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("monkeypatched LRU size needs fork-inherited globals")
+    from repro.evaluation import sharding
+    from repro.transform.tiling import tile_program
+
+    monkeypatch.setattr(sharding, "BUNDLE_CACHE_SIZE", 1)
+    nest = make_small_transpose(32)
+    layout = MemoryLayout(nest.arrays())
+    prog_a = tile_program(nest, (8, 8))
+    prog_b = tile_program(nest, (16, 4))
+    points = sample_original_points(nest, 24, 0)
+    pool = sharding.ShardPool(1, CACHE, points)
+    try:
+        first = pool.estimate(prog_a, layout, None, "tok-a")
+        first_bytes = pool.last_payload_bytes
+        pool.estimate(prog_b, layout, None, "tok-b")  # evicts tok-a
+        # The pool believes tok-a was shipped, so this starts span-only;
+        # the lone worker answers _ContextMiss and the blob is resent.
+        again = pool.estimate(prog_a, layout, None, "tok-a")
+        retry_bytes = pool.last_payload_bytes
+        ref = estimate_at_points(prog_a, layout, CACHE, points)
+        for est in (first, again):
+            assert est.per_ref == ref.per_ref
+            assert (est.hits, est.cold, est.replacement) == (
+                ref.hits, ref.cold, ref.replacement
+            )
+        assert retry_bytes > first_bytes / 2  # the bundle travelled again
+    finally:
+        pool.close()

@@ -181,3 +181,47 @@ def test_checkpoint_written_at_termination(tmp_path):
     assert payload["step"] == result.steps
     restored = restore_strategy(payload["strategy"])
     assert run_search(restored, _quad).evaluations == 0  # already done
+
+
+def test_checkpoint_save_is_atomic_against_mid_dump_kill(tmp_path, monkeypatch):
+    """A dump that dies partway (the kill-mid-pickle case) must leave
+    the previous complete checkpoint readable and no torn temp behind."""
+    import os
+
+    from repro.search import driver
+    from repro.search.driver import save_checkpoint
+
+    ck = str(tmp_path / "atomic.ck")
+    strategy = RandomStrategy([6, 6], budget=9, seed=2, chunk=4)
+    run_search(strategy, _quad, checkpoint_path=ck)
+    good = load_checkpoint(ck)
+
+    real_dump = driver.pickle.dump
+
+    def dying_dump(obj, fh, *a, **kw):
+        fh.write(b"half a checkpoint")  # bytes land, then the "kill"
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(driver.pickle, "dump", dying_dump)
+    with pytest.raises(KeyboardInterrupt):
+        save_checkpoint(ck, strategy, 99, 99, set(), [])
+    monkeypatch.setattr(driver.pickle, "dump", real_dump)
+
+    assert load_checkpoint(ck) == good  # previous checkpoint untouched
+    assert [f for f in os.listdir(tmp_path) if ".tmp" in f] == []
+    # and the checkpoint still resumes
+    assert run_search(None, _quad, resume=ck).finished
+
+
+def test_stale_torn_tmp_never_breaks_resume(tmp_path):
+    """Orphan temp files from a hard kill are inert: load/resume read
+    only the committed checkpoint path."""
+    ck = tmp_path / "search.ck"
+    run_search(
+        RandomStrategy([6, 6], budget=9, seed=2, chunk=4),
+        _quad,
+        checkpoint_path=str(ck),
+    )
+    (tmp_path / "search.ck.tmp.12345").write_bytes(b"\x80torn garbage")
+    resumed = run_search(None, _quad, resume=str(ck))
+    assert resumed.finished

@@ -184,3 +184,93 @@ def test_workers_flag_reaches_experiment_config(capsys, monkeypatch):
     assert cli.main(["nonsense", "--workers", "3"]) == 0
     out = capsys.readouterr().out
     assert "3 workers" in out
+
+
+def test_distributed_flag_parsing():
+    positional, flags = cli.parse_flags(
+        ["search", "MM", "--backend", "cluster", "--hosts", "a:1,b:2",
+         "--memo", "/tmp/m.bin", "--port", "0", "--capacity", "2",
+         "--bind", "0.0.0.0"]
+    )
+    assert positional == ["search", "MM"]
+    assert flags["backend"] == "cluster"
+    assert flags["hosts"] == "a:1,b:2"
+    assert flags["memo"] == "/tmp/m.bin"
+    assert flags["port"] == 0 and flags["capacity"] == 2
+    assert flags["bind"] == "0.0.0.0"
+
+
+def test_search_cluster_backend_requires_hosts():
+    from repro.search.tiling import search_tiling
+    from tests.conftest import make_small_transpose
+    from repro.cache.config import CacheConfig
+
+    with pytest.raises(ValueError, match="REPRO_HOSTS"):
+        search_tiling(
+            make_small_transpose(16), CacheConfig(1024, 32, 1),
+            backend="cluster",
+        )
+    with pytest.raises(ValueError, match="unknown backend"):
+        search_tiling(
+            make_small_transpose(16), CacheConfig(1024, 32, 1),
+            backend="carrier-pigeon",
+        )
+
+
+def test_search_command_memo_backend_reports_warm_start(tmp_path, capsys):
+    memo = str(tmp_path / "cli.memo")
+    argv = ["search", "T2D", "48", "--strategy", "random", "--budget", "12",
+            "--memo", memo, "--backend", "local"]
+    assert cli.main(argv) == 0
+    first = capsys.readouterr().out
+    assert "backend:" in first and " 0 memo hits" in first
+    assert cli.main(argv) == 0
+    second = capsys.readouterr().out
+    assert "12 memo hits" in second
+
+
+def test_memo_store_keying_includes_cascade_budgets(tmp_path, monkeypatch):
+    """Values computed under different cascade work budgets are different
+    objectives: a --memo store populated under one budget must not
+    warm-start a run under another (and remote workers inherit the
+    coordinator's budgets via the pickled analyzer, not their own env)."""
+    from repro.cache.config import CacheConfig
+    from repro.search.tiling import search_tiling
+    from tests.conftest import make_small_transpose
+
+    memo = str(tmp_path / "budget.memo")
+    kw = dict(strategy="random", budget=8, seed=0, n_samples=24,
+              memo_path=memo)
+    nest = make_small_transpose(32)
+    cache = CacheConfig(1024, 32, 1)
+    first = search_tiling(nest, cache, **kw)
+    assert first.backend["store_hits"] == 0
+    warm = search_tiling(nest, cache, **kw)
+    assert warm.backend["new_solves"] == 0  # same budgets: fully warm
+    monkeypatch.setenv("REPRO_CASCADE_BUDGET_ENUM", "2")
+    other = search_tiling(nest, cache, **kw)
+    assert other.backend["store_hits"] == 0  # different objective identity
+    assert other.backend["new_solves"] == other.search.distinct_evaluations
+
+
+def test_memo_fingerprint_is_structural_not_name_based(tmp_path):
+    """Two structurally different nests with the SAME name must not
+    share memo-store values — the store is long-lived and shared."""
+    import dataclasses
+
+    from repro.cache.config import CacheConfig
+    from repro.search.tiling import search_tiling
+    from tests.conftest import make_small_transpose
+
+    memo = str(tmp_path / "alias.memo")
+    kw = dict(strategy="random", budget=6, seed=0, n_samples=24,
+              memo_path=memo)
+    cache = CacheConfig(1024, 32, 1)
+    nest_a = make_small_transpose(32)
+    nest_b = dataclasses.replace(make_small_transpose(48), name=nest_a.name)
+    first = search_tiling(nest_a, cache, **kw)
+    assert first.backend["store_hits"] == 0
+    aliased = search_tiling(nest_b, cache, **kw)
+    assert aliased.backend["store_hits"] == 0  # structure keys the store
+    warm = search_tiling(nest_a, cache, **kw)
+    assert warm.backend["new_solves"] == 0  # true repeat still warm-starts
