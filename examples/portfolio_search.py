@@ -14,17 +14,15 @@ Environment overrides (used by CI to smoke-run this example quickly):
 (default 500), ``REPRO_EXAMPLE_BUDGET`` (default 90 distinct solves).
 """
 
-import os
-
-from repro import CACHE_8KB_DM
+from repro import CACHE_8KB_DM, envs
 from repro.kernels.registry import get_kernel
 from repro.search.tiling import search_tiling
 
 
 def main() -> None:
-    kernel = os.environ.get("REPRO_EXAMPLE_KERNEL", "MM")
-    size = int(os.environ.get("REPRO_EXAMPLE_SIZE", "500"))
-    budget = int(os.environ.get("REPRO_EXAMPLE_BUDGET", "90"))
+    kernel = envs.EXAMPLE_KERNEL.get()
+    size = envs.EXAMPLE_SIZE.get()
+    budget = envs.EXAMPLE_BUDGET.get()
     nest = get_kernel(kernel, size)
     print(f"kernel: {nest.name} — {nest.description}")
     print(f"cache:  {CACHE_8KB_DM}")

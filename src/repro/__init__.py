@@ -19,7 +19,7 @@ docs/ARCHITECTURE.md for the load-bearing contracts, and docs/CLI.md
 for the command-line reference.
 """
 
-from repro import kernels
+from repro import envs, kernels
 from repro.cache.config import CACHE_8KB_DM, CACHE_32KB_DM, CacheConfig
 from repro.cme.analyzer import LocalityAnalyzer
 from repro.cme.sampling import required_sample_size
@@ -40,6 +40,7 @@ from repro.transform.tiling import tile_program
 __version__ = "1.0.0"
 
 __all__ = [
+    "envs",
     "kernels",
     "CacheConfig",
     "CACHE_8KB_DM",

@@ -19,6 +19,7 @@ Usage::
         --members ga,hillclimb,annealing --restart stagnation:5
     python -m repro.cli portfolio MM 100     # strategy comparison table
     python -m repro.cli serve --port 7070    # cluster worker agent
+    python -m repro.cli lint                 # contract linter (docs/LINTS.md)
     python -m repro.cli search MM 500 --backend cluster \
         --hosts hostA:7070,hostB:7070 --memo /shared/mm500.memo
 
@@ -71,6 +72,11 @@ Uniform flags (accepted anywhere on the command line):
     candidate cap, and the absolute-interval search node budget.  Each
     sets the matching ``REPRO_CASCADE_BUDGET_*`` environment variable,
     so worker processes inherit the same budgets.
+``--baseline PATH`` ``--format text|json``
+    ``lint`` command knobs: the committed known-findings baseline
+    (default ``lint_baseline.json`` in the linted root) and the output
+    format.  ``lint`` exits non-zero iff any non-baselined contract
+    violation remains (see ``docs/LINTS.md``).
 
 Set ``REPRO_FULL=1`` for the paper's full GA budget (population 30,
 15–25 generations); the default quick budget reproduces the shapes in
@@ -106,6 +112,8 @@ FLAG_SPEC = {
     "--cascade-partial-limit": ("cascade_partial_limit", int),
     "--cascade-line-limit": ("cascade_line_limit", int),
     "--cascade-abs-budget": ("cascade_abs_budget", int),
+    "--baseline": ("baseline", str),
+    "--format": ("format", str),
 }
 
 #: Commands understood by :func:`main` (anything else prints the
@@ -113,7 +121,7 @@ FLAG_SPEC = {
 COMMANDS = (
     "search", "portfolio", "serve", "table2", "table3", "table4",
     "figure8", "figure9", "convergence", "validate", "associativity",
-    "all", "kernels", "landscape", "source",
+    "all", "kernels", "landscape", "source", "lint",
 )
 
 
@@ -198,25 +206,26 @@ def _run_search_command(args: list[str], flags: dict) -> int:
     return 0
 
 
-#: CLI flag → cascade-budget environment variable (inherited by workers).
-_CASCADE_ENV = {
-    "cascade_enum_limit": "REPRO_CASCADE_BUDGET_ENUM",
-    "cascade_partial_limit": "REPRO_CASCADE_BUDGET_PARTIAL",
-    "cascade_line_limit": "REPRO_CASCADE_BUDGET_LINE",
-    "cascade_abs_budget": "REPRO_CASCADE_BUDGET_ABS",
-}
+def _cascade_knobs():
+    """CLI flag → registered cascade-budget env knob (worker-inherited)."""
+    from repro import envs
+
+    return {
+        "cascade_enum_limit": envs.CASCADE_BUDGET_ENUM,
+        "cascade_partial_limit": envs.CASCADE_BUDGET_PARTIAL,
+        "cascade_line_limit": envs.CASCADE_BUDGET_LINE,
+        "cascade_abs_budget": envs.CASCADE_BUDGET_ABS,
+    }
 
 
 def _apply_cascade_flags(flags: dict) -> None:
-    import os
-
-    for flag, env in _CASCADE_ENV.items():
+    for flag, knob in _cascade_knobs().items():
         if flag in flags:
             value = flags[flag]
             if value < 1:
                 name = "--" + flag.replace("_", "-")
                 raise SystemExit(f"{name} must be >= 1, got {value}")
-            os.environ[env] = str(value)
+            knob.set(value)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -258,6 +267,15 @@ def main(argv: list[str] | None = None) -> int:
         size = int(args[2]) if len(args) > 2 else None
         print(nest_to_dsl(get_kernel(name, size)))
         return 0
+
+    if what == "lint":
+        from repro.contracts import lint_main
+
+        return lint_main(
+            root=args[1] if len(args) > 1 else ".",
+            baseline=flags.get("baseline"),
+            format=flags.get("format", "text"),
+        )
 
     if what == "serve":
         from repro.distributed import serve

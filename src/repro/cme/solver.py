@@ -25,11 +25,11 @@ interference — conservative in the direction of over-reporting misses.
 from __future__ import annotations
 
 import enum
-import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import envs
 from repro.cache.config import CacheConfig
 from repro.ir.program import AccessProgram
 from repro.layout.memory import MemoryLayout
@@ -84,7 +84,7 @@ class PointClassifier:
         self.stats = SolverStats()
         self._tester = CongruenceTester(**(cascade_budgets or {}))
         if batch_cascade is None:
-            batch_cascade = os.environ.get("REPRO_BATCH_CASCADE", "1") != "0"
+            batch_cascade = envs.BATCH_CASCADE.get()
         self._use_batch_cascade = bool(batch_cascade)
 
         vars_ = program.space.vars

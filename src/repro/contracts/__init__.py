@@ -1,0 +1,78 @@
+"""Contract linter: static enforcement of the repo's runtime invariants.
+
+The properties this repository stakes its results on — determinism
+across worker/host configurations, pickle-safety at the wire boundary,
+fingerprint completeness for the persistent memo store, a closed wire
+protocol, a complete env-knob registry — are all *statically checkable*
+properties of the source.  This package checks them with :mod:`ast`
+(never importing the code under analysis) and exposes the result as
+``python -m repro.cli lint``, which CI gates on.
+
+See ``docs/LINTS.md`` for every rule id, the suppression syntax and
+the baseline mechanism.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.contracts.engine import (
+    apply_baseline,
+    load_baseline,
+    run_lint,
+    save_baseline,
+)
+from repro.contracts.findings import Finding, format_json, format_text
+from repro.contracts.rules import RULES, all_rules
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "all_rules",
+    "apply_baseline",
+    "load_baseline",
+    "run_lint",
+    "save_baseline",
+    "format_json",
+    "format_text",
+    "lint_main",
+]
+
+#: Default committed-baseline location, relative to the linted root.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def lint_main(
+    root: str = ".",
+    baseline: str | None = None,
+    format: str = "text",
+    out=None,
+) -> int:
+    """The ``repro.cli lint`` entry point.
+
+    Runs every registered rule over ``root``, subtracts the baseline
+    (``--baseline PATH``, default ``lint_baseline.json`` in the root
+    when present), prints the remaining findings as ``--format`` text
+    or json, and returns 1 iff any non-baselined finding remains.
+    """
+    import os
+
+    out = out if out is not None else sys.stdout
+    if format not in ("text", "json"):
+        raise SystemExit(f"--format must be text or json, got {format!r}")
+    findings = run_lint(root)
+    matched = 0
+    baseline_path = baseline or os.path.join(root, DEFAULT_BASELINE)
+    if os.path.exists(baseline_path):
+        findings, matched = apply_baseline(
+            findings, load_baseline(baseline_path)
+        )
+    elif baseline is not None:
+        raise SystemExit(f"baseline {baseline!r} does not exist")
+    if format == "json":
+        print(format_json(findings), file=out)
+    else:
+        print(format_text(findings), file=out)
+        if matched:
+            print(f"({matched} baselined finding(s) suppressed)", file=out)
+    return 1 if findings else 0

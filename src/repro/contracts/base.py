@@ -1,0 +1,103 @@
+"""Rule API shared by every contract checker.
+
+A rule sees each parsed module once (:meth:`Rule.visit`) and then gets
+one :meth:`Rule.finalize` call after the whole tree has been walked —
+single-module rules report from ``visit``, cross-file rules (wire-op
+exhaustiveness, fingerprint coverage) accumulate in ``visit`` and
+report from ``finalize``.  Rules report through :meth:`Rule.report`,
+which applies the ``# repro: lint-ok[rule-id]`` suppression check so
+individual rules never have to.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.contracts.findings import Finding
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path  #: absolute path on disk
+    rel: str  #: repo-relative posix path (rule scoping + reports key on this)
+    tree: ast.Module
+    lines: list[str]
+    #: ``line -> rule ids`` granted by ``# repro: lint-ok[...]`` comments;
+    #: a comment on line N covers findings on N and N+1 (so a comment
+    #: line immediately above the flagged statement works).
+    suppressions: dict[int, set[str]]
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when this module lives under any ``src/repro/<pkg>``."""
+        return any(
+            self.rel.startswith(f"src/repro/{p}/")
+            or self.rel == f"src/repro/{p}.py"
+            for p in prefixes
+        )
+
+
+@dataclass
+class LintContext:
+    """Shared state for one lint run over one tree."""
+
+    root: Path
+    modules: list[ParsedModule] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    def module(self, rel_suffix: str) -> ParsedModule | None:
+        """The walked module whose repo-relative path ends with
+        ``rel_suffix`` (e.g. ``"repro/distributed/wire.py"``)."""
+        for mod in self.modules:
+            if mod.rel.endswith(rel_suffix):
+                return mod
+        return None
+
+
+class Rule:
+    """Base class: subclasses set ``id`` and override visit/finalize."""
+
+    id = "abstract"
+
+    def visit(self, module: ParsedModule, ctx: LintContext) -> None:
+        """Called once per walked module."""
+
+    def finalize(self, ctx: LintContext) -> None:
+        """Called once after every module has been visited."""
+
+    def report(
+        self, ctx: LintContext, module: ParsedModule | None,
+        line: int, message: str, *, rel: str | None = None,
+    ) -> None:
+        """File a finding unless a suppression comment covers it."""
+        if module is not None:
+            rel = module.rel
+            for at in (line, line - 1):
+                if self.id in module.suppressions.get(at, set()):
+                    return
+        assert rel is not None
+        ctx.findings.append(Finding(self.id, rel, line, message))
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """``child -> parent`` for every node (for context-sensitive rules)."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,149 @@
+"""Lint engine: walk a tree, run every rule, apply the baseline.
+
+The engine is deliberately runtime-free: it parses source with
+:mod:`ast` and never imports the code under analysis, so it can lint
+any checkout (including the fixture trees the rule tests build) and a
+broken module can't crash the linter — it becomes a ``parse-error``
+finding instead.
+
+Suppressions
+    ``# repro: lint-ok[rule-id]`` (comma-separate several ids) on the
+    flagged line, or on a comment line immediately above it, waives
+    that rule for that line.  Suppressions are per-line and per-rule by
+    design — there is no file-level or repo-level waiver, so every
+    accepted violation is visible next to the code it excuses.
+
+Baseline
+    A committed JSON list of findings (see :func:`load_baseline`) that
+    are known and accepted.  Matching is count-aware on
+    ``(rule, path, message)``: two identical findings need two baseline
+    entries, and line numbers are ignored so unrelated edits don't
+    churn the file.  ``repro.cli lint`` exits non-zero only for
+    findings *not* covered by the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from pathlib import Path
+
+from repro.contracts.base import LintContext, ParsedModule, Rule
+from repro.contracts.findings import Finding
+
+#: Directories walked (relative to the repo root), when present.
+WALK_ROOTS = ("src", "examples")
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*lint-ok\[([a-z0-9_,\- ]+)\]")
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """``line -> rule ids`` waived there (1-based; covers line and line+1)."""
+    out: dict[int, set[str]] = {}
+    for i, text in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            out.setdefault(i, set()).update(rules)
+    return out
+
+
+def parse_module(path: Path, rel: str) -> ParsedModule | Finding:
+    """Parse one file; a syntax error becomes a ``parse-error`` finding."""
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        return Finding(
+            "parse-error", rel, exc.lineno or 1,
+            f"file does not parse: {exc.msg}",
+        )
+    lines = source.splitlines()
+    return ParsedModule(
+        path=path, rel=rel, tree=tree, lines=lines,
+        suppressions=parse_suppressions(lines),
+    )
+
+
+def walk_tree(root: Path) -> tuple[list[ParsedModule], list[Finding]]:
+    """Parse every ``.py`` under the walk roots of ``root``."""
+    modules: list[ParsedModule] = []
+    errors: list[Finding] = []
+    for top in WALK_ROOTS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            parsed = parse_module(path, rel)
+            if isinstance(parsed, Finding):
+                errors.append(parsed)
+            else:
+                modules.append(parsed)
+    return modules, errors
+
+
+def run_lint(root: str | Path, rules: list[Rule] | None = None) -> list[Finding]:
+    """All non-suppressed findings for the tree at ``root``, sorted."""
+    if rules is None:
+        from repro.contracts.rules import all_rules
+
+        rules = all_rules()
+    ctx = LintContext(root=Path(root))
+    modules, errors = walk_tree(ctx.root)
+    ctx.modules = modules
+    ctx.findings.extend(errors)
+    for rule in rules:
+        for module in modules:
+            rule.visit(module, ctx)
+    for rule in rules:
+        rule.finalize(ctx)
+    return sorted(ctx.findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+# -- baseline -----------------------------------------------------------------
+
+def load_baseline(path: str | Path) -> list[dict]:
+    """The committed baseline: a JSON list of finding dicts."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise ValueError(f"baseline {path} must be a JSON list")
+    return data
+
+
+def save_baseline(findings: list[Finding], path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps(
+            [
+                {"rule": f.rule, "path": f.path, "message": f.message}
+                for f in findings
+            ],
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: list[dict]
+) -> tuple[list[Finding], int]:
+    """Split findings against the baseline.
+
+    Returns ``(new, matched)`` where ``new`` are findings with no
+    remaining baseline entry (count-aware) and ``matched`` counts the
+    baselined ones.
+    """
+    budget: Counter[tuple[str, str, str]] = Counter(
+        (e["rule"], e["path"], e["message"]) for e in baseline
+    )
+    new: list[Finding] = []
+    matched = 0
+    for f in findings:
+        if budget[f.baseline_key] > 0:
+            budget[f.baseline_key] -= 1
+            matched += 1
+        else:
+            new.append(f)
+    return new, matched

@@ -1,0 +1,50 @@
+"""Lint findings: what a contract rule reports, and how it prints.
+
+A :class:`Finding` is one violation at one location.  Identity for
+baseline matching is ``(rule, path, message)`` — deliberately *not* the
+line number, so a baselined finding does not churn every time unrelated
+edits move it a few lines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at one source location."""
+
+    rule: str  #: rule id, e.g. ``"determinism"``
+    path: str  #: repo-relative posix path, e.g. ``"src/repro/cli.py"``
+    line: int  #: 1-based line number
+    message: str
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def format_text(findings: list[Finding]) -> str:
+    lines = [f.format() for f in findings]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def format_json(findings: list[Finding]) -> str:
+    return json.dumps(
+        [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        indent=2,
+    )

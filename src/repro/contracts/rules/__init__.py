@@ -1,0 +1,33 @@
+"""The contract rule registry.
+
+``RULES`` maps rule id -> rule class for every checker the linter
+runs; ``docs/LINTS.md`` documents each id (cross-checked by
+``tests/test_docs.py``).
+"""
+
+from __future__ import annotations
+
+from repro.contracts.base import Rule
+from repro.contracts.rules.broad_except import BroadExceptRule
+from repro.contracts.rules.determinism import DeterminismRule
+from repro.contracts.rules.env_registry import EnvRegistryRule
+from repro.contracts.rules.fingerprint import FingerprintCoverageRule
+from repro.contracts.rules.wire_ops import WireOpsRule
+from repro.contracts.rules.wire_safety import WireSafetyRule
+
+RULES: dict[str, type[Rule]] = {
+    cls.id: cls
+    for cls in (
+        DeterminismRule,
+        WireSafetyRule,
+        FingerprintCoverageRule,
+        EnvRegistryRule,
+        WireOpsRule,
+        BroadExceptRule,
+    )
+}
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in RULES.values()]

@@ -1,0 +1,59 @@
+"""``broad-except``: ``except Exception`` must justify itself.
+
+A broad handler that swallows is how a real bug (an unpicklable
+surprise, a typo'd attribute) degrades into a silently-wrong or
+silently-slow run.  This rule flags every ``except Exception:``,
+``except BaseException:`` and bare ``except:`` handler **unless**:
+
+* the handler body re-raises the original exception with a bare
+  ``raise`` (cleanup-and-reraise is the legitimate broad pattern —
+  nothing is swallowed), or
+* the line carries ``# repro: lint-ok[broad-except]`` with an adjacent
+  comment explaining *why* swallowing everything is correct there
+  (fault isolation at a dispatch boundary, torn-tail healing, …).
+
+The point is not to ban broad handlers — the worker's job boundary
+genuinely needs one — but to force each survivor to be a documented
+decision rather than a habit.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.contracts.base import LintContext, ParsedModule, Rule
+
+
+def _is_broad(handler: ast.ExceptHandler) -> str | None:
+    if handler.type is None:
+        return "bare except:"
+    if isinstance(handler.type, ast.Name) and handler.type.id in (
+        "Exception", "BaseException",
+    ):
+        return f"except {handler.type.id}"
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body contain a bare ``raise``?"""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+class BroadExceptRule(Rule):
+    id = "broad-except"
+
+    def visit(self, module: ParsedModule, ctx: LintContext) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _is_broad(node)
+            if broad and not _reraises(node):
+                self.report(
+                    ctx, module, node.lineno,
+                    f"{broad} swallows everything; narrow the type, "
+                    "re-raise, or annotate with "
+                    "`# repro: lint-ok[broad-except]` plus a reason",
+                )

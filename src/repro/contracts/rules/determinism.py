@@ -1,0 +1,143 @@
+"""``determinism``: no ambient-state reads where results are computed.
+
+The repository's central contract is that every (workers, hosts,
+arrival-order) configuration is bit-identical to ``workers=1`` — which
+can only hold if the packages that compute or schedule results never
+read ambient process state.  Inside :data:`SCOPED_PACKAGES` this rule
+flags:
+
+* wall-clock reads — ``time.time()``, ``time.time_ns()``,
+  ``time.perf_counter()``, ``datetime.now()`` and friends.
+  ``time.monotonic()`` is deliberately *allowed*: it is the sanctioned
+  scheduling clock (timeouts, backoff) and can never reach a value.
+* the process-global RNG — any ``random.<fn>()`` call
+  (``random.Random(seed)`` instances are fine), and unseeded numpy
+  entry points (``np.random.<fn>()`` other than constructing
+  ``default_rng`` / ``Generator`` / ``SeedSequence``).
+* ``id()`` used as a dict key or subscript index — ids recycle after
+  garbage collection, so identity-keyed tables silently alias; key by
+  the object itself or by content digest.
+* direct environment reads (``os.environ`` / ``os.getenv``) — the
+  sanctioned path is a registered :mod:`repro.envs` knob, which is how
+  workers are guaranteed to inherit the coordinator's configuration.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.contracts.base import (
+    LintContext,
+    ParsedModule,
+    Rule,
+    dotted_name,
+    parent_map,
+)
+
+#: Packages under ``src/repro/`` the determinism contract binds.
+SCOPED_PACKAGES = ("search", "evaluation", "polyhedra", "distributed")
+
+_CLOCK_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+}
+
+#: ``np.random.<attr>`` calls that construct a *seedable* generator.
+_NUMPY_SEEDED = {"default_rng", "Generator", "SeedSequence"}
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+
+    def visit(self, module: ParsedModule, ctx: LintContext) -> None:
+        if not module.in_package(*SCOPED_PACKAGES):
+            return
+        parents = parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node, parents, module, ctx)
+            elif isinstance(node, ast.Attribute):
+                self._check_environ(node, module, ctx)
+
+    def _check_call(
+        self, node: ast.Call, parents: dict, module: ParsedModule,
+        ctx: LintContext,
+    ) -> None:
+        name = dotted_name(node.func)
+        if name in _CLOCK_CALLS:
+            self.report(
+                ctx, module, node.lineno,
+                f"{name}() is a {_CLOCK_CALLS[name]}; results must not "
+                "depend on the clock (time.monotonic is the sanctioned "
+                "scheduling clock)",
+            )
+            return
+        if name and name.startswith("random.") and name != "random.Random":
+            self.report(
+                ctx, module, node.lineno,
+                f"{name}() uses the process-global RNG; pass a seeded "
+                "random.Random / np.random.Generator instead",
+            )
+            return
+        if name and (
+            name.startswith("np.random.") or name.startswith("numpy.random.")
+        ):
+            attr = name.rsplit(".", 1)[1]
+            if attr not in _NUMPY_SEEDED:
+                self.report(
+                    ctx, module, node.lineno,
+                    f"{name}() draws from numpy's global RNG; use "
+                    "np.random.default_rng(seed)",
+                )
+            return
+        if name == "os.getenv":
+            self.report(
+                ctx, module, node.lineno,
+                "os.getenv() read in a determinism-scoped package; go "
+                "through a registered repro.envs knob",
+            )
+            return
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and self._is_key_position(node, parents)
+        ):
+            self.report(
+                ctx, module, node.lineno,
+                "id() used as a dict key / subscript index; ids recycle "
+                "after gc — key by the object or a content digest",
+            )
+
+    def _is_key_position(self, node: ast.Call, parents: dict) -> bool:
+        """Is this ``id(...)`` call a dict-literal key or subscript index?"""
+        child: ast.AST = node
+        parent = parents.get(child)
+        # Walk out of wrapping tuples: d[(id(a), id(b))] still keys by id.
+        while isinstance(parent, ast.Tuple):
+            child, parent = parent, parents.get(parent)
+        if isinstance(parent, ast.Subscript) and parent.slice is child:
+            return True
+        if isinstance(parent, ast.Dict) and child in parent.keys:
+            return True
+        # comprehension key: {id(c): ... for c in conns}
+        if isinstance(parent, ast.DictComp) and parent.key is child:
+            return True
+        return False
+
+    def _check_environ(
+        self, node: ast.Attribute, module: ParsedModule, ctx: LintContext
+    ) -> None:
+        if dotted_name(node) == "os.environ":
+            self.report(
+                ctx, module, node.lineno,
+                "os.environ access in a determinism-scoped package; go "
+                "through a registered repro.envs knob",
+            )

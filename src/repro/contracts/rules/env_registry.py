@@ -1,0 +1,63 @@
+"""``env-registry``: every ``REPRO_*`` read goes through ``repro.envs``.
+
+The registry in :mod:`repro.envs` is only trustworthy if it is
+*complete*: a ``REPRO_*`` variable read anywhere else is a knob the
+registry (and therefore the fingerprint-coverage audit and the worker
+env-inheritance path) cannot see.  This rule flags any
+``os.environ[...]`` / ``os.environ.get(...)`` / ``os.getenv(...)``
+whose name argument is a ``REPRO_*`` string literal, in every walked
+module except ``src/repro/envs.py`` itself, plus membership probes
+(``"..." in os.environ`` with a ``REPRO_*`` literal).
+
+Unlike the ``determinism`` rule (which bans *all* environment access in
+result-computing packages), this rule is repo-wide but only claims the
+``REPRO_`` namespace — experiment scripts may legitimately read, say,
+``CI``, but never a repro knob behind the registry's back.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.contracts.base import LintContext, ParsedModule, Rule, dotted_name
+
+_READ_FUNCS = {"os.getenv", "os.environ.get"}
+
+
+def _repro_const(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value.startswith("REPRO_")
+    ):
+        return node.value
+    return None
+
+
+class EnvRegistryRule(Rule):
+    id = "env-registry"
+
+    def visit(self, module: ParsedModule, ctx: LintContext) -> None:
+        if module.rel == "src/repro/envs.py":
+            return  # the registry itself is the one sanctioned reader
+        for node in ast.walk(module.tree):
+            name = None
+            if isinstance(node, ast.Call):
+                if dotted_name(node.func) in _READ_FUNCS and node.args:
+                    name = _repro_const(node.args[0])
+            elif isinstance(node, ast.Subscript):
+                if dotted_name(node.value) == "os.environ":
+                    name = _repro_const(node.slice)
+            elif isinstance(node, ast.Compare):
+                if (
+                    len(node.ops) == 1
+                    and isinstance(node.ops[0], (ast.In, ast.NotIn))
+                    and dotted_name(node.comparators[0]) == "os.environ"
+                ):
+                    name = _repro_const(node.left)
+            if name:
+                self.report(
+                    ctx, module, node.lineno,
+                    f"direct read of {name}; use the registered "
+                    "repro.envs knob (envs.KNOBS[...].get())",
+                )

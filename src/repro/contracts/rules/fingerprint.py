@@ -1,0 +1,154 @@
+"""``fingerprint-coverage``: result-affecting knobs reach the fingerprint.
+
+The objective fingerprint (built in ``repro.search.tiling``) is the
+identity that gates checkpoint resume, handshake echo and the
+persistent memo store.  The PR 5 bug class this rule exists for: a knob
+that changes objective *values* but is missing from the fingerprint
+makes a warm memo store silently serve wrong numbers.
+
+The knob registry (``src/repro/envs.py``) is read **statically** — the
+rule parses the ``_register(...)`` calls rather than importing the
+module, so it works on any checkout and on test fixture trees.  Checks:
+
+1. every registration with ``affects_results=True`` names a
+   ``fingerprint_field``;
+2. every named field flows into every ``fingerprint = (...)`` tuple
+   assignment found in the walked tree — "flows" meaning the field
+   name appears in the tuple expression or is reachable from it
+   through the enclosing function's simple assignments (a static
+   def-use closure);
+3. if fields are declared but *no* fingerprint construction exists
+   anywhere, that's a finding too (the registry is promising coverage
+   nothing provides).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.contracts.base import LintContext, ParsedModule, Rule
+
+
+def _registered_fields(envs_mod: ParsedModule) -> tuple[list[tuple[str, int]], list[int]]:
+    """Parse ``_register`` calls: (declared fields, undeclared lines).
+
+    Returns ``(fields, missing)`` where ``fields`` is
+    ``[(fingerprint_field, lineno), ...]`` for result-affecting knobs
+    that name one, and ``missing`` is the lines of result-affecting
+    registrations that don't.
+    """
+    fields: list[tuple[str, int]] = []
+    missing: list[int] = []
+    for node in ast.walk(envs_mod.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "_register"
+        ):
+            continue
+        kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        affects = kwargs.get("affects_results")
+        if not (isinstance(affects, ast.Constant) and affects.value is True):
+            continue
+        field = kwargs.get("fingerprint_field")
+        if isinstance(field, ast.Constant) and isinstance(field.value, str):
+            fields.append((field.value, node.lineno))
+        else:
+            missing.append(node.lineno)
+    return fields, missing
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _enclosing_function(
+    tree: ast.Module, target: ast.AST
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    found = None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(node):
+                if sub is target:
+                    found = node  # innermost wins: keep walking
+    return found
+
+
+def _reachable_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef | None, seed: set[str]
+) -> set[str]:
+    """Transitive def-use closure of ``seed`` through simple assigns."""
+    if func is None:
+        return seed
+    assigns: dict[str, set[str]] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            rhs = _names_in(node.value)
+            for tgt in node.targets:
+                for name_node in ast.walk(tgt):
+                    if isinstance(name_node, ast.Name):
+                        assigns.setdefault(name_node.id, set()).update(rhs)
+    closure = set(seed)
+    frontier = set(seed)
+    while frontier:
+        nxt: set[str] = set()
+        for name in frontier:
+            nxt |= assigns.get(name, set()) - closure
+        closure |= nxt
+        frontier = nxt
+    return closure
+
+
+class FingerprintCoverageRule(Rule):
+    id = "fingerprint-coverage"
+
+    def finalize(self, ctx: LintContext) -> None:
+        envs_mod = ctx.module("repro/envs.py")
+        if envs_mod is None:
+            return  # tree has no registry: nothing to cross-check
+        fields, undeclared = _registered_fields(envs_mod)
+        for line in undeclared:
+            self.report(
+                ctx, envs_mod, line,
+                "knob registered with affects_results=True but no "
+                "fingerprint_field — a value-affecting knob outside the "
+                "fingerprint poisons warm memo stores",
+            )
+        if not fields:
+            return
+        constructions = self._fingerprint_sites(ctx)
+        if not constructions:
+            names = ", ".join(sorted({f for f, _ in fields}))
+            self.report(
+                ctx, envs_mod, fields[0][1],
+                f"registry declares fingerprint field(s) [{names}] but no "
+                "`fingerprint = (...)` construction exists in the tree",
+            )
+            return
+        for module, assign, func in constructions:
+            covered = _reachable_names(func, _names_in(assign.value))
+            for field, _ in fields:
+                if field not in covered:
+                    self.report(
+                        ctx, module, assign.lineno,
+                        f"objective fingerprint does not include "
+                        f"{field!r} (declared result-affecting in "
+                        "repro/envs.py); a memo store warmed under one "
+                        "setting would serve values to another",
+                    )
+
+    def _fingerprint_sites(self, ctx: LintContext):
+        sites = []
+        for module in ctx.modules:
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Tuple)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == "fingerprint"
+                        for t in node.targets
+                    )
+                ):
+                    func = _enclosing_function(module.tree, node)
+                    sites.append((module, node, func))
+        return sites

@@ -59,17 +59,31 @@ class HostConnection:
         self.objective_key: str | None = None
         self.sent_bytes = 0
         self.capacity = int(
-            self.request({"op": "capacity"}).get("capacity", 1)
+            self.request({"op": wire.OP_CAPACITY}).get("capacity", 1)
         )
 
     def request(self, msg: dict) -> dict:
         self.sent_bytes += wire.send_frame(self.sock, msg)
         reply = wire.recv_frame(self.sock)
-        if reply.get("op") == "error":
+        if reply.get("op") == wire.OP_ERROR:
             raise wire.WireError(
                 f"{self.host}:{self.port}: {reply.get('message')}"
             )
         return reply
+
+    def _request_ack(self, msg: dict) -> None:
+        """A request whose only valid reply is an ``ok`` frame."""
+        reply = self.request(msg)
+        if reply.get("op") != wire.OP_OK:
+            raise wire.WireError(
+                f"{self.host}:{self.port}: expected ok to "
+                f"{msg.get('op')!r}, got {reply.get('op')!r}"
+            )
+
+    def ping(self) -> bool:
+        """Liveness probe: one round trip through the worker's session
+        loop (unlike a TCP connect, it proves the agent is serving)."""
+        return self.request({"op": wire.OP_PING}).get("op") == wire.OP_PONG
 
     def ensure_objective(self, blob: bytes, key: str | None = None) -> None:
         """Install the pickled objective once per connection.
@@ -80,12 +94,12 @@ class HostConnection:
         if key is None:
             key = hashlib.sha256(blob).hexdigest()
         if self.objective_key != key:
-            self.request({"op": "objective", "blob": blob})
+            self._request_ack({"op": wire.OP_OBJECTIVE, "blob": blob})
             self.objective_key = key
 
     def install_shard_context(self, ctx_blob: bytes) -> None:
         """Ship the ShardPool context (once per connection)."""
-        self.request({"op": "shard_context", "blob": ctx_blob})
+        self._request_ack({"op": wire.OP_SHARD_CONTEXT, "blob": ctx_blob})
 
     def shard_estimate(self, token: str, bundle_blob: bytes, start: int, stop: int):
         """One token/span shard job, with the ``_ContextMiss`` retry.
@@ -96,19 +110,19 @@ class HostConnection:
         exactly the local :class:`ShardPool` retry, over TCP.
         """
         reply = self.request(
-            {"op": "shard", "token": token, "start": start, "stop": stop}
+            {"op": wire.OP_SHARD, "token": token, "start": start, "stop": stop}
         )
-        if reply.get("op") == "miss":
+        if reply.get("op") == wire.OP_MISS:
             reply = self.request(
                 {
-                    "op": "shard",
+                    "op": wire.OP_SHARD,
                     "token": token,
                     "blob": bundle_blob,
                     "start": start,
                     "stop": stop,
                 }
             )
-        if reply.get("op") != "estimate":
+        if reply.get("op") != wire.OP_ESTIMATE:
             raise wire.WireError(f"bad shard reply: {reply.get('op')!r}")
         return reply["estimate"]
 
@@ -218,7 +232,7 @@ class ClusterClient:
         queue: deque[int] = deque(range(n))
         results: dict[int, float] = {}
         lock = threading.Lock()
-        sent_before = {id(c): c.sent_bytes for c in conns}
+        sent_before = {c: c.sent_bytes for c in conns}
 
         def host_loop(conn: HostConnection) -> None:
             grab = max(1, conn.capacity, base)
@@ -233,13 +247,13 @@ class ClusterClient:
                 try:
                     conn.ensure_objective(blob, blob_key)
                     payload = {
-                        "op": "eval",
+                        "op": wire.OP_EVAL,
                         "candidates": [candidates[i] for i in idxs],
                     }
                     reply = conn.request(payload)
                     values = reply.get("values")
                     if (
-                        reply.get("op") != "values"
+                        reply.get("op") != wire.OP_VALUES
                         or not isinstance(values, list)
                         or len(values) != len(idxs)
                     ):
@@ -249,7 +263,7 @@ class ClusterClient:
                     with lock:
                         for i, v in zip(idxs, values):
                             results[i] = float(v)
-                except Exception:
+                except Exception:  # repro: lint-ok[broad-except]
                     # OSError/WireError/timeout are the expected loss
                     # and straggler cases; anything else (a malformed
                     # value, an unpicklable surprise) must equally not
@@ -281,14 +295,14 @@ class ClusterClient:
             for t in threads:
                 t.join()
             wave_bytes += sum(
-                c.sent_bytes - sent_before[id(c)] for c in conns
+                c.sent_bytes - sent_before[c] for c in conns
             )
             if len(results) == n:
                 break
             conns = self.connect()
             if not conns:
                 break
-            sent_before = {id(c): c.sent_bytes for c in conns}
+            sent_before = {c: c.sent_bytes for c in conns}
         self.last_payload_bytes = wave_bytes
         self.payload_bytes += wave_bytes
         if len(results) != n:
@@ -304,7 +318,7 @@ class ClusterClient:
         """Ask every live worker process to exit (loopback teardown)."""
         for conn in self.connect():
             try:
-                conn.request({"op": "shutdown"})
+                conn.request({"op": wire.OP_SHUTDOWN})
             except (OSError, wire.WireError):
                 pass
             self._drop(conn)

@@ -68,7 +68,11 @@ class LoopbackCluster:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         src_root = os.path.dirname(os.path.dirname(repro.__file__))
-        env = dict(os.environ)
+        # Whole-environment copy for the spawned worker processes — the
+        # opposite of an ambient *read*: inheriting everything (incl.
+        # the REPRO_* knobs the coordinator exported via envs.set) is
+        # exactly how workers see the coordinator's configuration.
+        env = dict(os.environ)  # repro: lint-ok[determinism]
         env["PYTHONPATH"] = (
             src_root + os.pathsep + env["PYTHONPATH"]
             if env.get("PYTHONPATH")
@@ -99,6 +103,9 @@ class LoopbackCluster:
             for proc in self.procs:
                 self.addresses.append(self._read_address(proc, deadline))
         except Exception:
+            # Cleanup-and-reraise: surviving workers must not leak when
+            # one spawn fails; the original error propagates unchanged
+            # (the broad-except lint rule allows re-raising handlers).
             self.close()
             raise
 

@@ -25,10 +25,10 @@ evaluator unchanged.
 
 from __future__ import annotations
 
-import os
 import pickle
 from typing import Callable
 
+from repro import envs
 from repro.distributed.client import ClusterClient, ClusterUnavailable
 from repro.distributed.memo import MemoStore
 from repro.evaluation.batch import Evaluator, Values
@@ -59,7 +59,7 @@ class DistributedEvaluator(Evaluator):
     ):
         super().__init__(fn, workers=workers)
         if timeout is None:
-            timeout = float(os.environ.get("REPRO_CLUSTER_TIMEOUT", "600"))
+            timeout = envs.CLUSTER_TIMEOUT.get()
         self.fingerprint = fingerprint
         self.client: ClusterClient | None = None
         if hosts:

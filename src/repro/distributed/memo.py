@@ -36,6 +36,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+from typing import BinaryIO, Iterable
 
 from repro.distributed.wire import fingerprint_key
 
@@ -54,16 +55,17 @@ class MemoStore:
     value set.
     """
 
-    def __init__(self, path: str, fingerprint: object = None):
+    def __init__(self, path: str, fingerprint: object = None) -> None:
         self.path = str(path)
         self.fingerprint = fingerprint
         self.key = fingerprint_key(fingerprint)
         self.values: dict[Values, float] = {}
         self.records_seen = 0
         self.torn_tail = False
-        self._load()
         # Line-buffered append handle, opened lazily on first put.
-        self._fh = None
+        self._fh: BinaryIO | None = None
+        self._valid_bytes = 0
+        self._load()
 
     # -- read side -----------------------------------------------------------
     def _load(self) -> None:
@@ -82,7 +84,11 @@ class MemoStore:
                 key, cand, value = pickle.loads(
                     data[off + _LEN.size : off + _LEN.size + length]
                 )
-            except Exception:
+            # Corrupt bytes can raise nearly anything out of the pickle
+            # VM (UnpicklingError, EOFError, ImportError, TypeError, …);
+            # every one of them means the same thing here — the rest of
+            # the file is a torn tail to be healed, never a hard error.
+            except Exception:  # repro: lint-ok[broad-except]
                 break  # treat an undecodable record as a torn tail
             off += _LEN.size + length
             self.records_seen += 1
@@ -133,7 +139,7 @@ class MemoStore:
         self._fh.flush()
         self.values[candidate] = value
 
-    def put_many(self, pairs) -> None:
+    def put_many(self, pairs: Iterable[tuple[Values, float]]) -> None:
         for cand, value in pairs:
             self.put(cand, value)
 
@@ -145,5 +151,5 @@ class MemoStore:
     def __enter__(self) -> "MemoStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

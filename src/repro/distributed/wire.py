@@ -32,9 +32,59 @@ import hashlib
 import pickle
 import socket
 import struct
+from typing import Any
 
 #: Bump on any incompatible change to the message schema.
 WIRE_VERSION = 1
+
+# -- op vocabulary ------------------------------------------------------------
+#
+# Every ``"op"`` value that may appear in a frame is declared here, once,
+# and assigned a protocol role below.  The ``wire-ops`` lint rule
+# (:mod:`repro.contracts`) checks the roles against the implementations:
+# each request op must be dispatchable by the worker agent and sent by
+# the client, each reply op produced by the worker and recognised by the
+# client — so an op can never silently exist on one side only.
+
+OP_HELLO = "hello"
+OP_ERROR = "error"
+OP_OK = "ok"
+OP_PING = "ping"
+OP_PONG = "pong"
+OP_CAPACITY = "capacity"
+OP_OBJECTIVE = "objective"
+OP_EVAL = "eval"
+OP_VALUES = "values"
+OP_SHARD_CONTEXT = "shard_context"
+OP_SHARD = "shard"
+OP_MISS = "miss"
+OP_ESTIMATE = "estimate"
+OP_SHUTDOWN = "shutdown"
+
+#: Ops exchanged by the handshake itself (handled in this module).
+HANDSHAKE_OPS = (OP_HELLO, OP_ERROR)
+
+#: Ops a client may send after the handshake (worker must dispatch all).
+REQUEST_OPS = (
+    OP_PING,
+    OP_CAPACITY,
+    OP_OBJECTIVE,
+    OP_EVAL,
+    OP_SHARD_CONTEXT,
+    OP_SHARD,
+    OP_SHUTDOWN,
+)
+
+#: Ops a worker may reply with (client must recognise all).
+REPLY_OPS = (
+    OP_PONG,
+    OP_OK,
+    OP_CAPACITY,
+    OP_VALUES,
+    OP_MISS,
+    OP_ESTIMATE,
+    OP_ERROR,
+)
 
 #: Frames above this size are refused (a corrupt length prefix would
 #: otherwise make recv try to allocate gigabytes).
@@ -61,7 +111,7 @@ def fingerprint_key(fingerprint: object) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
-def send_frame(sock: socket.socket, payload: dict) -> int:
+def send_frame(sock: socket.socket, payload: dict[str, Any]) -> int:
     """Send one frame; returns the payload byte count (accounting)."""
     blob = pickle.dumps(payload)
     if len(blob) > MAX_FRAME_BYTES:
@@ -70,7 +120,7 @@ def send_frame(sock: socket.socket, payload: dict) -> int:
     return len(blob)
 
 
-def recv_frame(sock: socket.socket) -> dict:
+def recv_frame(sock: socket.socket) -> dict[str, Any]:
     """Receive one frame; raises :class:`WireError` on EOF/corruption."""
     header = _recv_exact(sock, _LEN.size)
     (length,) = _LEN.unpack(header)
@@ -79,7 +129,7 @@ def recv_frame(sock: socket.socket) -> dict:
     payload = pickle.loads(_recv_exact(sock, length))
     if not isinstance(payload, dict) or "op" not in payload:
         raise WireError(f"malformed frame payload: {type(payload).__name__}")
-    return payload
+    return payload  # payload values are protocol-checked by the caller
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -94,20 +144,22 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def client_handshake(sock: socket.socket, fingerprint: object = None) -> dict:
+def client_handshake(
+    sock: socket.socket, fingerprint: object = None
+) -> dict[str, Any]:
     """Run the client side of the handshake; returns the server hello."""
     send_frame(
         sock,
         {
-            "op": "hello",
+            "op": OP_HELLO,
             "version": WIRE_VERSION,
             "fingerprint_key": fingerprint_key(fingerprint),
         },
     )
     reply = recv_frame(sock)
-    if reply.get("op") == "error":
+    if reply.get("op") == OP_ERROR:
         raise WireError(f"server refused handshake: {reply.get('message')}")
-    if reply.get("op") != "hello" or reply.get("version") != WIRE_VERSION:
+    if reply.get("op") != OP_HELLO or reply.get("version") != WIRE_VERSION:
         raise WireError(
             f"wire version mismatch: server speaks "
             f"{reply.get('version')!r}, client speaks {WIRE_VERSION!r}"
@@ -121,18 +173,18 @@ def client_handshake(sock: socket.socket, fingerprint: object = None) -> dict:
     return reply
 
 
-def server_handshake(sock: socket.socket) -> dict:
+def server_handshake(sock: socket.socket) -> dict[str, Any]:
     """Run the server side; returns the client hello after replying.
 
     Raises :class:`WireError` (after sending an ``error`` frame) when
     the client speaks a different protocol version.
     """
     hello = recv_frame(sock)
-    if hello.get("op") != "hello" or hello.get("version") != WIRE_VERSION:
+    if hello.get("op") != OP_HELLO or hello.get("version") != WIRE_VERSION:
         send_frame(
             sock,
             {
-                "op": "error",
+                "op": OP_ERROR,
                 "message": (
                     f"wire version mismatch: client speaks "
                     f"{hello.get('version')!r}, server speaks {WIRE_VERSION!r}"
@@ -143,7 +195,7 @@ def server_handshake(sock: socket.socket) -> dict:
     send_frame(
         sock,
         {
-            "op": "hello",
+            "op": OP_HELLO,
             "version": WIRE_VERSION,
             "ok": True,
             # Echo the objective identity so the client can verify it

@@ -1,0 +1,257 @@
+"""Central registry of every ``REPRO_*`` environment variable.
+
+Every result- or schedule-affecting knob this repository reads from the
+environment is declared here, once, as an :class:`EnvKnob` — name,
+parser, default, and whether the knob can change *objective values*
+(not just wall-clock time or search trajectory).  The rest of ``src/``
+never touches ``os.environ`` for a ``REPRO_*`` name directly; it calls
+``knob.get()`` on the registered accessor.  The ``env-registry`` lint
+rule (:mod:`repro.contracts`) enforces this statically, which is what
+makes the registry trustworthy: a knob that is not declared here cannot
+be read anywhere.
+
+Why it matters: the determinism contract (any worker/host/arrival-order
+configuration is bit-identical to serial) only holds if remote workers
+compute with the *coordinator's* configuration, and the persistent memo
+store only stays correct if every value-affecting knob is part of the
+objective fingerprint.  Both properties start from knowing the complete
+knob list.  A knob declared with ``affects_results=True`` must also
+name the ``fingerprint_field`` through which its resolved value reaches
+the objective fingerprint (see :func:`repro.search.tiling.search_tiling`);
+the ``fingerprint-coverage`` lint rule cross-checks that the named
+field really flows into the fingerprint tuple.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Every registered knob, by environment-variable name.
+KNOBS: dict[str, "EnvKnob"] = {}
+
+
+@dataclass(frozen=True)
+class EnvKnob:
+    """One declared ``REPRO_*`` environment variable.
+
+    ``parser`` maps the raw string to the knob's value; an unset or
+    empty variable yields ``default``.  ``strict`` controls what a
+    malformed value does: raise (budget-style knobs, where silently
+    ignoring a typo would change results without warning) or fall back
+    to the default (worker-count-style knobs, where the historical
+    behaviour is to degrade to serial).
+
+    ``affects_results=True`` declares that the knob can change objective
+    *values* — such a knob must name the ``fingerprint_field`` carrying
+    it into the objective fingerprint, and the ``fingerprint-coverage``
+    lint rule verifies the field is really part of every fingerprint
+    construction in the source tree.
+    """
+
+    name: str
+    parser: Callable[[str], Any]
+    default: Any = None
+    help: str = ""
+    strict: bool = True
+    affects_results: bool = False
+    fingerprint_field: str | None = None
+
+    def get(self) -> Any:
+        """The knob's parsed value: environment > registered default."""
+        raw = os.environ.get(self.name)
+        if raw is None or raw == "":
+            return self.default
+        try:
+            return self.parser(raw)
+        except ValueError:
+            if self.strict:
+                raise ValueError(
+                    f"{self.name}={raw!r} is not a valid value"
+                ) from None
+            return self.default
+
+    def set(self, value: Any) -> None:
+        """Export the knob (e.g. so worker subprocesses inherit it)."""
+        os.environ[self.name] = str(value)
+
+    def is_set(self) -> bool:
+        return bool(os.environ.get(self.name))
+
+
+def _register(
+    name: str,
+    parser: Callable[[str], Any],
+    default: Any = None,
+    *,
+    help: str = "",
+    strict: bool = True,
+    affects_results: bool = False,
+    fingerprint_field: str | None = None,
+) -> EnvKnob:
+    if name in KNOBS:
+        raise ValueError(f"duplicate env knob {name}")
+    knob = EnvKnob(
+        name=name,
+        parser=parser,
+        default=default,
+        help=help,
+        strict=strict,
+        affects_results=affects_results,
+        fingerprint_field=fingerprint_field,
+    )
+    KNOBS[name] = knob
+    return knob
+
+
+def _flag(raw: str) -> bool:
+    """The historical REPRO_FULL truthiness: anything but off-words."""
+    return raw not in ("0", "false", "no")
+
+
+def _not_zero(raw: str) -> bool:
+    """The historical REPRO_BATCH_CASCADE truthiness: only "0" is off."""
+    return raw != "0"
+
+
+def _workers(raw: str) -> int:
+    return max(1, int(raw))
+
+
+FULL = _register(
+    "REPRO_FULL",
+    _flag,
+    False,
+    help="Run the paper's full GA budget instead of the quick one. "
+    "Changes which candidates the search proposes, never the value "
+    "of any candidate (objectives are pure), so the memo fingerprint "
+    "is unaffected.",
+)
+
+WORKERS = _register(
+    "REPRO_WORKERS",
+    _workers,
+    1,
+    strict=False,
+    help="Worker processes for candidate-level objective fan-out. "
+    "Pure wall-clock knob: results are bit-identical for any value.",
+)
+
+POINT_WORKERS = _register(
+    "REPRO_POINT_WORKERS",
+    _workers,
+    1,
+    strict=False,
+    help="Worker processes sharding a single candidate's CME sample. "
+    "Pure wall-clock knob: results are bit-identical for any value.",
+)
+
+HOSTS = _register(
+    "REPRO_HOSTS",
+    str,
+    None,
+    help="Cluster worker agents (host:port,…) for the distributed "
+    "evaluation backend.  Pure wall-clock knob: the cluster backend "
+    "is bit-identical to local.",
+)
+
+CLUSTER_TIMEOUT = _register(
+    "REPRO_CLUSTER_TIMEOUT",
+    float,
+    600.0,
+    help="Per-request straggler deadline (seconds) for cluster "
+    "dispatch.  Affects only when a chunk is re-dispatched, never "
+    "its value (objectives are pure, recomputation is free).",
+)
+
+BATCH_CASCADE = _register(
+    "REPRO_BATCH_CASCADE",
+    _not_zero,
+    True,
+    help="Use the vectorised congruence cascade (default) or the "
+    "scalar reference path.  Outcome-identical by construction — "
+    "pinned by the cascade equivalence property suite — so it is "
+    "not part of the objective fingerprint.",
+)
+
+#: The cascade work budgets are the one knob family that changes
+#: objective *values* (they trade solver accuracy for speed), so they
+#: are declared result-affecting and must reach the fingerprint via the
+#: resolved ``cascade_budgets`` mapping (see
+#: :func:`repro.polyhedra.congruence.resolve_budget` for precedence and
+#: :func:`repro.search.tiling.search_tiling` for the fingerprint).
+CASCADE_BUDGET_ENUM = _register(
+    "REPRO_CASCADE_BUDGET_ENUM",
+    int,
+    None,
+    affects_results=True,
+    fingerprint_field="cascade_budgets",
+    help="Exact-enumeration volume limit of the congruence cascade.",
+)
+
+CASCADE_BUDGET_PARTIAL = _register(
+    "REPRO_CASCADE_BUDGET_PARTIAL",
+    int,
+    None,
+    affects_results=True,
+    fingerprint_field="cascade_budgets",
+    help="Partial-dimension enumeration volume limit of the cascade.",
+)
+
+CASCADE_BUDGET_LINE = _register(
+    "REPRO_CASCADE_BUDGET_LINE",
+    int,
+    None,
+    affects_results=True,
+    fingerprint_field="cascade_budgets",
+    help="Per-line candidate cap of the cascade's per-line queries.",
+)
+
+CASCADE_BUDGET_ABS = _register(
+    "REPRO_CASCADE_BUDGET_ABS",
+    int,
+    None,
+    affects_results=True,
+    fingerprint_field="cascade_budgets",
+    help="Node budget of the recursive absolute-interval search.",
+)
+
+EXAMPLE_KERNEL = _register(
+    "REPRO_EXAMPLE_KERNEL",
+    str,
+    "MM",
+    help="Kernel the examples/ scripts run (demo scale knob).",
+)
+
+EXAMPLE_SIZE = _register(
+    "REPRO_EXAMPLE_SIZE",
+    int,
+    500,
+    help="Problem size the examples/ scripts run (demo scale knob).",
+)
+
+EXAMPLE_BUDGET = _register(
+    "REPRO_EXAMPLE_BUDGET",
+    int,
+    90,
+    help="Distinct-solve budget the examples/ scripts run with.",
+)
+
+
+def fingerprint_fields() -> tuple[str, ...]:
+    """Fingerprint field names owed by result-affecting knobs.
+
+    Every name returned here must appear (transitively) in each
+    objective-fingerprint tuple built anywhere in ``src/`` — enforced
+    by the ``fingerprint-coverage`` lint rule.
+    """
+    return tuple(
+        sorted(
+            {
+                knob.fingerprint_field
+                for knob in KNOBS.values()
+                if knob.affects_results and knob.fingerprint_field
+            }
+        )
+    )

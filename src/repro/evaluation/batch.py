@@ -111,7 +111,12 @@ class Evaluator:
                     initializer=_init_worker,
                     initargs=(self._fn,),
                 )
-            except Exception:  # unpicklable fn, fork failure, ...
+            # Unpicklable fn, fork failure, pool spawn error, …: any
+            # failure to stand the pool up must degrade to the serial
+            # path (results are identical, only wall-clock changes) —
+            # crashing the search over a parallelism knob would be
+            # strictly worse than ignoring the knob.
+            except Exception:  # repro: lint-ok[broad-except]
                 self.parallel_fallback = True
                 return None
         return self._pool

@@ -2,23 +2,16 @@
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
+from repro import envs
 from repro.cme.sampling import PAPER_SAMPLE_SIZE
 from repro.ga.engine import GAConfig
 
 
 def full_mode() -> bool:
     """True when ``REPRO_FULL=1``: run the paper's exact GA budget."""
-    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
-
-
-def _env_workers(var: str) -> int:
-    try:
-        return max(1, int(os.environ.get(var, "1")))
-    except ValueError:
-        return 1
+    return envs.FULL.get()
 
 
 def default_workers() -> int:
@@ -28,7 +21,7 @@ def default_workers() -> int:
     evaluation layer guarantees it — so this is purely a wall-clock
     knob.
     """
-    return _env_workers("REPRO_WORKERS")
+    return envs.WORKERS.get()
 
 
 def default_point_workers() -> int:
@@ -38,7 +31,7 @@ def default_point_workers() -> int:
     :mod:`repro.evaluation.sharding`).  Like ``REPRO_WORKERS``, purely
     a wall-clock knob; don't enable both at once (nested pools).
     """
-    return _env_workers("REPRO_POINT_WORKERS")
+    return envs.POINT_WORKERS.get()
 
 
 def default_hosts() -> str | None:
@@ -49,7 +42,7 @@ def default_hosts() -> str | None:
     worker knobs, purely a wall-clock choice: the distributed backend
     is bit-identical to local (see :mod:`repro.distributed`).
     """
-    return os.environ.get("REPRO_HOSTS") or None
+    return envs.HOSTS.get()
 
 
 @dataclass(frozen=True)

@@ -68,7 +68,10 @@ def baseline_seed_tiles(
                 seeds.append(fn(nest, cache))
             else:
                 seeds.append(fn(nest, cache, layout))
-        except Exception:  # noqa: BLE001 - a failing heuristic only loses a seed
+        # A baseline heuristic that cannot handle this nest (degenerate
+        # geometry, zero division in a footprint model, …) only loses
+        # its seed; the GA's search is seeded from the survivors.
+        except Exception:  # repro: lint-ok[broad-except]
             continue
     seeds.append(tuple(l.extent for l in nest.loops))  # the untiled genotype
     # Deduplicate, preserving order.

@@ -30,12 +30,12 @@ happens so accuracy regressions are visible.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from math import gcd
 
 import numpy as np
 
+from repro import envs
 from repro.polyhedra.box import Box
 from repro.polyhedra.intmath import gcd_all
 
@@ -49,12 +49,14 @@ LINE_CANDIDATE_LIMIT = 512
 ABS_SEARCH_BUDGET = 4096
 
 #: Environment overrides for the cascade work budgets (accuracy/speed
-#: trade-off knobs; see :class:`CongruenceTester`).
-_BUDGET_ENV = {
-    "enum_limit": "REPRO_CASCADE_BUDGET_ENUM",
-    "partial_limit": "REPRO_CASCADE_BUDGET_PARTIAL",
-    "line_candidate_limit": "REPRO_CASCADE_BUDGET_LINE",
-    "abs_search_budget": "REPRO_CASCADE_BUDGET_ABS",
+#: trade-off knobs; see :class:`CongruenceTester`).  These knobs change
+#: objective *values*, so they are declared result-affecting in the
+#: :mod:`repro.envs` registry and must reach the objective fingerprint.
+_BUDGET_KNOBS = {
+    "enum_limit": envs.CASCADE_BUDGET_ENUM,
+    "partial_limit": envs.CASCADE_BUDGET_PARTIAL,
+    "line_candidate_limit": envs.CASCADE_BUDGET_LINE,
+    "abs_search_budget": envs.CASCADE_BUDGET_ABS,
 }
 
 
@@ -63,8 +65,8 @@ def resolve_budget(name: str, override: int | None, default: int) -> int:
     if override is not None:
         value = int(override)
     else:
-        raw = os.environ.get(_BUDGET_ENV[name], "")
-        value = int(raw) if raw else default
+        from_env = _BUDGET_KNOBS[name].get()
+        value = default if from_env is None else int(from_env)
     if value < 1:
         raise ValueError(f"cascade budget {name} must be >= 1, got {value}")
     return value

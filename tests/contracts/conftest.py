@@ -1,0 +1,23 @@
+"""Fixture-tree helper for the contract-linter tests."""
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write a dict of ``relpath -> source`` as a tree; returns its root."""
+
+    def _make(files: dict[str, str]) -> Path:
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        return tmp_path
+
+    return _make
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]

@@ -1,0 +1,89 @@
+"""The ``broad-except`` rule: broad handlers must justify themselves."""
+
+import textwrap
+
+from repro.contracts.engine import run_lint
+from repro.contracts.rules.broad_except import BroadExceptRule
+
+
+def lint(root):
+    return run_lint(root, [BroadExceptRule()])
+
+
+def test_swallowing_broad_handlers_flagged(make_tree):
+    bad = textwrap.dedent(
+        """
+        def f():
+            try:
+                work()
+            except Exception:
+                pass
+            try:
+                work()
+            except BaseException:
+                return None
+            try:
+                work()
+            except:
+                return None
+        """
+    )
+    root = make_tree({"src/repro/search/bad.py": bad})
+    findings = lint(root)
+    assert len(findings) == 3
+    msgs = " | ".join(f.message for f in findings)
+    assert "except Exception" in msgs
+    assert "except BaseException" in msgs
+    assert "bare except:" in msgs
+
+
+def test_cleanup_and_reraise_passes(make_tree):
+    ok = textwrap.dedent(
+        """
+        def f(resource):
+            try:
+                work()
+            except Exception:
+                resource.close()
+                raise
+        """
+    )
+    root = make_tree({"src/repro/search/ok.py": ok})
+    assert lint(root) == []
+
+
+def test_narrow_handlers_pass(make_tree):
+    ok = textwrap.dedent(
+        """
+        def f():
+            try:
+                work()
+            except (OSError, ValueError):
+                return None
+        """
+    )
+    root = make_tree({"src/repro/search/ok.py": ok})
+    assert lint(root) == []
+
+
+def test_suppression_on_line_or_preceding_comment(make_tree):
+    ok = textwrap.dedent(
+        """
+        def f():
+            try:
+                work()
+            except Exception:  # repro: lint-ok[broad-except]
+                return None
+            try:
+                work()
+            # fault isolation boundary  # repro: lint-ok[broad-except]
+            except Exception:
+                return None
+        """
+    )
+    root = make_tree({"src/repro/search/ok.py": ok})
+    assert lint(root) == []
+
+
+def test_real_repo_sites_are_all_annotated_or_reraising():
+    assert lint(".") == []

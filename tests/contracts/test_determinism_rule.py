@@ -1,0 +1,127 @@
+"""The ``determinism`` rule: ambient-state reads in scoped packages."""
+
+import textwrap
+
+from repro.contracts.engine import run_lint
+from repro.contracts.rules.determinism import DeterminismRule
+
+
+def lint(root):
+    return run_lint(root, [DeterminismRule()])
+
+
+BAD = textwrap.dedent(
+    """
+    import os
+    import random
+    import time
+
+    import numpy as np
+
+
+    def schedule(x):
+        t = time.time()
+        r = random.random()
+        u = np.random.rand()
+        k = os.getenv("SOME_VAR")
+        return t, r, u, k
+    """
+)
+
+
+def test_flags_clock_rng_and_env_reads(make_tree):
+    root = make_tree({"src/repro/search/bad.py": BAD})
+    findings = lint(root)
+    messages = " | ".join(f.message for f in findings)
+    assert len(findings) == 4
+    assert "time.time()" in messages
+    assert "random.random()" in messages
+    assert "np.random.rand()" in messages
+    assert "os.getenv()" in messages
+    assert all(f.rule == "determinism" for f in findings)
+    assert all(f.path == "src/repro/search/bad.py" for f in findings)
+    assert all(f.line > 0 for f in findings)
+
+
+def test_sanctioned_twin_passes(make_tree):
+    clean = textwrap.dedent(
+        """
+        import random
+        import time
+
+        import numpy as np
+
+        from repro import envs
+
+
+        def schedule(seed):
+            deadline = time.monotonic() + 5.0
+            rng = random.Random(seed)
+            nrng = np.random.default_rng(seed)
+            workers = envs.WORKERS.get()
+            return deadline, rng, nrng, workers
+        """
+    )
+    root = make_tree({"src/repro/search/clean.py": clean})
+    assert lint(root) == []
+
+
+def test_out_of_scope_packages_are_not_checked(make_tree):
+    # Experiments legitimately time themselves; utils/timing wraps the
+    # stopwatch.  The contract binds the result-computing packages only.
+    root = make_tree({"src/repro/experiments/timing.py": BAD})
+    assert lint(root) == []
+
+
+def test_id_as_dict_key_flagged_object_key_passes(make_tree):
+    bad = textwrap.dedent(
+        """
+        def track(conns):
+            before = {id(c): c.sent for c in conns}
+            table = {}
+            table[id(conns[0])] = 1
+            return before, table
+        """
+    )
+    clean = textwrap.dedent(
+        """
+        def track(conns):
+            before = {c: c.sent for c in conns}
+            label = id(conns[0])  # id as a *value* (debug label) is fine
+            return before, label
+        """
+    )
+    root = make_tree(
+        {
+            "src/repro/distributed/bad.py": bad,
+            "src/repro/distributed/clean.py": clean,
+        }
+    )
+    findings = lint(root)
+    assert len(findings) == 2
+    assert all(f.path.endswith("bad.py") for f in findings)
+    assert all("id()" in f.message for f in findings)
+
+
+def test_os_environ_access_flagged(make_tree):
+    bad = "import os\nWORKERS = os.environ.get('N', '1')\n"
+    root = make_tree({"src/repro/evaluation/bad.py": bad})
+    findings = lint(root)
+    assert len(findings) == 1
+    assert "os.environ" in findings[0].message
+
+
+def test_suppression_comment_waives_the_line(make_tree):
+    bad = textwrap.dedent(
+        """
+        import os
+
+
+        def spawn_env():
+            # inheritance copy, not an ambient read
+            env = dict(os.environ)  # repro: lint-ok[determinism]
+            return env
+        """
+    )
+    root = make_tree({"src/repro/distributed/spawn.py": bad})
+    assert lint(root) == []

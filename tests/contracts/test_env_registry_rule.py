@@ -1,0 +1,67 @@
+"""The ``env-registry`` rule: REPRO_* reads outside repro.envs."""
+
+import textwrap
+
+from repro.contracts.engine import run_lint
+from repro.contracts.rules.env_registry import EnvRegistryRule
+
+
+def lint(root):
+    return run_lint(root, [EnvRegistryRule()])
+
+
+def test_direct_repro_reads_flagged_everywhere(make_tree):
+    bad = textwrap.dedent(
+        """
+        import os
+
+        A = os.getenv("REPRO_FULL")
+        B = os.environ.get("REPRO_WORKERS", "1")
+        C = os.environ["REPRO_HOSTS"]
+        D = "REPRO_FULL" in os.environ
+        """
+    )
+    root = make_tree({"src/repro/experiments/bad.py": bad})
+    findings = lint(root)
+    assert len(findings) == 4
+    assert all(f.rule == "env-registry" for f in findings)
+    assert "REPRO_FULL" in findings[0].message
+
+
+def test_envs_module_itself_is_exempt(make_tree):
+    envs = textwrap.dedent(
+        """
+        import os
+
+
+        def get(name):
+            return os.environ.get(name) or os.getenv("REPRO_FULL")
+        """
+    )
+    root = make_tree({"src/repro/envs.py": envs})
+    assert lint(root) == []
+
+
+def test_non_repro_variables_are_not_claimed(make_tree):
+    ok = textwrap.dedent(
+        """
+        import os
+
+        CI = os.environ.get("CI")
+        HOME = os.environ["HOME"]
+        """
+    )
+    root = make_tree({"src/repro/experiments/ok.py": ok})
+    assert lint(root) == []
+
+
+def test_examples_are_walked_too(make_tree):
+    bad = "import os\nK = os.getenv('REPRO_EXAMPLE_KERNEL')\n"
+    root = make_tree({"examples/demo.py": bad})
+    findings = lint(root)
+    assert len(findings) == 1
+    assert findings[0].path == "examples/demo.py"
+
+
+def test_real_repo_is_fully_centralised():
+    assert lint(".") == []

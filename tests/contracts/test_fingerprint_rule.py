@@ -1,0 +1,119 @@
+"""The ``fingerprint-coverage`` rule: knobs must reach the fingerprint."""
+
+import textwrap
+
+from repro.contracts.engine import run_lint
+from repro.contracts.rules.fingerprint import FingerprintCoverageRule
+
+
+def lint(root):
+    return run_lint(root, [FingerprintCoverageRule()])
+
+
+ENVS_WITH_FIELD = textwrap.dedent(
+    """
+    def _register(name, parser, default=None, **kw):
+        return (name, parser, default, kw)
+
+
+    BUDGET = _register(
+        "REPRO_BUDGET", int, None,
+        affects_results=True, fingerprint_field="budgets",
+    )
+    """
+)
+
+
+def _search_module(tuple_src: str) -> str:
+    return textwrap.dedent(
+        f"""
+        def run(nest, cache, seed):
+            budgets = resolve_budgets()
+            fingerprint = {tuple_src}
+            return fingerprint
+        """
+    )
+
+
+def test_missing_field_in_fingerprint_flagged(make_tree):
+    root = make_tree(
+        {
+            "src/repro/envs.py": ENVS_WITH_FIELD,
+            "src/repro/search/tiling.py": _search_module(
+                "(nest, repr(cache), seed)"
+            ),
+        }
+    )
+    findings = lint(root)
+    assert len(findings) == 1
+    assert findings[0].path == "src/repro/search/tiling.py"
+    assert "'budgets'" in findings[0].message
+
+
+def test_field_flowing_directly_passes(make_tree):
+    root = make_tree(
+        {
+            "src/repro/envs.py": ENVS_WITH_FIELD,
+            "src/repro/search/tiling.py": _search_module(
+                "(nest, repr(cache), seed, tuple(sorted(budgets.items())))"
+            ),
+        }
+    )
+    assert lint(root) == []
+
+
+def test_field_flowing_through_assignment_chain_passes(make_tree):
+    # budgets -> frozen -> fingerprint: the def-use closure must follow it.
+    src = textwrap.dedent(
+        """
+        def run(nest, seed):
+            budgets = resolve_budgets()
+            frozen = tuple(sorted(budgets.items()))
+            fingerprint = (nest, seed, frozen)
+            return fingerprint
+        """
+    )
+    root = make_tree(
+        {
+            "src/repro/envs.py": ENVS_WITH_FIELD,
+            "src/repro/search/tiling.py": src,
+        }
+    )
+    assert lint(root) == []
+
+
+def test_affects_results_without_field_flagged(make_tree):
+    envs = textwrap.dedent(
+        """
+        def _register(name, parser, default=None, **kw):
+            return (name, parser, default, kw)
+
+
+        SNEAKY = _register("REPRO_SNEAKY", int, None, affects_results=True)
+        """
+    )
+    root = make_tree({"src/repro/envs.py": envs})
+    findings = lint(root)
+    assert len(findings) == 1
+    assert findings[0].path == "src/repro/envs.py"
+    assert "no fingerprint_field" in findings[0].message
+
+
+def test_declared_fields_with_no_construction_flagged(make_tree):
+    root = make_tree({"src/repro/envs.py": ENVS_WITH_FIELD})
+    findings = lint(root)
+    assert len(findings) == 1
+    assert "no `fingerprint = (...)` construction" in findings[0].message
+
+
+def test_tree_without_registry_is_skipped(make_tree):
+    root = make_tree(
+        {"src/repro/search/tiling.py": _search_module("(nest, seed)")}
+    )
+    assert lint(root) == []
+
+
+def test_real_repo_registry_is_covered():
+    # The actual tree: every declared field reaches the real fingerprint.
+    findings = lint(".")
+    assert findings == []

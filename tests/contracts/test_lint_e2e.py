@@ -1,0 +1,74 @@
+"""End-to-end: ``repro.cli lint`` on the real repository."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.contracts import RULES, lint_main
+
+
+def test_repo_lints_clean(capsys):
+    # THE gate: the committed tree has zero non-baselined findings.
+    assert cli.main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_json_format(capsys):
+    assert cli.main(["lint", "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_bad_format_rejected():
+    with pytest.raises(SystemExit, match="--format"):
+        cli.main(["lint", "--format", "yaml"])
+
+
+def test_missing_explicit_baseline_rejected():
+    with pytest.raises(SystemExit, match="does not exist"):
+        cli.main(["lint", "--baseline", "/nonexistent/baseline.json"])
+
+
+def test_nonzero_exit_on_findings(make_tree, capsys):
+    root = make_tree(
+        {"src/repro/search/bad.py": "import time\nT = time.time()\n"}
+    )
+    assert cli.main(["lint", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "[determinism]" in out and "1 finding(s)" in out
+
+
+def test_baseline_suppresses_known_findings(make_tree, tmp_path, capsys):
+    root = make_tree(
+        {"src/repro/search/bad.py": "import time\nT = time.time()\n"}
+    )
+    from repro.contracts.engine import run_lint, save_baseline
+
+    baseline = tmp_path / "known.json"
+    save_baseline(run_lint(root), baseline)
+    assert cli.main(["lint", str(root), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out and "1 baselined" in out
+
+
+def test_default_baseline_in_root_is_picked_up(make_tree, capsys):
+    root = make_tree(
+        {"src/repro/search/bad.py": "import time\nT = time.time()\n"}
+    )
+    from repro.contracts.engine import run_lint, save_baseline
+
+    save_baseline(run_lint(root), root / "lint_baseline.json")
+    assert cli.main(["lint", str(root)]) == 0
+
+
+def test_registry_has_the_contracted_rules():
+    assert set(RULES) == {
+        "determinism",
+        "wire-pickle",
+        "fingerprint-coverage",
+        "env-registry",
+        "wire-ops",
+        "broad-except",
+    }
+    assert lint_main(root=".", out=open("/dev/null", "w")) == 0

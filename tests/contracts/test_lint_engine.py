@@ -1,0 +1,103 @@
+"""Engine mechanics: suppressions, baseline, parse errors, formats."""
+
+import json
+
+import pytest
+
+from repro.contracts.engine import (
+    apply_baseline,
+    load_baseline,
+    parse_suppressions,
+    run_lint,
+    save_baseline,
+)
+from repro.contracts.findings import Finding, format_json, format_text
+
+
+def test_parse_suppressions_single_and_multi():
+    lines = [
+        "x = 1  # repro: lint-ok[determinism]",
+        "y = 2",
+        "# repro: lint-ok[broad-except, wire-pickle]",
+    ]
+    sup = parse_suppressions(lines)
+    assert sup[1] == {"determinism"}
+    assert 2 not in sup
+    assert sup[3] == {"broad-except", "wire-pickle"}
+
+
+def test_parse_error_becomes_finding(make_tree):
+    root = make_tree({"src/repro/search/broken.py": "def f(:\n"})
+    findings = run_lint(root, [])
+    assert len(findings) == 1
+    assert findings[0].rule == "parse-error"
+    assert findings[0].path == "src/repro/search/broken.py"
+
+
+def test_only_walk_roots_are_linted(make_tree):
+    root = make_tree(
+        {
+            "src/repro/a.py": "import os\nX = os.getenv('REPRO_X')\n",
+            "tests/test_a.py": "import os\nX = os.getenv('REPRO_X')\n",
+            "scripts/tool.py": "import os\nX = os.getenv('REPRO_X')\n",
+        }
+    )
+    findings = run_lint(root)
+    assert {f.path for f in findings} == {"src/repro/a.py"}
+
+
+def test_baseline_roundtrip_and_count_aware_matching(tmp_path):
+    f1 = Finding("determinism", "src/repro/a.py", 3, "clock read")
+    f2 = Finding("determinism", "src/repro/a.py", 9, "clock read")
+    f3 = Finding("broad-except", "src/repro/b.py", 5, "swallows")
+    path = tmp_path / "baseline.json"
+    save_baseline([f1], path)  # only ONE of the two identical findings
+    baseline = load_baseline(path)
+    new, matched = apply_baseline([f1, f2, f3], baseline)
+    assert matched == 1
+    # line numbers are ignored for matching, counts are not: the second
+    # identical finding and the unbaselined rule both surface.
+    assert [f.line for f in new] == [9, 5]
+
+
+def test_baseline_must_be_a_list(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"rule": "x"}')
+    with pytest.raises(ValueError, match="must be a JSON list"):
+        load_baseline(path)
+
+
+def test_format_text_and_json():
+    f = Finding("wire-ops", "src/repro/w.py", 7, "orphan op")
+    text = format_text([f])
+    assert "src/repro/w.py:7: [wire-ops] orphan op" in text
+    assert "1 finding(s)" in text
+    data = json.loads(format_json([f]))
+    assert data == [
+        {"rule": "wire-ops", "path": "src/repro/w.py", "line": 7,
+         "message": "orphan op"}
+    ]
+    assert "0 finding(s)" in format_text([])
+
+
+def test_findings_sorted_by_path_then_line(make_tree):
+    root = make_tree(
+        {
+            "src/repro/search/z.py": (
+                "import time\n\n"
+                "def f():\n"
+                "    return time.time(), time.perf_counter()\n"
+            ),
+            "src/repro/search/a.py": (
+                "import time\n\n"
+                "def f():\n"
+                "    return time.time()\n"
+            ),
+        }
+    )
+    findings = run_lint(root)
+    assert [f.path for f in findings] == [
+        "src/repro/search/a.py",
+        "src/repro/search/z.py",
+        "src/repro/search/z.py",
+    ]

@@ -1,0 +1,168 @@
+"""The ``wire-ops`` rule: declared ops vs. endpoint implementations."""
+
+import textwrap
+
+from repro.contracts.engine import run_lint
+from repro.contracts.rules.wire_ops import WireOpsRule
+
+
+def lint(root):
+    return run_lint(root, [WireOpsRule()])
+
+
+WIRE = textwrap.dedent(
+    """
+    OP_PING = "ping"
+    OP_PONG = "pong"
+    OP_EVAL = "eval"
+    OP_VALUES = "values"
+
+    REQUEST_OPS = (OP_PING, OP_EVAL)
+    REPLY_OPS = (OP_PONG, OP_VALUES)
+    """
+)
+
+WORKER = textwrap.dedent(
+    """
+    from repro.distributed import wire
+
+
+    class Session:
+        def _op_ping(self, msg):
+            return {"op": wire.OP_PONG}
+
+        def _op_eval(self, msg):
+            return {"op": wire.OP_VALUES, "values": []}
+    """
+)
+
+CLIENT = textwrap.dedent(
+    """
+    from repro.distributed import wire
+
+
+    def ping(conn):
+        return conn.request({"op": wire.OP_PING}).get("op") == wire.OP_PONG
+
+
+    def evaluate(conn, cands):
+        reply = conn.request({"op": wire.OP_EVAL, "candidates": cands})
+        assert reply.get("op") == wire.OP_VALUES
+        return reply["values"]
+    """
+)
+
+
+def tree(make_tree, wire=WIRE, worker=WORKER, client=CLIENT):
+    return make_tree(
+        {
+            "src/repro/distributed/wire.py": wire,
+            "src/repro/distributed/worker.py": worker,
+            "src/repro/distributed/client.py": client,
+        }
+    )
+
+
+def test_consistent_protocol_passes(make_tree):
+    assert lint(tree(make_tree)) == []
+
+
+def test_ungrouped_constant_flagged(make_tree):
+    root = tree(make_tree, wire=WIRE + 'OP_ORPHAN = "orphan"\n')
+    findings = lint(root)
+    assert len(findings) == 1
+    assert "no protocol role" in findings[0].message
+    assert findings[0].path == "src/repro/distributed/wire.py"
+
+
+def test_request_op_without_worker_handler_flagged(make_tree):
+    wire = WIRE.replace(
+        "REQUEST_OPS = (OP_PING, OP_EVAL)",
+        'OP_HALT = "halt"\nREQUEST_OPS = (OP_PING, OP_EVAL, OP_HALT)',
+    )
+    client = CLIENT + (
+        "\n\ndef halt(conn):\n"
+        '    conn.request({"op": wire.OP_HALT})\n'
+    )
+    findings = lint(tree(make_tree, wire=wire, client=client))
+    assert len(findings) == 1
+    assert "no worker handler" in findings[0].message
+    assert "_op_halt" in findings[0].message
+
+
+def test_loop_handled_request_op_passes_via_reference(make_tree):
+    # shutdown-style ops have no _op_ method but the worker loop
+    # references the constant — that counts as handled.
+    wire = WIRE.replace(
+        "REQUEST_OPS = (OP_PING, OP_EVAL)",
+        'OP_HALT = "halt"\nREQUEST_OPS = (OP_PING, OP_EVAL, OP_HALT)',
+    )
+    worker = WORKER + (
+        "\n\ndef loop(msg):\n"
+        '    return msg.get("op") == wire.OP_HALT\n'
+    )
+    client = CLIENT + (
+        "\n\ndef halt(conn):\n"
+        '    conn.request({"op": wire.OP_HALT})\n'
+    )
+    assert lint(tree(make_tree, wire=wire, worker=worker, client=client)) == []
+
+
+def test_request_op_never_sent_by_client_flagged(make_tree):
+    client = textwrap.dedent(
+        """
+        from repro.distributed import wire
+
+
+        def ping(conn):
+            return conn.request({"op": wire.OP_PING}).get("op") == wire.OP_PONG
+
+
+        def evaluate(conn, cands):
+            return []  # eval never dispatched
+        """
+    )
+    findings = lint(tree(make_tree, client=client))
+    msgs = " | ".join(f.message for f in findings)
+    assert "'eval' is never sent" in msgs
+    assert "'values' is never recognised" in msgs
+
+
+def test_reply_op_never_produced_by_worker_flagged(make_tree):
+    worker = textwrap.dedent(
+        """
+        from repro.distributed import wire
+
+
+        class Session:
+            def _op_ping(self, msg):
+                return {"op": "pong"}  # literal, not the constant
+
+            def _op_eval(self, msg):
+                return {"op": wire.OP_VALUES, "values": []}
+        """
+    )
+    findings = lint(tree(make_tree, worker=worker))
+    assert len(findings) == 1
+    assert "'pong' is never produced" in findings[0].message
+
+
+def test_stray_worker_handler_flagged(make_tree):
+    worker = WORKER + (
+        "\n\n"
+        "    def _op_legacy(self, msg):\n"
+        '        return {"op": wire.OP_VALUES}\n'
+    )
+    findings = lint(tree(make_tree, worker=worker))
+    assert len(findings) == 1
+    assert "_op_legacy" in findings[0].message
+    assert findings[0].path == "src/repro/distributed/worker.py"
+
+
+def test_tree_without_wire_module_skipped(make_tree):
+    root = make_tree({"src/repro/search/x.py": "A = 1\n"})
+    assert lint(root) == []
+
+
+def test_real_repo_protocol_is_closed():
+    assert lint(".") == []

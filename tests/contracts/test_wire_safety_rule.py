@@ -1,0 +1,119 @@
+"""The ``wire-pickle`` rule: classes and payloads must survive pickle."""
+
+import textwrap
+
+from repro.contracts.engine import run_lint
+from repro.contracts.rules.wire_safety import WireSafetyRule
+
+
+def lint(root):
+    return run_lint(root, [WireSafetyRule()])
+
+
+def test_function_local_class_flagged(make_tree):
+    bad = textwrap.dedent(
+        """
+        def build():
+            class Payload:
+                pass
+
+            return Payload()
+        """
+    )
+    root = make_tree({"src/repro/distributed/bad.py": bad})
+    findings = lint(root)
+    assert len(findings) == 1
+    assert "function-local" in findings[0].message
+    assert "'Payload'" in findings[0].message
+
+
+def test_module_level_class_passes(make_tree):
+    clean = "class Payload:\n    pass\n"
+    root = make_tree({"src/repro/distributed/clean.py": clean})
+    assert lint(root) == []
+
+
+def test_function_local_class_outside_pickled_packages_passes(make_tree):
+    local = textwrap.dedent(
+        """
+        def build():
+            class Helper:
+                pass
+
+            return Helper()
+        """
+    )
+    root = make_tree({"src/repro/analysis/report.py": local})
+    assert lint(root) == []
+
+
+def test_frozen_slots_without_reduce_flagged(make_tree):
+    bad = textwrap.dedent(
+        """
+        class Expr:
+            __slots__ = ("coeffs",)
+
+            def __setattr__(self, name, value):
+                raise AttributeError("immutable")
+        """
+    )
+    good = textwrap.dedent(
+        """
+        class Expr:
+            __slots__ = ("coeffs",)
+
+            def __setattr__(self, name, value):
+                raise AttributeError("immutable")
+
+            def __reduce__(self):
+                return (type(self), (self.coeffs,))
+
+
+        class PlainSlots:
+            __slots__ = ("x",)  # no frozen setattr: default pickle works
+        """
+    )
+    root = make_tree(
+        {
+            "src/repro/ir/bad.py": bad,
+            "src/repro/ir/good.py": good,
+        }
+    )
+    findings = lint(root)
+    assert len(findings) == 1
+    assert findings[0].path == "src/repro/ir/bad.py"
+    assert "__slots__" in findings[0].message
+
+
+def test_lambda_in_pickle_payload_flagged(make_tree):
+    bad = textwrap.dedent(
+        """
+        import pickle
+
+
+        def ship(sock, send_frame):
+            blob = pickle.dumps({"fn": lambda x: x + 1})
+            send_frame(sock, {"op": "eval", "key": lambda c: c[0]})
+            return blob
+        """
+    )
+    clean = textwrap.dedent(
+        """
+        import pickle
+
+
+        def ship(items):
+            # lambdas in *non-payload* positions stay legal
+            return pickle.dumps(sorted(items)), sorted(items, key=lambda i: i)
+        """
+    )
+    root = make_tree(
+        {
+            "src/repro/distributed/bad.py": bad,
+            "src/repro/distributed/clean.py": clean,
+        }
+    )
+    findings = lint(root)
+    assert len(findings) == 2
+    assert all("lambda" in f.message for f in findings)
+    assert all(f.path.endswith("bad.py") for f in findings)

@@ -73,7 +73,8 @@ def test_cascade_budget_flags_set_env(capsys):
     import os
 
     saved = {
-        env: os.environ.pop(env, None) for env in cli._CASCADE_ENV.values()
+        knob.name: os.environ.pop(knob.name, None)
+        for knob in cli._cascade_knobs().values()
     }
     try:
         assert cli.main(

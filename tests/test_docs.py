@@ -27,8 +27,10 @@ DOC_FILES = [
     ROOT / "README.md",
     ROOT / "docs" / "ARCHITECTURE.md",
     ROOT / "docs" / "CLI.md",
+    ROOT / "docs" / "LINTS.md",
 ]
 CLI_DOC = ROOT / "docs" / "CLI.md"
+LINTS_DOC = ROOT / "docs" / "LINTS.md"
 
 
 def test_doc_files_exist():
@@ -120,6 +122,23 @@ def test_cli_invocations_in_docs_parse():
                 )
                 checked += 1
     assert checked >= 5  # the docs really do show invocations
+
+
+def test_every_lint_rule_is_documented():
+    """docs/LINTS.md carries one ``### `rule-id` `` heading per
+    registered contract rule — no more, no fewer (plus the engine's
+    ``parse-error`` pseudo-rule)."""
+    from repro.contracts import RULES
+
+    documented = set(re.findall(r"^### `([a-z\-]+)`", LINTS_DOC.read_text(),
+                                flags=re.MULTILINE))
+    assert documented == set(RULES) | {"parse-error"}
+
+
+def test_lints_doc_shows_the_suppression_syntax():
+    text = LINTS_DOC.read_text()
+    assert "# repro: lint-ok[" in text
+    assert "lint_baseline.json" in text
 
 
 def test_markdown_links_resolve():

@@ -1,0 +1,89 @@
+"""The central REPRO_* knob registry (repro.envs)."""
+
+import pytest
+
+from repro import envs
+
+
+def test_every_knob_is_registered_under_its_own_name():
+    for name, knob in envs.KNOBS.items():
+        assert knob.name == name
+        assert name.startswith("REPRO_")
+        assert knob.help  # every knob documents itself
+
+
+def test_default_when_unset(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert envs.WORKERS.get() == 1
+    monkeypatch.setenv("REPRO_WORKERS", "")
+    assert envs.WORKERS.get() == 1  # empty string == unset (historical)
+
+
+def test_full_flag_historical_truthiness(monkeypatch):
+    for raw, expect in [
+        ("1", True), ("yes", True), ("anything", True),
+        ("0", False), ("false", False), ("no", False),
+    ]:
+        monkeypatch.setenv("REPRO_FULL", raw)
+        assert envs.FULL.get() is expect
+
+
+def test_batch_cascade_only_zero_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_BATCH_CASCADE", "0")
+    assert envs.BATCH_CASCADE.get() is False
+    monkeypatch.setenv("REPRO_BATCH_CASCADE", "false")
+    assert envs.BATCH_CASCADE.get() is True  # historical: only "0" is off
+
+
+def test_workers_clamps_and_degrades(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    assert envs.WORKERS.get() == 1  # clamped
+    monkeypatch.setenv("REPRO_WORKERS", "lots")
+    assert envs.WORKERS.get() == 1  # non-strict: garbage degrades to default
+
+
+def test_strict_knob_raises_on_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_CASCADE_BUDGET_ENUM", "many")
+    with pytest.raises(ValueError, match="REPRO_CASCADE_BUDGET_ENUM"):
+        envs.CASCADE_BUDGET_ENUM.get()
+    monkeypatch.setenv("REPRO_CASCADE_BUDGET_ENUM", "128")
+    assert envs.CASCADE_BUDGET_ENUM.get() == 128
+
+
+def test_set_exports_for_worker_inheritance(monkeypatch):
+    import os
+
+    monkeypatch.delenv("REPRO_CASCADE_BUDGET_ABS", raising=False)
+    assert not envs.CASCADE_BUDGET_ABS.is_set()
+    envs.CASCADE_BUDGET_ABS.set(64)
+    try:
+        assert os.environ["REPRO_CASCADE_BUDGET_ABS"] == "64"
+        assert envs.CASCADE_BUDGET_ABS.is_set()
+        assert envs.CASCADE_BUDGET_ABS.get() == 64
+    finally:
+        os.environ.pop("REPRO_CASCADE_BUDGET_ABS", None)
+
+
+def test_duplicate_registration_refused():
+    with pytest.raises(ValueError, match="duplicate"):
+        envs._register("REPRO_FULL", str)
+
+
+def test_result_affecting_knobs_declare_fingerprint_fields():
+    # The contract the fingerprint-coverage lint rule enforces: every
+    # affects_results knob names the field carrying it into the
+    # objective fingerprint — today that's the cascade-budget family.
+    assert envs.fingerprint_fields() == ("cascade_budgets",)
+    for knob in envs.KNOBS.values():
+        if knob.affects_results:
+            assert knob.fingerprint_field in envs.fingerprint_fields()
+
+
+def test_cascade_budget_knobs_flow_to_resolver(monkeypatch):
+    from repro.polyhedra.congruence import CongruenceTester
+
+    monkeypatch.setenv("REPRO_CASCADE_BUDGET_LINE", "7")
+    assert CongruenceTester().line_candidate_limit == 7
+    monkeypatch.setenv("REPRO_CASCADE_BUDGET_LINE", "0")
+    with pytest.raises(ValueError, match=">= 1"):
+        CongruenceTester()
