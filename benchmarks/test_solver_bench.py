@@ -42,7 +42,7 @@ CACHE_8KB_2W = CacheConfig(8 * 1024, 32, 2)
 
 
 def _classify_set(nest, layout, points, cache, tiles_list, batch_cascade,
-                  reps=3):
+                  compiled_cascade=False, reps=3):
     """min-of-reps wall time classifying the sample under each tiling."""
     best = float("inf")
     outs = None
@@ -53,7 +53,8 @@ def _classify_set(nest, layout, points, cache, tiles_list, batch_cascade,
             prog = tile_program(nest, tiles)
             mapped = [prog.point_map.from_original(p) for p in points]
             pc = PointClassifier(
-                prog, layout, cache, batch_cascade=batch_cascade
+                prog, layout, cache, batch_cascade=batch_cascade,
+                compiled_cascade=compiled_cascade,
             )
             t0 = time.perf_counter()
             outs.append(pc.classify_batch(mapped))
@@ -63,6 +64,13 @@ def _classify_set(nest, layout, points, cache, tiles_list, batch_cascade,
 
 
 def _cascade_rows(nest, layout, points, tiles_list, reps=3):
+    """Time every rung of the dispatch ladder per cache config.
+
+    ``wall_s``/``speedup`` stay the headline columns (now the compiled
+    rung — the engine the solver picks by default) so the BENCH_*.json
+    perf trajectory remains comparable across PRs; the batched rung is
+    recorded alongside.
+    """
     rows = []
     for label, cache in (
         ("8KB-2way", CACHE_8KB_2W),
@@ -77,13 +85,19 @@ def _cascade_rows(nest, layout, points, tiles_list, reps=3):
             nest, layout, points, cache, tiles_list, batch_cascade=True,
             reps=reps,
         )
-        assert out_s == out_b, f"verdict drift under {label}"
+        t_comp, out_c = _classify_set(
+            nest, layout, points, cache, tiles_list, batch_cascade=True,
+            compiled_cascade=True, reps=reps,
+        )
+        assert out_s == out_b == out_c, f"verdict drift under {label}"
         rows.append(
             {
                 "config": label,
-                "wall_s": round(t_batch, 4),
+                "wall_s": round(t_comp, 4),
                 "scalar_wall_s": round(t_scalar, 4),
-                "speedup": round(t_scalar / t_batch, 3),
+                "batched_wall_s": round(t_batch, 4),
+                "speedup": round(t_scalar / t_comp, 3),
+                "batched_speedup": round(t_scalar / t_batch, 3),
             }
         )
     return rows
@@ -122,32 +136,49 @@ def test_sampling_validation_table(benchmark):
 
 
 def test_cascade_bound_speedup_mm500():
-    """Vectorised cascade ≥ 2× over the scalar cascade on the
-    cascade-bound candidates, with bit-identical outcomes."""
+    """Full dispatch ladder on the cascade-bound candidates: compiled
+    ≥ 2× over scalar, never slower than batched, bit-identical."""
     nest = get_kernel("MM", 500)
     layout = MemoryLayout(nest.arrays())
     points = sample_original_points(nest, 164, 0)
-    rows = _cascade_rows(nest, layout, points, NEAR_UNTILED_TILES)
+    rows = _cascade_rows(nest, layout, points, NEAR_UNTILED_TILES, reps=5)
     publish_section(
         "solver_validation",
         format_table(
-            "Vectorised congruence cascade vs scalar (MM_500, "
+            "Congruence cascade dispatch ladder vs scalar (MM_500, "
             "near-untiled long-reuse candidates, 164-point sample)",
-            ["Cache", "Scalar s", "Batched s", "Speedup"],
+            ["Cache", "Scalar s", "Batched s", "Compiled s", "Speedup"],
             [
                 [r["config"], f"{r['scalar_wall_s']:.3f}",
-                 f"{r['wall_s']:.3f}", f"{r['speedup']:.2f}x"]
+                 f"{r['batched_wall_s']:.3f}", f"{r['wall_s']:.3f}",
+                 f"{r['speedup']:.2f}x"]
                 for r in rows
             ],
             note="Outcome-identical by assertion; associative rows are "
-            "congruence-cascade-bound (≈90% of classify time), the DM "
-            "row mostly exercises the already-vectorised wave path.",
+            "congruence-cascade-bound (≈90% of classify time).  The DM "
+            "row mostly exercises the already-vectorised wave path, so "
+            "all three rungs are within noise of each other there — "
+            "the ladder adds no overhead but has little left to win.  "
+            "Speedup = scalar/compiled; without numba installed the "
+            "compiled rung runs its numpy table kernels, which beat "
+            "the batched rung by the per-shape table reuse, not by "
+            "JIT codegen.",
         ),
     )
     publish_bench_rows("solver", rows)
     bound = [r for r in rows if r["config"].endswith("2way")]
     assert max(r["speedup"] for r in bound) >= 2.0
     assert min(r["speedup"] for r in bound) >= 1.7
+    # The compiled rung must never lose to the rung below it (noise
+    # margin: the two converge on wave-dominated workloads).
+    for r in bound:
+        assert r["wall_s"] <= r["batched_wall_s"] * 1.10, r
+    # 8KB-DM is a documented wash: §2.2 direct-mapped counting routes
+    # ~all classify time through the wave path, so the cascade engines
+    # only see leftovers.  Pin that it stays a wash (no regression,
+    # no phantom win to chase).
+    dm = next(r for r in rows if r["config"] == "8KB-DM")
+    assert 0.75 <= dm["speedup"], dm
 
 
 def test_shard_pool_payload_drop_mm500():

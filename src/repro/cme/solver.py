@@ -34,7 +34,7 @@ from repro.cache.config import CacheConfig
 from repro.ir.program import AccessProgram
 from repro.layout.memory import MemoryLayout
 from repro.polyhedra.box import Box
-from repro.polyhedra.cascade import TRUE, UNKNOWN, BatchCascade
+from repro.polyhedra.cascade import TRUE, UNKNOWN, BatchCascade, make_cascade
 from repro.polyhedra.congruence import CongruenceTester
 from repro.polyhedra.lexinterval import lex_between_boxes
 from repro.reuse.vectors import ReuseCandidate, compute_reuse_candidates
@@ -72,6 +72,7 @@ class PointClassifier:
         *,
         cascade_budgets: dict[str, int] | None = None,
         batch_cascade: bool | None = None,
+        compiled_cascade: bool | None = None,
     ):
         self.program = program
         self.layout = layout
@@ -85,7 +86,20 @@ class PointClassifier:
         self._tester = CongruenceTester(**(cascade_budgets or {}))
         if batch_cascade is None:
             batch_cascade = envs.BATCH_CASCADE.get()
+        if compiled_cascade is None:
+            compiled_cascade = envs.COMPILED_CASCADE.get()
         self._use_batch_cascade = bool(batch_cascade)
+        # Dispatch ladder: compiled → batched-numpy → scalar.  The
+        # compiled rung is layered under the batch rung, so disabling
+        # batching disables it too.
+        self._use_compiled_cascade = (
+            self._use_batch_cascade and bool(compiled_cascade)
+        )
+        self.cascade_tier = (
+            "compiled"
+            if self._use_compiled_cascade
+            else "batched" if self._use_batch_cascade else "scalar"
+        )
 
         vars_ = program.space.vars
         self._refs = sorted(program.refs, key=lambda r: r.position)
@@ -99,6 +113,9 @@ class PointClassifier:
         # computation: addresses = points @ C.T + c0.
         self._Cmat = np.array(self._coeffs, dtype=np.int64)
         self._c0vec = np.array(self._consts, dtype=np.int64)
+        self._positions = np.array(
+            [r.position for r in self._refs], dtype=np.int64
+        )
         self._regions: tuple[Box, ...] = program.space.regions
         self._pm = program.point_map
         orig = program.original
@@ -136,12 +153,13 @@ class PointClassifier:
     def _ref_cascade(self, idx: int) -> BatchCascade:
         cascade = self._ref_cascades[idx]
         if cascade is None:
-            cascade = BatchCascade(
+            cascade = make_cascade(
                 self._coeffs[idx],
                 self._consts[idx],
                 self._M,
                 self._L,
                 self._tester,
+                compiled=self._use_compiled_cascade,
             )
             self._ref_cascades[idx] = cascade
         return cascade
@@ -203,8 +221,9 @@ class PointClassifier:
         ]
         # Work item: [i, idx, point, sources(desc), cursor, line0_start, wlo]
         active: list[list] = []
+        pts = list(map(tuple, P.tolist()))
         for i in range(n):
-            pt = tuple(int(x) for x in P[i])
+            pt = pts[i]
             for idx in range(nrefs):
                 self.stats.ref_tests += 1
                 srcs = all_sources[idx][i]
@@ -221,13 +240,21 @@ class PointClassifier:
             pending: list[list] = []  # wait on the batched interval pass
             jobs: list[tuple[list, list[tuple[int, int, int]]]] = []
             survivors: list[list] = []
-            for w in active:
+            # Batched lanes: the boundary-iteration line counts of the
+            # whole wave in one vectorised pass (identical to the
+            # per-item loop below, which stays as the scalar rung).
+            pre_counts = (
+                self._endpoint_counts_wave(active)
+                if self._use_batch_cascade
+                else None
+            )
+            for t, w in enumerate(active):
                 i, idx, pt, srcs, cursor, line0_start, wlo = w
                 src, spos = srcs[cursor]
                 self.stats.sources_checked += 1
                 killed: bool | None
                 if self._k != 1:
-                    if not self._use_batch_cascade:
+                    if pre_counts is None:
                         # Serial associative counting: the per-box
                         # distinct-line overcount is documented
                         # conservative behaviour batch mode reproduces.
@@ -235,9 +262,7 @@ class PointClassifier:
                             src, spos, pt, idx, line0_start, wlo
                         )
                     else:
-                        pre = self._endpoint_line_count(
-                            src, spos, pt, idx, line0_start, wlo, self._k
-                        )
+                        pre = int(pre_counts[t])
                         if pre >= self._k:
                             killed = True
                         elif src == pt:
@@ -246,8 +271,12 @@ class PointClassifier:
                             jobs.append((w, src, pre))
                             pending.append(w)
                             continue
-                elif self._endpoint_interference(
-                    src, spos, pt, idx, line0_start, wlo
+                elif (
+                    pre_counts[t] > 0
+                    if pre_counts is not None
+                    else self._endpoint_interference(
+                        src, spos, pt, idx, line0_start, wlo
+                    )
                 ):
                     killed = True
                 elif src == pt:
@@ -398,9 +427,16 @@ class PointClassifier:
                         earlier = lead < 0
                         src_addr = Q @ self._Cmat[sidx] + self._c0vec[sidx]
                         keep = inb & earlier & (src_addr // L == line0)
-                    for i in np.flatnonzero(keep):
-                        q = tuple(int(x) for x in Q[i])
-                        key = (q, cand.source_position)
+                    rows = np.flatnonzero(keep)
+                    if not len(rows):
+                        continue
+                    # One C-level bulk conversion instead of a python
+                    # int() loop per coordinate (hot: every candidate
+                    # of every reference over the whole batch).
+                    qs = map(tuple, Q[rows].tolist())
+                    spos_c = cand.source_position
+                    for i, q in zip(rows.tolist(), qs):
+                        key = (q, spos_c)
                         if key in seen[i]:
                             continue
                         seen[i].add(key)
@@ -1139,6 +1175,61 @@ class PointClassifier:
                     return len(lines)
         return len(lines)
 
+    def _endpoint_counts_wave(self, active: list[list]) -> np.ndarray:
+        """Boundary-iteration distinct-line counts for a whole wave.
+
+        Vectorises :meth:`_endpoint_line_count` (and, via ``count > 0``,
+        :meth:`_endpoint_interference`) over every work item's current
+        reuse source: both endpoint address rows come from two matrix
+        products, position masks select the partial bodies, and the
+        per-item distinct-line count is one row-sort away.  Counts are
+        capped at ``k`` exactly like the scalar early exit.
+        """
+        L = self._L
+        M = self._M
+        pos = self._positions
+        S = np.array([w[3][w[4]][0] for w in active], dtype=np.int64)
+        U = np.array([w[2] for w in active], dtype=np.int64)
+        spos_a = np.array([w[3][w[4]][1] for w in active], dtype=np.int64)
+        upos_a = self._positions[
+            np.array([w[1] for w in active], dtype=np.intp)
+        ]
+        wlo_a = np.array([w[6] for w in active], dtype=np.int64)
+        l0_div = (
+            np.array([w[5] for w in active], dtype=np.int64) // L
+        )
+        same = (S == U).all(axis=1)
+        # Partial bodies: at the source iteration, references after the
+        # source access; at the use iteration, references before the
+        # reused access; same-iteration reuse counts strictly between.
+        src_valid = pos[None, :] > spos_a[:, None]
+        use_valid = pos[None, :] < upos_a[:, None]
+        src_valid = np.where(
+            same[:, None], src_valid & use_valid, src_valid
+        )
+        use_valid &= ~same[:, None]
+
+        sent = np.iinfo(np.int64).min
+        A_src = S @ self._Cmat.T + self._c0vec
+        A_use = U @ self._Cmat.T + self._c0vec
+        lines = np.empty((len(active), 2 * len(pos)), dtype=np.int64)
+        for A, valid, half in (
+            (A_src, src_valid, lines[:, : len(pos)]),
+            (A_use, use_valid, lines[:, len(pos):]),
+        ):
+            al = A // L
+            hit = (
+                valid
+                & ((A % M) - (A - al * L) == wlo_a[:, None])
+                & (al != l0_div[:, None])
+            )
+            np.copyto(half, np.where(hit, al, sent))
+        lines.sort(axis=1)
+        distinct = np.ones(lines.shape, dtype=bool)
+        distinct[:, 1:] = lines[:, 1:] != lines[:, :-1]
+        counts = (distinct & (lines != sent)).sum(axis=1)
+        return np.minimum(counts, max(self._k, 1))
+
     def _run_count_jobs(self, jobs: list[tuple[list, tuple, int]]) -> list[bool]:
         """Associative interval counting for a whole wave at once.
 
@@ -1164,6 +1255,50 @@ class PointClassifier:
         self.stats.boxes_tested += nb
         if nb == 0:
             return [t >= k for t in totals]
+        if self._use_compiled_cascade:
+            # Compiled rung: a two-phase frontier instead of the strict
+            # box-rank round-robin.  Phase one tests only each job's
+            # first box — where nearly every early exit happens in an
+            # associative cache.  Phase two sends every surviving job's
+            # remaining boxes through each cascade in one maximal batch:
+            # a surviving job rarely exits at all (an interference-free
+            # source never reaches the cap), so the fused batch does the
+            # work the scalar loop would have done anyway, minus the
+            # per-round dispatch.  Counts are non-negative and a per-box
+            # ``None`` collapses to the cap, so the summed total crosses
+            # ``k`` exactly when the scalar early-exit prefix would
+            # have; verdicts are identical by construction.
+            wlo_b = np.array(
+                [jobs[int(j)][0][6] for j in jid], dtype=np.int64
+            )
+            l0_b = np.array(
+                [jobs[int(j)][0][5] for j in jid], dtype=np.int64
+            )
+            tot = np.array(totals, dtype=np.int64)
+            first = np.zeros(nb, dtype=bool)
+            first[np.unique(jid, return_index=True)[1]] = True
+            for rows_all in (np.flatnonzero(first), np.flatnonzero(~first)):
+                if not len(rows_all):
+                    continue
+                for i in range(nrefs):
+                    rows = rows_all[tot[jid[rows_all]] < k]
+                    if not len(rows):
+                        break
+                    counts = self._ref_cascade(
+                        i
+                    ).count_interfering_lines_many(
+                        Blo[rows], Bhi[rows], wlo_b[rows], l0_b[rows], cap=k
+                    )
+                    unknown = counts < 0
+                    nunk = int(unknown.sum())
+                    if nunk:
+                        self.stats.unknown_conservative += nunk
+                    tot += np.bincount(
+                        jid[rows],
+                        weights=np.where(unknown, k, counts),
+                        minlength=len(jobs),
+                    ).astype(np.int64)
+            return [bool(t >= k) for t in tot]
         # Rows come back grouped per job in decomposition order, so each
         # queue is a consecutive run of box indices.
         queues: list[list[int]] = [[] for _ in jobs]

@@ -12,6 +12,7 @@ from repro.contracts.rules.broad_except import BroadExceptRule
 from repro.contracts.rules.determinism import DeterminismRule
 from repro.contracts.rules.env_registry import EnvRegistryRule
 from repro.contracts.rules.fingerprint import FingerprintCoverageRule
+from repro.contracts.rules.fingerprint_purity import FingerprintPurityRule
 from repro.contracts.rules.wire_ops import WireOpsRule
 from repro.contracts.rules.wire_safety import WireSafetyRule
 
@@ -21,6 +22,7 @@ RULES: dict[str, type[Rule]] = {
         DeterminismRule,
         WireSafetyRule,
         FingerprintCoverageRule,
+        FingerprintPurityRule,
         EnvRegistryRule,
         WireOpsRule,
         BroadExceptRule,

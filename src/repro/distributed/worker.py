@@ -52,7 +52,16 @@ class _Session:
         self.capacity = capacity
         self.evaluator = None
         self.shard_ctx = None
+        self.shard_pool = None
         self.bundles: "OrderedDict[str, tuple]" = OrderedDict()
+
+    def close(self) -> None:
+        """Release the session's process pools (connection teardown)."""
+        if self.evaluator is not None:
+            self.evaluator.close()
+        if self.shard_pool is not None:
+            self.shard_pool.close()
+            self.shard_pool = None
 
     # -- op handlers ---------------------------------------------------------
     # One ``_op_<name>`` method per request op in ``wire.REQUEST_OPS``
@@ -100,6 +109,21 @@ class _Session:
     def _op_shard_context(self, msg: dict) -> dict:
         self.shard_ctx = pickle.loads(msg["blob"])
         self.bundles.clear()
+        if self.shard_pool is not None:
+            self.shard_pool.close()
+            self.shard_pool = None
+        if self.capacity > 1:
+            # A multi-core worker re-shards each incoming span across
+            # its own local ShardPool — the exact shared-memory frame
+            # transport the coordinator-side pools use, one level down.
+            ctx = self.shard_ctx
+            self.shard_pool = sharding.ShardPool(
+                self.capacity,
+                ctx.cache,
+                list(ctx.points),
+                ctx.confidence,
+                ctx.cascade_budgets,
+            )
         return {"op": wire.OP_OK}
 
     def _op_shard(self, msg: dict) -> dict:
@@ -120,15 +144,20 @@ class _Session:
             sharding.bundle_cache_put(self.bundles, token, bundle, BUNDLE_CACHE_SIZE)
         program, layout, candidates = bundle
         start, stop = msg["start"], msg["stop"]
-        est = estimate_at_points(
-            program,
-            layout,
-            ctx.cache,
-            list(ctx.points[start:stop]),
-            ctx.confidence,
-            candidates,
-            cascade_budgets=ctx.cascade_budgets,
-        )
+        if self.shard_pool is not None:
+            est = self.shard_pool.estimate(
+                program, layout, candidates, token, span=(start, stop)
+            )
+        else:
+            est = estimate_at_points(
+                program,
+                layout,
+                ctx.cache,
+                list(ctx.points[start:stop]),
+                ctx.confidence,
+                candidates,
+                cascade_budgets=ctx.cascade_budgets,
+            )
         return {"op": wire.OP_ESTIMATE, "estimate": est}
 
 
@@ -152,8 +181,7 @@ class _Handler(socketserver.BaseRequestHandler):
         except (wire.WireError, ConnectionError, OSError):
             return  # client went away; session state dies with it
         finally:
-            if session.evaluator is not None:
-                session.evaluator.close()
+            session.close()
 
 
 class WorkerServer(socketserver.ThreadingTCPServer):

@@ -175,6 +175,41 @@ BATCH_CASCADE = _register(
     "not part of the objective fingerprint.",
 )
 
+COMPILED_CASCADE = _register(
+    "REPRO_COMPILED_CASCADE",
+    _not_zero,
+    True,
+    help="Top rung of the cascade dispatch ladder: the compiled "
+    "kernel engine (numba @njit where available, table-driven numpy "
+    "otherwise).  Layered under REPRO_BATCH_CASCADE — disabling "
+    "batching disables this too.  Outcome-identical by construction "
+    "(same property suite as the batched engine), so it must NOT "
+    "enter the objective fingerprint: warm memo stores stay valid "
+    "across the knob.",
+)
+
+SHM_TRANSPORT = _register(
+    "REPRO_SHM_TRANSPORT",
+    _not_zero,
+    True,
+    help="Ship large local-IPC payloads (ShardPool candidate bundles "
+    "and estimate replies) through POSIX shared memory instead of the "
+    "executor's pickle pipes.  Pure wall-clock knob with automatic "
+    "fallback to inline pickling when shared memory is unavailable; "
+    "results are bit-identical either way.",
+)
+
+BENCH_TOLERANCE = _register(
+    "REPRO_BENCH_TOLERANCE",
+    float,
+    0.25,
+    help="Relative wall-time slack of the CI perf-regression gate "
+    "(benchmarks/check_regression.py): a fresh BENCH_*.json row may "
+    "be up to (1 + tolerance) times its committed baseline before "
+    "the gate fails.  Raise it for known-noisy runners; it never "
+    "affects results, only the gate's verdict.",
+)
+
 #: The cascade work budgets are the one knob family that changes
 #: objective *values* (they trade solver accuracy for speed), so they
 #: are declared result-affecting and must reach the fingerprint via the

@@ -46,6 +46,7 @@ from dataclasses import dataclass, fields
 
 from repro.cme.sampling import CMEEstimate, estimate_at_points
 from repro.cme.solver import SolverStats
+from repro.evaluation import shm
 from repro.polyhedra.congruence import TesterStats
 
 #: Below this many points per shard, process overhead beats the win.
@@ -184,12 +185,19 @@ def legacy_payload_bytes(
 
 @dataclass(frozen=True)
 class ShardContext:
-    """Analyzer-lifetime invariants shipped once per pool, at start."""
+    """Analyzer-lifetime invariants shipped once per pool, at start.
+
+    ``use_shm`` is resolved once, pool-side, from
+    :func:`repro.evaluation.shm.shm_enabled` — workers never consult
+    the environment, so one pool's processes always agree on the reply
+    framing.
+    """
 
     cache: object
     confidence: float
     points: tuple
     cascade_budgets: dict | None = None
+    use_shm: bool = False
 
 
 class _ContextMiss(Exception):
@@ -235,26 +243,34 @@ def _worker_ready() -> bool:
     return _POOL_CTX is not None
 
 
-def _classify_span(task) -> CMEEstimate:
+def _classify_span(task):
     """Worker-side: classify one ``points[start:stop]`` slice.
 
-    ``task = (token, blob | None, start, stop)``; the bundle blob —
-    ``(program, layout, candidates)`` — is unpickled at most once per
-    worker per token and memoised, so repeat calls (and retries) reuse
-    the candidate invariants without any further deserialisation.
+    ``task = (token, bundle_desc | None, start, stop)``; the bundle —
+    ``(program, layout, candidates)`` behind a creator-owned
+    :mod:`repro.evaluation.shm` frame (or inline bytes) — is fetched
+    and unpickled at most once per worker per token and memoised, so
+    repeat calls (and retries) reuse the candidate invariants without
+    any further deserialisation.
+
+    Returns the :class:`CMEEstimate` directly, or — when the pool
+    context enables shared memory — a receiver-unlink reply frame the
+    parent unwraps, keeping the full-pickle reply off the result pipe.
     """
-    token, blob, start, stop = task
+    token, bundle_desc, start, stop = task
     ctx = _POOL_CTX
     if ctx is None:
         raise RuntimeError("shard worker used before initialisation")
     bundle = bundle_cache_get(_BUNDLES, token)
     if bundle is None:
-        if blob is None:
+        if bundle_desc is None:
             raise _ContextMiss(token)
-        bundle = pickle.loads(blob)
+        # Bundle frames are creator-unlinked (many readers share one
+        # segment), so fetch leaves the segment alive.
+        bundle = pickle.loads(shm.fetch(bundle_desc, unlink=False))
         bundle_cache_put(_BUNDLES, token, bundle)
     program, layout, candidates = bundle
-    return estimate_at_points(
+    est = estimate_at_points(
         program,
         layout,
         ctx.cache,
@@ -263,6 +279,9 @@ def _classify_span(task) -> CMEEstimate:
         candidates,
         cascade_budgets=ctx.cascade_budgets,
     )
+    if ctx.use_shm:
+        return shm.publish_pickle(est, owner=False)
+    return est
 
 
 class ShardPool:
@@ -291,13 +310,16 @@ class ShardPool:
             confidence=confidence,
             points=tuple(points),
             cascade_budgets=cascade_budgets,
+            use_shm=shm.shm_enabled(),
         )
         ctx_bytes = pickle.dumps(ctx)
         self.workers = workers
         self.n_points = len(ctx.points)
+        self.use_shm = ctx.use_shm
         self.init_payload_bytes = len(ctx_bytes)
         self.payload_bytes = 0
         self.last_payload_bytes = 0
+        self.shm_bytes = 0
         self.calls = 0
         self._shipped: set[str] = set()
         self._pool = ProcessPoolExecutor(
@@ -313,42 +335,83 @@ class ShardPool:
             raise RuntimeError("ShardPool is closed")
         return self._pool
 
-    def estimate(self, program, layout, candidates, token: str) -> CMEEstimate:
+    def _unwrap_reply(self, part):
+        """Resolve a shard reply: estimate, or reply frame to fetch.
+
+        Reply frames are receiver-unlink: the segment dies in the same
+        fetch.  ``use_shm=False`` pools get plain estimates — no frame
+        detour, no extra pickle."""
+        if isinstance(part, tuple) and part and part[0] in (shm.SHM, shm.INLINE):
+            self.shm_bytes += shm.desc_bytes(part)
+            return shm.fetch_pickle(part, unlink=True)
+        return part
+
+    def estimate(
+        self,
+        program,
+        layout,
+        candidates,
+        token: str,
+        span: tuple[int, int] | None = None,
+    ) -> CMEEstimate:
         """Sharded estimate of the context sample under one candidate.
 
         ``token`` must uniquely identify ``(program, layout,
         candidates)`` for this pool's lifetime — the analyzer derives it
-        from the (tile sizes, padding) candidate key.
+        from the (tile sizes, padding) candidate key.  ``span`` limits
+        the estimate to ``points[start:stop]`` of the context sample
+        (the TCP worker's local sub-pool re-shards its incoming span
+        this way); the default is the whole sample.
         """
         if self._pool is None:
             raise RuntimeError("ShardPool is closed")
-        spans = shard_spans(
-            self.n_points, min(self.workers, self.n_points // MIN_SHARD_POINTS)
-        )
-        blob = None
+        base, stop_at = span if span is not None else (0, self.n_points)
+        n = stop_at - base
+        spans = [
+            (base + a, base + b)
+            for a, b in shard_spans(n, min(self.workers, n // MIN_SHARD_POINTS))
+        ]
+        bundle_desc = None
         if token not in self._shipped:
-            blob = pickle.dumps((program, layout, candidates))
-        tasks = [(token, blob, start, stop) for start, stop in spans]
-        futures = [self._pool.submit(_classify_span, t) for t in tasks]
-        sent = sum(len(pickle.dumps(t)) for t in tasks)
-        parts: list = [None] * len(spans)
-        retries: list[tuple[int, tuple]] = []
-        for slot, (future, (start, stop)) in enumerate(zip(futures, spans)):
-            try:
-                parts[slot] = future.result()
-            except _ContextMiss:
-                # A worker that never saw this token (evicted bundle or
-                # freshly grown pool): resend with the blob attached —
-                # all retries in flight together, then gathered.
-                if blob is None:
-                    blob = pickle.dumps((program, layout, candidates))
-                retry = (token, blob, start, stop)
-                sent += len(pickle.dumps(retry))
-                retries.append(
-                    (slot, self._pool.submit(_classify_span, retry))
-                )
-        for slot, future in retries:
-            parts[slot] = future.result()
+            bundle_desc = shm.publish(pickle.dumps((program, layout, candidates)))
+        try:
+            tasks = [(token, bundle_desc, start, stop) for start, stop in spans]
+            futures = [self._pool.submit(_classify_span, t) for t in tasks]
+            # Payload accounting stays channel-agnostic: pipe bytes plus
+            # the bundle bytes a shared-memory frame carried instead
+            # (inline bundles are already inside the pickled tasks).
+            sent = sum(len(pickle.dumps(t)) for t in tasks)
+            if bundle_desc is not None and bundle_desc[0] == shm.SHM:
+                sent += bundle_desc[2]
+            parts: list = [None] * len(spans)
+            retries: list[tuple[int, tuple]] = []
+            for slot, (future, (start, stop)) in enumerate(zip(futures, spans)):
+                try:
+                    parts[slot] = self._unwrap_reply(future.result())
+                except _ContextMiss:
+                    # A worker that never saw this token (evicted bundle
+                    # or freshly grown pool): resend with the bundle
+                    # attached — all retries in flight, then gathered.
+                    if bundle_desc is None:
+                        bundle_desc = shm.publish(
+                            pickle.dumps((program, layout, candidates))
+                        )
+                        if bundle_desc[0] == shm.SHM:
+                            sent += bundle_desc[2]
+                    retry = (token, bundle_desc, start, stop)
+                    sent += len(pickle.dumps(retry))
+                    retries.append(
+                        (slot, self._pool.submit(_classify_span, retry))
+                    )
+            for slot, future in retries:
+                parts[slot] = self._unwrap_reply(future.result())
+        finally:
+            if bundle_desc is not None:
+                # Bundle frames are creator-unlink: every reader is
+                # done (futures gathered), so drop the segment now.
+                if bundle_desc[0] == shm.SHM:
+                    self.shm_bytes += bundle_desc[2]
+                shm.release(bundle_desc)
         self._shipped.add(token)
         self.calls += 1
         self.last_payload_bytes = sent

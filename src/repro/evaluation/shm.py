@@ -1,0 +1,155 @@
+"""Shared-memory frames for large local-IPC payloads.
+
+The zero-copy :class:`~repro.evaluation.sharding.ShardPool` transport
+still moves two big blobs through the executor's pickle *pipes*: the
+once-per-token candidate bundle (~5KB of program/layout/candidates)
+fanned to every shard worker, and each shard's full
+:class:`~repro.cme.sampling.CMEEstimate` reply (per-reference counts
+plus solver/congruence stats).  Pipes chunk, copy and context-switch
+per message; POSIX shared memory moves the same bytes with one
+``memcpy`` each side.  This module wraps
+:mod:`multiprocessing.shared_memory` in a tiny frame protocol:
+
+``publish(data)``
+    Copy ``data`` into a fresh segment and return a wire-safe
+    descriptor ``("shm", name, size)``.  When shared memory is
+    unavailable (platform without ``/dev/shm``, or the
+    ``REPRO_SHM_TRANSPORT`` knob is off) the descriptor degrades to
+    ``("inline", data)`` — every consumer handles both, so the knob is
+    a pure wall-clock switch.
+
+``fetch(desc, unlink=...)``
+    Attach, copy the bytes out, detach; optionally unlink.
+
+Ownership is explicit and one-sided per frame kind:
+
+* **creator-unlink** — bundle frames are read by *many* workers, so
+  the publishing side keeps ownership and calls :func:`release` after
+  the fan-out completes (``fetch(..., unlink=False)`` worker-side).
+* **receiver-unlink** — reply frames have exactly one reader: the
+  worker publishes with :func:`publish` (``owner=False``) and the
+  parent fetches with ``unlink=True``, destroying the segment in the
+  same call.
+
+CPython's ``resource_tracker`` complicates both: on 3.11 every
+``SharedMemory`` the tracker sees is unlinked again at process exit,
+so a segment whose ownership crossed a process boundary would be
+destroyed twice (and spam ``KeyError`` warnings).  ``_untrack``
+deregisters a segment from the calling process's tracker whenever
+ownership lives elsewhere — the standard workaround until the
+``track=False`` parameter of Python 3.13.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro import envs
+
+try:  # pragma: no cover - import guard, exercised by its absence
+    from multiprocessing import resource_tracker, shared_memory
+
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover - no POSIX shared memory
+    HAVE_SHM = False
+
+#: Wire-safe descriptor tags.
+SHM, INLINE = "shm", "inline"
+
+
+def shm_enabled() -> bool:
+    """Should big IPC payloads ride shared-memory frames?"""
+    return HAVE_SHM and envs.SHM_TRANSPORT.get()
+
+
+def _untrack(shm_obj) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    Called whenever unlink responsibility lives in *another* process:
+    an attach-side handle (the creator will unlink), or a created
+    handle being handed to a receiver-unlink consumer.  Without this,
+    the tracker unlinks once more at interpreter exit.
+    """
+    try:  # pragma: no branch
+        resource_tracker.unregister(shm_obj._name, "shared_memory")
+    except (KeyError, AttributeError):  # pragma: no cover - already gone
+        pass
+
+
+def publish(data: bytes, *, owner: bool = True) -> tuple:
+    """Copy ``data`` into a fresh segment; return its descriptor.
+
+    ``owner=True`` (creator-unlink): the caller must later call
+    :func:`release` on the descriptor, after every reader has fetched.
+    ``owner=False`` (receiver-unlink): the single reader unlinks via
+    ``fetch(desc, unlink=True)``; this process forgets the segment
+    immediately.
+
+    Falls back to an ``("inline", data)`` descriptor when shared
+    memory is off or segment creation fails (e.g. ``/dev/shm`` full).
+    """
+    if not shm_enabled() or not data:
+        return (INLINE, data)
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=len(data))
+    except OSError:  # pragma: no cover - /dev/shm exhausted or absent
+        return (INLINE, data)
+    seg.buf[: len(data)] = data
+    desc = (SHM, seg.name, len(data))
+    if not owner:
+        _untrack(seg)
+    seg.close()
+    return desc
+
+
+def fetch(desc: tuple, *, unlink: bool) -> bytes:
+    """The bytes behind a descriptor (attach → copy → detach).
+
+    ``unlink=True`` is the receiver-unlink half of a reply frame: the
+    segment is destroyed in the same call.  ``unlink=False`` readers
+    (bundle fan-out) leave destruction to the creator's
+    :func:`release`.
+    """
+    tag, *rest = desc
+    if tag == INLINE:
+        return rest[0]
+    name, size = rest
+    seg = shared_memory.SharedMemory(name=name)
+    if not unlink:
+        # Attaching registered the segment with THIS process's
+        # tracker, but the creator owns the unlink.
+        _untrack(seg)
+    data = bytes(seg.buf[:size])
+    seg.close()
+    if unlink:
+        seg.unlink()
+    return data
+
+
+def release(desc: tuple) -> None:
+    """Creator-side unlink of a published frame (idempotent)."""
+    tag, *rest = desc
+    if tag == INLINE:
+        return
+    try:
+        seg = shared_memory.SharedMemory(name=rest[0])
+    except FileNotFoundError:  # pragma: no cover - already released
+        return
+    seg.close()
+    seg.unlink()
+
+
+def desc_bytes(desc: tuple) -> int:
+    """Payload bytes a descriptor stands for (accounting probe)."""
+    tag, *rest = desc
+    return len(rest[0]) if tag == INLINE else rest[1]
+
+
+def publish_pickle(obj, *, owner: bool = True) -> tuple:
+    """``publish(pickle.dumps(obj))`` — the reply-frame one-liner."""
+    return publish(pickle.dumps(obj), owner=owner)
+
+
+def fetch_pickle(desc: tuple, *, unlink: bool):
+    """``pickle.loads(fetch(...))`` — the matching reader."""
+    return pickle.loads(fetch(desc, unlink=unlink))

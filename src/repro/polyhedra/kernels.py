@@ -1,0 +1,188 @@
+"""Compiled inner kernels of the congruence cascade.
+
+The three numeric inner loops of :mod:`repro.polyhedra.cascade` —
+mixed-radix "does any enumerated value hit the window" tests, absolute
+interval membership over an enumerated value set, and the window-sum
+distinct-line counting used by the k-way path — spend their time on the
+same *value multiset*: all values of ``Σ c_j · x_j`` over a box shape.
+This module turns each loop into a kernel over **precomputed per-shape
+tables** instead of a per-query broadcast:
+
+* ``window table`` — a circular prefix-sum over the histogram of
+  ``offs mod m``; any-hit and hit-count per query become two O(1)
+  lookups (the query only shifts *where* the window sits, never the
+  residue multiset);
+* ``sorted offsets`` — absolute-interval membership becomes a pair of
+  binary searches;
+* ``mod-sorted offsets`` — the offsets ordered by residue, so a
+  query's window hits are at most two contiguous runs, and distinct
+  line counting gathers only the hits (≈ ``L/m`` of the volume)
+  instead of scanning the whole enumeration.
+
+Every kernel is exact set arithmetic — no approximation anywhere — so
+the verdict contract of the cascade (bit-identical to the scalar
+tester) is preserved by construction; the cascade equivalence property
+suite pins it mechanically.
+
+When :mod:`numba` is importable the per-query loops are ``@njit``
+compiled (:data:`HAVE_NUMBA`); otherwise the pure-numpy fallbacks below
+run.  Both implementations are kept semantically in lock step and the
+fallback-ladder tests force each one explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # the container's default: pure-numpy fallbacks
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """No-op decorator stand-in (numpy fallbacks never call these)."""
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+#: Tests force the numpy fallbacks by flipping this (see
+#: ``use_compiled_loops``); it never changes results, only which
+#: bit-identical implementation runs.
+FORCE_NUMPY = False
+
+
+def use_compiled_loops() -> bool:
+    """Should the ``@njit`` per-query loops run (vs the numpy ones)?"""
+    return HAVE_NUMBA and not FORCE_NUMPY
+
+
+# -- per-shape tables ---------------------------------------------------------
+
+def window_table(offs: np.ndarray, mod: int, wlen: int) -> np.ndarray:
+    """Circular prefix-sum of ``offs mod mod``, wrap-extended by ``wlen``.
+
+    ``table[t + wlen] - table[t]`` is the number of offsets whose
+    residue lies in the circular window ``[t, t + wlen - 1]`` — the
+    whole mod-window tier for one query, in O(1).
+    """
+    hist = np.bincount(offs % mod, minlength=mod)
+    table = np.zeros(mod + wlen + 1, dtype=np.int64)
+    np.cumsum(np.concatenate([hist, hist[:wlen]]), out=table[1:])
+    return table
+
+
+def sorted_offsets(offs: np.ndarray) -> np.ndarray:
+    """Offsets sorted by value (absolute-interval binary search)."""
+    return np.sort(offs)
+
+
+def mod_sorted_offsets(
+    offs: np.ndarray, mod: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(residues_sorted, offs_by_residue)`` — offsets ordered by
+    ``off mod mod``, so one residue window is ≤ 2 contiguous runs."""
+    res = offs % mod
+    order = np.argsort(res, kind="stable")
+    return res[order], offs[order]
+
+
+# -- window any-hit / hit-count ----------------------------------------------
+
+def window_any(
+    table: np.ndarray, t: np.ndarray, wlen: int
+) -> np.ndarray:
+    """Any offset residue in ``[t_q, t_q + wlen - 1]`` (circular), per query."""
+    return table[t + wlen] > table[t]
+
+
+# -- absolute-interval membership --------------------------------------------
+
+def abs_any(
+    offs_sorted: np.ndarray, lo_rel: np.ndarray, hi_rel: np.ndarray
+) -> np.ndarray:
+    """Any offset in ``[lo_rel_q, hi_rel_q]``, per query (binary search)."""
+    if use_compiled_loops():  # pragma: no cover - needs numba
+        return _abs_any_nb(offs_sorted, lo_rel, hi_rel)
+    lo_idx = np.searchsorted(offs_sorted, lo_rel, side="left")
+    hi_idx = np.searchsorted(offs_sorted, hi_rel, side="right")
+    return hi_idx > lo_idx
+
+
+@njit(cache=True)
+def _abs_any_nb(offs_sorted, lo_rel, hi_rel):  # pragma: no cover - needs numba
+    n = lo_rel.shape[0]
+    out = np.zeros(n, dtype=np.bool_)
+    for q in range(n):
+        lo_idx = np.searchsorted(offs_sorted, lo_rel[q], side="left")
+        out[q] = lo_idx < offs_sorted.shape[0] and offs_sorted[lo_idx] <= hi_rel[q]
+    return out
+
+
+# -- windowed hit gather (distinct-line counting) ------------------------------
+
+def window_hit_ranges(
+    res_sorted: np.ndarray, t: np.ndarray, wlen: int, mod: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Index ranges of each query's window hits in the mod-sorted order.
+
+    The circular window ``[t, t + wlen - 1]`` splits into at most two
+    linear segments; returns ``(a1, b1, a2, b2)`` with the hits of
+    query ``q`` at ``res_sorted[a1:b1]`` and ``res_sorted[a2:b2]``.
+    """
+    end = t + wlen - 1
+    wraps = end >= mod
+    # Segment 1: [t, min(end, mod-1)].
+    a1 = np.searchsorted(res_sorted, t, side="left")
+    b1 = np.searchsorted(res_sorted, np.minimum(end, mod - 1), side="right")
+    # Segment 2 (wrap only): [0, end - mod].
+    a2 = np.zeros_like(t)
+    b2 = np.where(
+        wraps, np.searchsorted(res_sorted, end - mod, side="right"), 0
+    )
+    return a1, b1, a2, b2
+
+
+def gather_ranges(
+    starts: np.ndarray, stops: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``arange(starts_q, stops_q)`` for every query.
+
+    Returns ``(qrow, idx)``: the owning query per element and the
+    gathered indices — the standard cumsum/repeat ragged-range trick.
+    """
+    counts = np.maximum(stops - starts, 0)
+    offsets = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    total = int(counts.sum())
+    qrow = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    idx = np.arange(total, dtype=np.int64) - offsets[qrow] + starts[qrow]
+    return qrow, idx
+
+
+def distinct_counts(
+    qrow: np.ndarray, lines: np.ndarray, nq: int
+) -> np.ndarray:
+    """Distinct ``lines`` values per query (``qrow`` need not be sorted)."""
+    if len(lines) == 0:
+        return np.zeros(nq, dtype=np.int64)
+    if use_compiled_loops():  # pragma: no cover - needs numba
+        order = np.lexsort((lines, qrow))
+        return _distinct_counts_nb(qrow[order], lines[order], nq)
+    order = np.lexsort((lines, qrow))
+    ql = qrow[order]
+    ll = lines[order]
+    first = np.ones(len(ql), dtype=bool)
+    first[1:] = (ql[1:] != ql[:-1]) | (ll[1:] != ll[:-1])
+    return np.bincount(ql[first], minlength=nq)
+
+
+@njit(cache=True)
+def _distinct_counts_nb(ql, ll, nq):  # pragma: no cover - needs numba
+    out = np.zeros(nq, dtype=np.int64)
+    for i in range(ql.shape[0]):
+        if i == 0 or ql[i] != ql[i - 1] or ll[i] != ll[i - 1]:
+            out[ql[i]] += 1
+    return out

@@ -67,6 +67,7 @@ def test_registry_has_the_contracted_rules():
         "determinism",
         "wire-pickle",
         "fingerprint-coverage",
+        "fingerprint-purity",
         "env-registry",
         "wire-ops",
         "broad-except",

@@ -160,7 +160,7 @@ def test_shard_pool_context_miss_roundtrip():
         sharding._init_pool_worker(pickle.dumps(ctx))
         with pytest.raises(sharding._ContextMiss):
             sharding._classify_span(("tok", None, 0, 24))
-        blob = pickle.dumps((program, layout, None))
+        blob = ("inline", pickle.dumps((program, layout, None)))
         est = sharding._classify_span(("tok", blob, 0, 24))
         # memoised now: the blob is no longer needed
         est2 = sharding._classify_span(("tok", None, 0, 24))
@@ -246,7 +246,7 @@ def test_worker_bundle_lru_evicts_in_recency_order():
     program = program_from_nest(nest)
     points = sample_original_points(nest, 16, 0)
     ctx = sharding.ShardContext(cache=CACHE, confidence=0.90, points=tuple(points))
-    blob = pickle.dumps((program, layout, None))
+    blob = ("inline", pickle.dumps((program, layout, None)))
     old_ctx, old_bundles = sharding._POOL_CTX, dict(sharding._BUNDLES)
     old_size = sharding.BUNDLE_CACHE_SIZE
     try:

@@ -1,0 +1,185 @@
+"""Shared-memory frame lifecycle and the shm-backed shard transport.
+
+The frame protocol's one invariant worth a suite: every segment has
+exactly one unlinker (creator for fan-out bundle frames, receiver for
+reply frames), results are bit-identical with the transport on, off, or
+unavailable, and nothing leaks into ``/dev/shm`` after a pool closes.
+"""
+
+import glob
+import pickle
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cme.sampling import estimate_at_points, sample_original_points
+from repro.evaluation import shm, sharding
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from tests.conftest import make_small_transpose
+
+CACHE = CacheConfig(1024, 32, 1)
+
+needs_shm = pytest.mark.skipif(not shm.HAVE_SHM, reason="no shared memory")
+
+
+def _segments() -> set[str]:
+    """Names of live POSIX shared-memory segments (this machine)."""
+    return {p.rsplit("/", 1)[1] for p in glob.glob("/dev/shm/*")}
+
+
+# -- frame protocol -----------------------------------------------------------
+
+@needs_shm
+def test_reply_frame_receiver_unlink():
+    """owner=False + fetch(unlink=True): the one-reader reply pattern."""
+    before = _segments()
+    desc = shm.publish(b"reply-payload", owner=False)
+    assert desc[0] == shm.SHM and desc[2] == len(b"reply-payload")
+    assert shm.desc_bytes(desc) == len(b"reply-payload")
+    assert shm.fetch(desc, unlink=True) == b"reply-payload"
+    assert _segments() == before  # destroyed in the same fetch
+
+
+@needs_shm
+def test_bundle_frame_creator_unlink():
+    """Many readers, one creator-side release — the fan-out pattern."""
+    before = _segments()
+    desc = shm.publish(b"bundle" * 100)
+    for _ in range(3):  # several workers read the same segment
+        assert shm.fetch(desc, unlink=False) == b"bundle" * 100
+    assert _segments() - before  # still alive until the creator says so
+    shm.release(desc)
+    assert _segments() == before
+    shm.release(desc)  # idempotent
+
+
+@needs_shm
+def test_pickle_frame_roundtrip():
+    payload = {"est": [1, 2, 3], "nested": (4.5, "six")}
+    desc = shm.publish_pickle(payload, owner=False)
+    assert shm.fetch_pickle(desc, unlink=True) == payload
+
+
+def test_knob_off_degrades_to_inline(monkeypatch):
+    monkeypatch.setenv("REPRO_SHM_TRANSPORT", "0")
+    assert not shm.shm_enabled()
+    desc = shm.publish(b"data")
+    assert desc == (shm.INLINE, b"data")
+    assert shm.desc_bytes(desc) == 4
+    assert shm.fetch(desc, unlink=True) == b"data"
+    shm.release(desc)  # no-op on inline frames
+
+
+def test_empty_payload_stays_inline():
+    desc = shm.publish(b"")
+    assert desc == (shm.INLINE, b"")
+    assert shm.fetch(desc, unlink=False) == b""
+
+
+# -- shard transport on the frames --------------------------------------------
+
+def _fixture():
+    nest = make_small_transpose(32)
+    layout = MemoryLayout(nest.arrays())
+    program = program_from_nest(nest)
+    points = sample_original_points(nest, 48, 0)
+    ref = estimate_at_points(program, layout, CACHE, points)
+    return program, layout, points, ref
+
+
+@needs_shm
+def test_shard_pool_shm_transport_matches_inline(monkeypatch):
+    """Same estimate, counter for counter, with frames on and off."""
+    program, layout, points, ref = _fixture()
+    results = {}
+    for mode in ("1", "0"):
+        monkeypatch.setenv("REPRO_SHM_TRANSPORT", mode)
+        pool = sharding.ShardPool(3, CACHE, points)
+        try:
+            assert pool.use_shm == (mode == "1")
+            est = pool.estimate(program, layout, None, "tok")
+            repeat = pool.estimate(program, layout, None, "tok")
+            assert repeat.per_ref == est.per_ref
+            if mode == "1":
+                # bundle + three reply frames actually travelled via shm
+                assert pool.shm_bytes > 0
+            else:
+                assert pool.shm_bytes == 0
+            results[mode] = est
+        finally:
+            pool.close()
+    a, b = results["1"], results["0"]
+    assert a.per_ref == b.per_ref
+    assert (a.hits, a.cold, a.replacement) == (b.hits, b.cold, b.replacement)
+    assert a.solver_stats.congruence == b.solver_stats.congruence
+
+
+@needs_shm
+def test_shard_pool_leaks_no_segments(monkeypatch):
+    """Every frame of a pool's lifetime is unlinked by pool close."""
+    monkeypatch.setenv("REPRO_SHM_TRANSPORT", "1")
+    program, layout, points, _ref = _fixture()
+    before = _segments()
+    pool = sharding.ShardPool(2, CACHE, points)
+    try:
+        for token in ("a", "b"):
+            pool.estimate(program, layout, None, token)
+            pool.estimate(program, layout, None, token)
+    finally:
+        pool.close()
+    assert _segments() == before
+
+
+@needs_shm
+def test_shm_payload_accounting_counts_bundle_once(monkeypatch):
+    """First call pays the bundle (via shm), repeats ship spans only."""
+    monkeypatch.setenv("REPRO_SHM_TRANSPORT", "1")
+    program, layout, points, _ref = _fixture()
+    pool = sharding.ShardPool(3, CACHE, points)
+    try:
+        pool.estimate(program, layout, None, "tok")
+        first = pool.last_payload_bytes
+        bundle = len(pickle.dumps((program, layout, None)))
+        assert first >= bundle  # the shm-carried bundle is accounted
+        pool.estimate(program, layout, None, "tok")
+        assert pool.last_payload_bytes < first / 5
+    finally:
+        pool.close()
+
+
+@needs_shm
+def test_worker_subpool_spans_match_serial(monkeypatch):
+    """A capacity>1 TCP worker re-shards spans over a local shm pool."""
+    import threading
+
+    from repro.distributed.client import HostConnection
+    from repro.distributed.worker import WorkerServer
+
+    monkeypatch.setenv("REPRO_SHM_TRANSPORT", "1")
+    program, layout, points, ref = _fixture()
+    ctx = sharding.ShardContext(
+        cache=CACHE, confidence=0.90, points=tuple(points)
+    )
+    srv = WorkerServer(port=0, capacity=2)
+    thread = threading.Thread(
+        target=lambda: srv.serve_forever(poll_interval=0.05), daemon=True
+    )
+    thread.start()
+    conn = HostConnection(*srv.address)
+    try:
+        conn.install_shard_context(pickle.dumps(ctx))
+        bundle = pickle.dumps((program, layout, None))
+        a = conn.shard_estimate("tok", bundle, 0, 24)
+        b = conn.shard_estimate("tok", None, 24, 48)
+        merged = sharding.merge_estimates([a, b])
+        assert merged.per_ref == ref.per_ref
+        assert (merged.hits, merged.cold, merged.replacement) == (
+            ref.hits, ref.cold, ref.replacement
+        )
+        assert merged.solver_stats.points == ref.solver_stats.points
+    finally:
+        conn.close()
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)

@@ -16,8 +16,16 @@ import numpy as np
 import pytest
 
 from repro.polyhedra.box import Box
-from repro.polyhedra.cascade import BatchCascade, verdicts_to_py
+from repro.polyhedra.cascade import (
+    BatchCascade,
+    CompiledCascade,
+    verdicts_to_py,
+)
 from repro.polyhedra.congruence import CongruenceTester
+
+#: Both batched rungs of the dispatch ladder are held to the same
+#: bit-identical contract against the scalar tester.
+ENGINES = {"batched": BatchCascade, "compiled": CompiledCascade}
 
 
 def _random_ref(rng, d):
@@ -83,9 +91,10 @@ CONFIGS = [
 ]
 
 
+@pytest.mark.parametrize("engine", sorted(ENGINES), ids=sorted(ENGINES))
 @pytest.mark.parametrize("seed", [0, 1])
 @pytest.mark.parametrize("cfg", CONFIGS, ids=[f"d{c[0]}-m{c[1]}-{'tight' if c[4] else 'default'}-n{c[3]}" for c in CONFIGS])
-def test_exists_interference_equivalence(cfg, seed):
+def test_exists_interference_equivalence(cfg, seed, engine):
     d, m, line, n, budgets = cfg
     rng = np.random.default_rng(seed * 7919 + d * 131 + m)
     coeffs, const = _random_ref(rng, d)
@@ -100,17 +109,18 @@ def test_exists_interference_equivalence(cfg, seed):
         for i in range(n)
     ]
     batch_tester = CongruenceTester(**budgets)
-    cascade = BatchCascade(coeffs, const, m, line, batch_tester)
+    cascade = ENGINES[engine](coeffs, const, m, line, batch_tester)
     got = verdicts_to_py(cascade.exists_interference_many(lo, hi, wlo, line0))
     assert got == expected
     # Same tier attribution, counter for counter.
     assert batch_tester.stats.as_dict() == scalar.stats.as_dict()
 
 
+@pytest.mark.parametrize("engine", sorted(ENGINES), ids=sorted(ENGINES))
 @pytest.mark.parametrize("cap", [1, 2, 4])
 @pytest.mark.parametrize("cfg", [CONFIGS[2], CONFIGS[5]],
                          ids=["default", "tight"])
-def test_count_interfering_lines_equivalence(cfg, cap):
+def test_count_interfering_lines_equivalence(cfg, cap, engine):
     d, m, line, n, budgets = cfg
     rng = np.random.default_rng(cap * 7717 + d)
     coeffs, const = _random_ref(rng, d)
@@ -125,7 +135,7 @@ def test_count_interfering_lines_equivalence(cfg, cap):
         for i in range(n)
     ]
     batch_tester = CongruenceTester(**budgets)
-    cascade = BatchCascade(coeffs, const, m, line, batch_tester)
+    cascade = ENGINES[engine](coeffs, const, m, line, batch_tester)
     counts = cascade.count_interfering_lines_many(lo, hi, wlo, line0, cap=cap)
     got = [None if c < 0 else int(c) for c in counts]
     assert got == expected
