@@ -58,7 +58,15 @@ Uniform flags (accepted anywhere on the command line):
     waves to ``repro.cli serve`` worker agents (``--hosts`` or
     ``REPRO_HOSTS``; results are bit-identical to local, see
     :mod:`repro.distributed`); ``--memo`` enables the persistent
-    cross-run memo store (either backend).
+    cross-run memo store (either backend).  When hosts come from
+    ``REPRO_HOSTS`` the fleet is *elastic*: span waves re-read the
+    variable mid-wave, so agents started later join a running search.
+``--shard-dispatch auto|candidates|spans``
+    Cluster dispatch plane (default ``REPRO_SHARD_DISPATCH`` or
+    ``auto``): ``candidates`` chunks each wave across hosts, ``spans``
+    fans each candidate's CME sample across the whole fleet
+    (:class:`repro.distributed.RemoteShardPool`), ``auto`` picks per
+    wave.  Pure wall-clock knob — every plane is bit-identical.
 ``--port N`` ``--bind ADDR`` ``--capacity N``
     Worker-agent knobs for the ``serve`` command: TCP port (0 picks a
     free one and prints it), bind address (default loopback; use
@@ -104,6 +112,7 @@ FLAG_SPEC = {
     "--resume": ("resume", str),
     "--backend": ("backend", str),
     "--hosts": ("hosts", str),
+    "--shard-dispatch": ("shard_dispatch", str),
     "--memo": ("memo", str),
     "--port": ("port", int),
     "--bind": ("bind", str),
@@ -154,7 +163,7 @@ def parse_flags(args: list[str]) -> tuple[list[str], dict]:
 def _run_search_command(args: list[str], flags: dict) -> int:
     """`search KERNEL [SIZE]`: any strategy through repro.search."""
     from repro.cache.config import CACHE_8KB_DM
-    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.common import ExperimentConfig, default_hosts
     from repro.kernels.registry import get_kernel
     from repro.search.tiling import search_tiling
 
@@ -187,6 +196,11 @@ def _run_search_command(args: list[str], flags: dict) -> int:
         backend=flags.get("backend"),
         hosts=config.hosts,
         memo_path=flags.get("memo"),
+        shard_dispatch=flags.get("shard_dispatch"),
+        # An explicit --hosts pins the fleet; hosts from REPRO_HOSTS
+        # are elastic — span waves re-read the variable mid-wave, so
+        # worker agents started later join a running search.
+        hosts_source=None if flags.get("hosts") else default_hosts,
     )
     print(outcome.summary())
     if outcome.backend is not None:

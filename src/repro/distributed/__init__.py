@@ -15,6 +15,11 @@ boundaries, without moving a single result by one bit:
 * :mod:`repro.distributed.client` — coordinator-side connections and
   work-stealing dispatch with straggler re-dispatch and worker-loss
   retry.
+* :mod:`repro.distributed.shardclient` — :class:`RemoteShardPool`,
+  the second dispatch plane: one sample-heavy candidate fanned across
+  the whole fleet as index spans, with throughput-aware sizing,
+  straggler re-slicing and mid-wave fleet elasticity
+  (``--shard-dispatch`` / ``REPRO_SHARD_DISPATCH`` picks the plane).
 * :mod:`repro.distributed.evaluator` — :class:`DistributedEvaluator`,
   a drop-in :class:`repro.evaluation.Evaluator` (``backend=cluster``
   in ``search_tiling``/the CLI).
@@ -40,6 +45,11 @@ from repro.distributed.client import (
 from repro.distributed.cluster import LoopbackCluster, SmokeObjective
 from repro.distributed.evaluator import DistributedEvaluator
 from repro.distributed.memo import MemoStore
+from repro.distributed.shardclient import (
+    RemoteShardPool,
+    SpanWaveIncomplete,
+    choose_dispatch,
+)
 from repro.distributed.wire import (
     WIRE_VERSION,
     WireError,
@@ -56,9 +66,12 @@ __all__ = [
     "HostConnection",
     "LoopbackCluster",
     "MemoStore",
+    "RemoteShardPool",
     "SmokeObjective",
+    "SpanWaveIncomplete",
     "WireError",
     "WorkerServer",
+    "choose_dispatch",
     "fingerprint_key",
     "parse_hosts",
     "serve",

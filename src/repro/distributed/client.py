@@ -126,6 +126,48 @@ class HostConnection:
             raise wire.WireError(f"bad shard reply: {reply.get('op')!r}")
         return reply["estimate"]
 
+    def span_estimate(
+        self,
+        token: str,
+        bundle_blob: bytes,
+        span_id: int,
+        start: int,
+        stop: int,
+    ):
+        """One coordinator-addressed span job; ``(estimate, elapsed)``.
+
+        Like :meth:`shard_estimate` (same token/bundle memo and miss
+        retry worker-side) but addressed by the coordinator's
+        ``span_id``, which the worker echoes — the id is what
+        first-reply-wins duplicate suppression keys on when a straggling
+        span was re-sliced to another host.  ``elapsed`` is the
+        worker-side compute time in seconds (network excluded), the
+        observation the per-host throughput EWMA feeds on.
+        """
+        reply = self.request(
+            {
+                "op": wire.OP_SPAN,
+                "token": token,
+                "span_id": span_id,
+                "start": start,
+                "stop": stop,
+            }
+        )
+        if reply.get("op") == wire.OP_MISS:
+            reply = self.request(
+                {
+                    "op": wire.OP_SPAN,
+                    "token": token,
+                    "blob": bundle_blob,
+                    "span_id": span_id,
+                    "start": start,
+                    "stop": stop,
+                }
+            )
+        if reply.get("op") != wire.OP_SPAN_ESTIMATE:
+            raise wire.WireError(f"bad span reply: {reply.get('op')!r}")
+        return reply["estimate"], float(reply.get("elapsed", 0.0))
+
     def close(self) -> None:
         try:
             self.sock.close()
@@ -141,6 +183,7 @@ class ClusterClient:
         hosts,
         fingerprint: object = None,
         timeout: float | None = None,
+        reconnect_backoff: float = 30.0,
     ):
         if isinstance(hosts, str):
             hosts = wire.parse_hosts(hosts)
@@ -155,8 +198,14 @@ class ClusterClient:
         #: Seconds to skip reconnect attempts to a host that just
         #: failed — without it every wave of a long search pays a
         #: multi-second blocking connect for each blackholed host.
-        self.reconnect_backoff = 30.0
+        #: Cleared on the next *successful* handshake, so a host that
+        #: flapped once is penalised per incident, never for the run.
+        self.reconnect_backoff = float(reconnect_backoff)
         self._last_failure: dict[tuple[str, int], float] = {}
+        #: Guards the connection table and failure clock: span dispatch
+        #: drops connections from per-host threads while the
+        #: coordinator (re)connects and re-resolves the host set.
+        self._lock = threading.Lock()
         #: Dispatch accounting (mirrors ShardPool's payload counters).
         self.payload_bytes = 0
         self.last_payload_bytes = 0
@@ -171,31 +220,59 @@ class ClusterClient:
         ``reconnect_backoff`` seconds is skipped this round, so a dead
         host costs one connect timeout per backoff window, not per
         wave; a restarted worker rejoins on the first round after its
-        window expires.
+        window expires — and a successful handshake clears the
+        failure clock, so the penalty never outlives the outage.
         """
-        live: list[HostConnection] = []
-        now = time.monotonic()
-        for addr, conn in self._conns.items():
-            if conn is None:
-                failed_at = self._last_failure.get(addr)
-                if (
-                    failed_at is not None
-                    and now - failed_at < self.reconnect_backoff
-                ):
-                    continue
-                try:
-                    conn = HostConnection(
-                        *addr,
-                        fingerprint=self.fingerprint,
-                        timeout=self.timeout,
-                    )
-                except (OSError, wire.WireError):
-                    self._last_failure[addr] = time.monotonic()
-                    continue
-                self._conns[addr] = conn
+        with self._lock:
+            live: list[HostConnection] = []
+            now = time.monotonic()
+            for addr, conn in self._conns.items():
+                if conn is None:
+                    failed_at = self._last_failure.get(addr)
+                    if (
+                        failed_at is not None
+                        and now - failed_at < self.reconnect_backoff
+                    ):
+                        continue
+                    try:
+                        conn = HostConnection(
+                            *addr,
+                            fingerprint=self.fingerprint,
+                            timeout=self.timeout,
+                        )
+                    except (OSError, wire.WireError):
+                        self._last_failure[addr] = time.monotonic()
+                        continue
+                    self._conns[addr] = conn
+                    self._last_failure.pop(addr, None)
+                live.append(conn)
+            return live
+
+    def update_hosts(self, hosts) -> tuple[int, int]:
+        """Re-point the client at a fresh host set (fleet elasticity).
+
+        ``hosts`` is the same spec the constructor takes.  New
+        addresses join with a clean failure clock (they get a connect
+        attempt on the next :meth:`connect`); addresses no longer
+        listed are closed and forgotten.  Returns ``(added, removed)``
+        counts so callers can log churn.  Existing connections to
+        retained hosts are untouched — mid-wave joins are cheap.
+        """
+        if isinstance(hosts, str):
+            hosts = wire.parse_hosts(hosts)
+        wanted = tuple((h, int(p)) for h, p in hosts)
+        with self._lock:
+            added = [a for a in wanted if a not in self._conns]
+            removed = [a for a in self._conns if a not in wanted]
+            for addr in added:
+                self._conns[addr] = None
+            for addr in removed:
+                conn = self._conns.pop(addr)
+                if conn is not None:
+                    conn.close()
                 self._last_failure.pop(addr, None)
-            live.append(conn)
-        return live
+            self.hosts = wanted
+        return len(added), len(removed)
 
     def capacities(self) -> dict[str, int]:
         """Registered capacity per live host (``host:port`` keyed)."""
@@ -205,9 +282,14 @@ class ClusterClient:
 
     def _drop(self, conn: HostConnection) -> None:
         conn.close()
-        self._conns[(conn.host, conn.port)] = None
-        self._last_failure[(conn.host, conn.port)] = time.monotonic()
-        self.lost_hosts += 1
+        addr = (conn.host, conn.port)
+        with self._lock:
+            # An address update_hosts() removed mid-flight must not be
+            # resurrected by its dying connection's cleanup.
+            if addr in self._conns:
+                self._conns[addr] = None
+                self._last_failure[addr] = time.monotonic()
+            self.lost_hosts += 1
 
     # -- dispatch ------------------------------------------------------------
     def evaluate(self, blob: bytes, candidates: list[Values]) -> list[float]:
@@ -325,7 +407,8 @@ class ClusterClient:
         self.lost_hosts = 0
 
     def close(self) -> None:
-        for addr, conn in self._conns.items():
-            if conn is not None:
-                conn.close()
-                self._conns[addr] = None
+        with self._lock:
+            for addr, conn in self._conns.items():
+                if conn is not None:
+                    conn.close()
+                    self._conns[addr] = None

@@ -78,29 +78,15 @@ class LoopbackCluster:
             if env.get("PYTHONPATH")
             else src_root
         )
+        self._env = env
+        self._capacity = capacity
+        self._startup_timeout = startup_timeout
         self.procs: list[subprocess.Popen] = []
         self.addresses: list[tuple[str, int]] = []
         try:
-            for _ in range(n_workers):
-                proc = subprocess.Popen(
-                    [
-                        sys.executable,
-                        "-m",
-                        "repro.cli",
-                        "serve",
-                        "--port",
-                        "0",
-                        "--capacity",
-                        str(capacity),
-                    ],
-                    env=env,
-                    stdout=subprocess.PIPE,
-                    stderr=subprocess.DEVNULL,
-                    text=True,
-                )
-                self.procs.append(proc)
+            procs = [self._spawn(capacity) for _ in range(n_workers)]
             deadline = time.monotonic() + startup_timeout
-            for proc in self.procs:
+            for proc in procs:
                 self.addresses.append(self._read_address(proc, deadline))
         except Exception:
             # Cleanup-and-reraise: surviving workers must not leak when
@@ -108,6 +94,41 @@ class LoopbackCluster:
             # (the broad-except lint rule allows re-raising handlers).
             self.close()
             raise
+
+    def _spawn(self, capacity: int) -> subprocess.Popen:
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--capacity",
+                str(capacity),
+            ],
+            env=self._env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        self.procs.append(proc)
+        return proc
+
+    def add_worker(self, capacity: int | None = None) -> tuple[str, int]:
+        """Spawn one more worker (fleet elasticity): returns its address.
+
+        The new agent is appended to :attr:`hosts`/:attr:`hosts_spec`,
+        so a coordinator that re-resolves its host source — e.g. a span
+        wave's ``hosts_source`` — picks it up mid-run.
+        """
+        proc = self._spawn(
+            self._capacity if capacity is None else capacity
+        )
+        deadline = time.monotonic() + self._startup_timeout
+        address = self._read_address(proc, deadline)
+        self.addresses.append(address)
+        return address
 
     @staticmethod
     def _read_address(

@@ -1,0 +1,480 @@
+"""Coordinator-side span dispatch: one huge candidate across the fleet.
+
+Candidate-chunk dispatch (:meth:`ClusterClient.evaluate`) scales with
+the *width* of a wave — a wave of one sample-heavy candidate still runs
+on one host.  :class:`RemoteShardPool` closes that gap by dispatching
+the other axis: the candidate's fixed CRN sample is split into
+contiguous ``[start, stop)`` **spans**, fanned across every live worker
+over the existing ShardPool token/span wire ops (bundle shipped once
+per host via the ``op=miss`` resend, spans addressed by index
+thereafter), and the per-span :class:`CMEEstimate` replies are merged
+with the same strict ``merge_estimates``/``merge_solver_stats`` the
+local shard pools use.
+
+Scheduling is throughput-aware and elastic:
+
+* **sizing** — each host takes spans sized by its share of the fleet's
+  estimated throughput: an EWMA of observed points/sec fed by the
+  worker-reported compute time of every reply (capacity-weighted prior
+  before the first observation).  Fast hosts take long spans, slow
+  hosts short ones, and the tail of a wave self-balances like work
+  stealing because hosts keep taking until nothing is pending.
+* **straggler re-slicing** — when nothing is pending but a span is
+  overdue against its host's expected rate, its uncovered range is
+  split and duplicated onto the pending queue for idle hosts.
+  Replies are accepted **first-wins by range**: a reply whose range
+  overlaps anything already accepted is dropped whole (counted in
+  ``duplicate_replies``), so accepted spans stay disjoint and the
+  merge stays a partition of the sample no matter how often work was
+  duplicated.
+* **elasticity** — between spans the coordinator re-resolves
+  ``hosts_source`` (the live ``--hosts``/``REPRO_HOSTS`` view) and
+  connects newcomers mid-wave; they install the shard context lazily
+  and pull spans like any other host (``joined_hosts`` counts them).
+  A host that dies mid-span has its uncovered ranges requeued for the
+  survivors — the worker-loss retry of candidate dispatch,
+  generalised to spans.
+
+Determinism: objectives are pure and points are classified
+independently, so *any* accepted partition, arrival order, re-slice or
+duplication merges to the bit-identical unsharded estimate (Bond &
+Levine's abelian-network argument, the same contract all the other
+transports pin).  Accepted spans are sorted by start before merging,
+which makes even the merge's internal float order independent of
+scheduling.
+
+If the whole fleet is lost mid-wave, :class:`SpanWaveIncomplete`
+carries the accepted parts and the uncovered spans out so the caller
+(:class:`repro.distributed.DistributedEvaluator`) classifies the
+remainder locally — a dead cluster never loses a wave, exactly like
+candidate dispatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+
+from repro.evaluation.sharding import MIN_SHARD_POINTS, merge_estimates
+
+#: Accepted values of the dispatch-mode policy knob
+#: (``--shard-dispatch`` / ``REPRO_SHARD_DISPATCH``).
+DISPATCH_MODES = ("auto", "candidates", "spans")
+
+
+def choose_dispatch(
+    mode: str,
+    n_candidates: int,
+    n_points: int,
+    n_hosts: int,
+    shardable: bool = True,
+) -> str:
+    """Pick the wave's dispatch plane: ``"candidates"`` or ``"spans"``.
+
+    ``auto`` (the default) goes to spans only when the wave is
+    *narrower than the fleet* (some hosts would idle under candidate
+    chunks) **and** the sample is big enough that every host can take
+    at least two minimum-size spans — otherwise span overhead cannot
+    pay for itself.  A forced ``spans`` still degrades to candidates
+    when the objective is not span-shardable or no host is live.
+    """
+    if mode not in DISPATCH_MODES:
+        raise ValueError(
+            f"unknown dispatch mode {mode!r}; expected one of {DISPATCH_MODES}"
+        )
+    if not shardable or n_hosts < 1 or n_points <= 0:
+        return "candidates"
+    if mode != "auto":
+        return mode
+    wide_enough = n_points >= 2 * MIN_SHARD_POINTS * n_hosts
+    return "spans" if n_candidates < n_hosts and wide_enough else "candidates"
+
+
+class SpanWaveIncomplete(RuntimeError):
+    """The fleet died mid-wave; carries what it did finish.
+
+    ``parts`` is the accepted ``(start, stop, estimate)`` list (spans
+    disjoint), ``missing`` the uncovered ``(start, stop)`` spans —
+    together a partition of the sample, so the caller completes the
+    wave locally and merges without recomputing anything remote.
+    """
+
+    def __init__(self, message: str, parts: list, missing: list):
+        super().__init__(message)
+        self.parts = parts
+        self.missing = missing
+
+
+def _uncovered(accepted: list, start: int, stop: int) -> list[tuple[int, int]]:
+    """Subranges of ``[start, stop)`` no accepted span covers (sorted)."""
+    frags = [(start, stop)]
+    for a, b, _est in accepted:
+        nxt: list[tuple[int, int]] = []
+        for s, t in frags:
+            if b <= s or t <= a:
+                nxt.append((s, t))
+                continue
+            if s < a:
+                nxt.append((s, a))
+            if b < t:
+                nxt.append((b, t))
+        frags = nxt
+        if not frags:
+            break
+    return sorted(frags)
+
+
+class _WaveState:
+    """All mutable state of one span wave, under one condition lock."""
+
+    def __init__(self, n_points: int):
+        self.n = n_points
+        self.cond = threading.Condition()
+        self.pending: deque[tuple[int, int]] = deque([(0, n_points)])
+        #: span_id -> [start, stop, addr, t_dispatch, resliced]
+        self.inflight: dict[int, list] = {}
+        self.accepted: list[tuple[int, int, object]] = []
+        self.covered = 0
+        self.finished = False
+        self.next_span_id = 0
+        #: addr -> (thread, conn) — every host loop ever started.
+        self.threads: dict[tuple[str, int], tuple] = {}
+        #: addr -> capacity, live hosts only (throughput priors).
+        self.capacities: dict[tuple[str, int], int] = {}
+        self.initial_addrs: set[tuple[str, int]] = set()
+
+    def done(self) -> bool:
+        return self.finished or self.covered >= self.n
+
+
+class RemoteShardPool:
+    """Fan one candidate's sample across the cluster, span by span.
+
+    Owns no sockets itself — it drives the per-host
+    :class:`HostConnection` sessions of an existing
+    :class:`ClusterClient` (one dispatcher thread per live host), so
+    candidate dispatch and span dispatch share connections, the
+    reconnect/backoff machinery, and the loss accounting.
+
+    ``hosts_source``, when given, is a zero-argument callable returning
+    the *current* ``--hosts`` spec (string or ``(host, port)`` pairs);
+    it is re-resolved every ``rejoin_interval`` seconds mid-wave, which
+    is what lets workers join a running wave.  The per-host throughput
+    EWMA (``rates``, points/sec) persists across waves.
+    """
+
+    def __init__(
+        self,
+        client,
+        hosts_source=None,
+        *,
+        min_span_points: int = MIN_SHARD_POINTS,
+        max_span_points: int | None = None,
+        overdue_factor: float = 4.0,
+        min_overdue: float = 1.0,
+        check_interval: float = 0.05,
+        rejoin_interval: float = 1.0,
+        default_rate: float = 200.0,
+        ewma_alpha: float = 0.5,
+    ):
+        self.client = client
+        self.hosts_source = hosts_source
+        self.min_span_points = max(1, int(min_span_points))
+        self.max_span_points = max_span_points
+        self.overdue_factor = float(overdue_factor)
+        self.min_overdue = float(min_overdue)
+        self.check_interval = float(check_interval)
+        self.rejoin_interval = float(rejoin_interval)
+        self.default_rate = float(default_rate)
+        self.ewma_alpha = float(ewma_alpha)
+        #: addr -> EWMA points/sec, persisted across waves.
+        self.rates: dict[tuple[str, int], float] = {}
+        self.span_waves = 0
+        self.spans_dispatched = 0
+        self.spans_resliced = 0
+        self.duplicate_replies = 0
+        self.joined_hosts = 0
+        self._next_resolve = 0.0
+
+    # -- public API ----------------------------------------------------------
+    def estimate(
+        self, ctx_blob: bytes, token: str, bundle_blob: bytes, n_points: int
+    ):
+        """Merged :class:`CMEEstimate` of ``points[0:n_points)`` under
+        the candidate behind ``token``/``bundle_blob``.
+
+        ``ctx_blob`` is the pickled :class:`ShardContext` (installed
+        once per connection, lazily for joiners).  Raises
+        :class:`SpanWaveIncomplete` when the fleet is lost before the
+        sample is covered.
+        """
+        if n_points <= 0:
+            raise ValueError("n_points must be positive")
+        ctx_key = hashlib.sha256(ctx_blob).hexdigest()
+        st = _WaveState(n_points)
+        self.span_waves += 1
+        self._next_resolve = 0.0  # always re-resolve at wave start
+        mid_wave = False
+        try:
+            while True:
+                self._sync_hosts(
+                    st, token, bundle_blob, ctx_blob, ctx_key, mid_wave
+                )
+                mid_wave = True
+                with st.cond:
+                    if st.covered >= st.n:
+                        break
+                    if not any(
+                        t.is_alive() for t, _c in st.threads.values()
+                    ):
+                        # _sync_hosts just tried to (re)connect and
+                        # found nothing to run on: the fleet is gone.
+                        break
+                    self._reslice_overdue(st)
+                    st.cond.wait(self.check_interval)
+        finally:
+            self._finish_wave(st)
+        if st.covered < st.n:
+            raise SpanWaveIncomplete(
+                f"span wave incomplete: {st.n - st.covered} of {st.n} "
+                "points uncovered (no live workers remain)",
+                parts=sorted(st.accepted, key=lambda p: p[0]),
+                missing=_uncovered(st.accepted, 0, st.n),
+            )
+        parts = [
+            est
+            for _start, _stop, est in sorted(st.accepted, key=lambda p: p[0])
+        ]
+        return merge_estimates(parts)
+
+    def stats(self) -> dict:
+        """Span-plane dispatch counters (merged into backend_stats)."""
+        return {
+            "span_waves": self.span_waves,
+            "spans_dispatched": self.spans_dispatched,
+            "spans_resliced": self.spans_resliced,
+            "duplicate_replies": self.duplicate_replies,
+            "joined_hosts": self.joined_hosts,
+        }
+
+    # -- fleet management ----------------------------------------------------
+    def _sync_hosts(
+        self, st, token, bundle_blob, ctx_blob, ctx_key, mid_wave
+    ) -> None:
+        """Connect the current host set; start loops for newcomers."""
+        with st.cond:
+            if st.done():
+                # The wave is already covered: host loops are exiting,
+                # and respawning one here would double-count joiners.
+                return
+        now = time.monotonic()
+        if self.hosts_source is not None and now >= self._next_resolve:
+            self._next_resolve = now + self.rejoin_interval
+            try:
+                spec = self.hosts_source()
+            # A flaky resolver (DNS hiccup, unreadable hosts file) must
+            # degrade to the current fleet, not kill the wave.
+            except Exception:  # repro: lint-ok[broad-except]
+                spec = None
+            if spec:
+                self.client.update_hosts(spec)
+        for conn in self.client.connect():
+            addr = (conn.host, conn.port)
+            entry = st.threads.get(addr)
+            if entry is not None and entry[0].is_alive():
+                continue
+            # A joiner is an addr this wave has never run a loop for; a
+            # lost host reconnecting mid-wave is loss accounting, not a
+            # join.
+            newcomer = entry is None and addr not in st.initial_addrs
+            thread = threading.Thread(
+                target=self._host_loop,
+                args=(st, conn, token, bundle_blob, ctx_blob, ctx_key),
+                daemon=True,
+            )
+            st.threads[addr] = (thread, conn)
+            with st.cond:
+                st.capacities[addr] = conn.capacity
+            if mid_wave and newcomer:
+                self.joined_hosts += 1
+            if not mid_wave:
+                st.initial_addrs.add(addr)
+            thread.start()
+
+    def _finish_wave(self, st) -> None:
+        """Stop host loops; abandon connections of true stragglers."""
+        with st.cond:
+            st.finished = True
+            st.cond.notify_all()
+        for thread, conn in st.threads.values():
+            thread.join(timeout=0.25)
+            if thread.is_alive():
+                # Still blocked in a socket recv on a span the wave no
+                # longer needs: abandon the connection (the policy
+                # candidate dispatch applies to stragglers) — the
+                # closed socket pops the loop out via its loss path,
+                # which also retires the connection from the client.
+                conn.close()
+                thread.join(timeout=10.0)
+
+    # -- per-host dispatch loop ----------------------------------------------
+    def _host_loop(
+        self, st, conn, token, bundle_blob, ctx_blob, ctx_key
+    ) -> None:
+        addr = (conn.host, conn.port)
+        try:
+            if getattr(conn, "span_ctx_key", None) != ctx_key:
+                conn.install_shard_context(ctx_blob)
+                conn.span_ctx_key = ctx_key
+            while True:
+                with st.cond:
+                    span = self._take_span(st, addr)
+                    while span is None:
+                        if st.done():
+                            return
+                        st.cond.wait(self.check_interval)
+                        span = self._take_span(st, addr)
+                span_id, start, stop = span
+                est, elapsed = conn.span_estimate(
+                    token, bundle_blob, span_id, start, stop
+                )
+                with st.cond:
+                    self._record_reply(
+                        st, addr, span_id, start, stop, est, elapsed
+                    )
+                    st.cond.notify_all()
+        # Worker loss and stragglers end up here (socket errors, wire
+        # errors, timeouts) — and so must anything else a malformed
+        # reply can raise: the host retires, its spans go back to the
+        # survivors, and the wave continues or fails over cleanly.
+        except Exception:  # repro: lint-ok[broad-except]
+            with st.cond:
+                st.capacities.pop(addr, None)
+                self._requeue_host(st, addr)
+                st.cond.notify_all()
+            self.client._drop(conn)
+
+    def _take_span(self, st, addr):
+        """Pop the next span for ``addr``, sized to its throughput.
+
+        Called under the wave lock.  Pending entries that were covered
+        while queued (re-slice twins of an accepted reply) are dropped;
+        partially covered entries are trimmed to their uncovered
+        fragments.  An entry much larger than the host's target is
+        split — the remainder goes back for the rest of the fleet.
+        """
+        while st.pending:
+            start, stop = st.pending.popleft()
+            frags = _uncovered(st.accepted, start, stop)
+            if not frags:
+                continue
+            if frags != [(start, stop)]:
+                st.pending.extendleft(reversed(frags))
+                continue
+            target = self._target_points(st, addr)
+            if stop - start >= 2 * target:
+                st.pending.appendleft((start + target, stop))
+                stop = start + target
+            span_id = st.next_span_id
+            st.next_span_id += 1
+            st.inflight[span_id] = [start, stop, addr, time.monotonic(), False]
+            self.spans_dispatched += 1
+            return span_id, start, stop
+        return None
+
+    def _target_points(self, st, addr) -> int:
+        """Span size for ``addr``: its throughput share of what's left."""
+        rate = self.rates.get(addr) or (
+            self.default_rate * st.capacities.get(addr, 1)
+        )
+        total = sum(
+            self.rates.get(a) or (self.default_rate * c)
+            for a, c in st.capacities.items()
+        )
+        pending_pts = sum(b - a for a, b in st.pending) + (
+            st.n - st.covered - sum(i[1] - i[0] for i in st.inflight.values())
+        )
+        share = (
+            int(pending_pts * rate / total) if total > 0 else pending_pts
+        )
+        cap = self.max_span_points
+        if cap is None:
+            # At least two spans per host so the tail can be stolen.
+            cap = max(
+                self.min_span_points,
+                -(-st.n // (2 * max(1, len(st.capacities)))),
+            )
+        return max(self.min_span_points, min(share, cap))
+
+    def _record_reply(
+        self, st, addr, span_id, start, stop, est, elapsed
+    ) -> None:
+        """Accept a span reply (first-wins) and feed the rate model."""
+        st.inflight.pop(span_id, None)
+        points = stop - start
+        observed = points / max(elapsed, 1e-9)
+        prior = self.rates.get(addr)
+        self.rates[addr] = (
+            observed
+            if prior is None
+            else (1.0 - self.ewma_alpha) * prior + self.ewma_alpha * observed
+        )
+        if _uncovered(st.accepted, start, stop) != [(start, stop)]:
+            # A re-sliced twin beat us to (part of) this range: first
+            # reply wins, later overlapping replies are dropped whole —
+            # accepted spans stay disjoint, so the merge stays a
+            # partition regardless of how much work was duplicated.
+            self.duplicate_replies += 1
+            return
+        st.accepted.append((start, stop, est))
+        st.covered += points
+
+    def _requeue_host(self, st, addr) -> None:
+        """Return a dead host's uncovered in-flight ranges to pending."""
+        for span_id in [
+            k for k, v in st.inflight.items() if v[2] == addr
+        ]:
+            start, stop, *_ = st.inflight.pop(span_id)
+            for frag in reversed(_uncovered(st.accepted, start, stop)):
+                st.pending.appendleft(frag)
+
+    def _reslice_overdue(self, st) -> None:
+        """Split overdue in-flight spans onto the queue for idle hosts.
+
+        Called under the wave lock, only when nothing is pending (idle
+        hosts should drain real work first).  Each overdue span is
+        re-sliced once: its uncovered range is halved (when both halves
+        clear the minimum) and duplicated — the original stays in
+        flight, and whichever reply lands first wins its range.
+        """
+        if st.pending:
+            return
+        now = time.monotonic()
+        pushed = False
+        for info in st.inflight.values():
+            start, stop, addr, t0, resliced = info
+            if resliced:
+                continue
+            rate = self.rates.get(addr) or (
+                self.default_rate * st.capacities.get(addr, 1)
+            )
+            expected = (stop - start) / max(rate, 1e-9)
+            if now - t0 < max(self.overdue_factor * expected, self.min_overdue):
+                continue
+            for a, b in _uncovered(st.accepted, start, stop):
+                mid = (a + b) // 2
+                if (
+                    mid - a >= self.min_span_points
+                    and b - mid >= self.min_span_points
+                ):
+                    st.pending.append((a, mid))
+                    st.pending.append((mid, b))
+                else:
+                    st.pending.append((a, b))
+                pushed = True
+            info[4] = True
+            self.spans_resliced += 1
+        if pushed:
+            st.cond.notify_all()

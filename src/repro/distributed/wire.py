@@ -57,8 +57,10 @@ OP_EVAL = "eval"
 OP_VALUES = "values"
 OP_SHARD_CONTEXT = "shard_context"
 OP_SHARD = "shard"
+OP_SPAN = "span"
 OP_MISS = "miss"
 OP_ESTIMATE = "estimate"
+OP_SPAN_ESTIMATE = "span_estimate"
 OP_SHUTDOWN = "shutdown"
 
 #: Ops exchanged by the handshake itself (handled in this module).
@@ -72,6 +74,7 @@ REQUEST_OPS = (
     OP_EVAL,
     OP_SHARD_CONTEXT,
     OP_SHARD,
+    OP_SPAN,
     OP_SHUTDOWN,
 )
 
@@ -83,6 +86,7 @@ REPLY_OPS = (
     OP_VALUES,
     OP_MISS,
     OP_ESTIMATE,
+    OP_SPAN_ESTIMATE,
     OP_ERROR,
 )
 

@@ -20,7 +20,11 @@ transport holds per process:
 Replies to ``op=shard`` carry the full :class:`CMEEstimate` — solver
 and congruence ``TesterStats`` included — so the coordinator's
 ``merge_estimates`` keeps the accuracy-regression counters live across
-hosts exactly as it does across local shard processes.
+hosts exactly as it does across local shard processes.  ``op=span`` is
+the same job addressed by a coordinator-issued span id: the reply
+echoes the id (duplicate suppression under straggler re-slicing) and
+reports worker-side compute seconds for the coordinator's per-host
+throughput model (see :mod:`repro.distributed.shardclient`).
 
 Workers are stateless between connections and never touch the memo
 store: deduplication against past runs happens coordinator-side, which
@@ -34,6 +38,7 @@ import pickle
 import socket
 import socketserver
 import threading
+import time
 from collections import OrderedDict
 
 from repro.distributed import wire
@@ -126,39 +131,69 @@ class _Session:
             )
         return {"op": wire.OP_OK}
 
-    def _op_shard(self, msg: dict) -> dict:
+    def _classify_span(self, msg: dict):
+        """Shared span classification behind ``shard`` and ``span`` ops.
+
+        Returns either the :class:`CMEEstimate` or a ``miss`` reply
+        frame (worker lacks the bundle and the message carried no blob
+        — the ``_ContextMiss`` retry, over the wire).  Raises on a
+        missing shard context; callers translate uniformly.
+        """
         from repro.cme.sampling import estimate_at_points
 
         ctx = self.shard_ctx
         if ctx is None:
-            return {"op": wire.OP_ERROR, "message": "no shard context installed"}
+            raise RuntimeError("no shard context installed")
         token = msg["token"]
         bundle = sharding.bundle_cache_get(self.bundles, token)
         if bundle is None:
             blob = msg.get("blob")
             if blob is None:
-                # The _ContextMiss retry path, over the wire: the
-                # client resends the span with the bundle attached.
                 return {"op": wire.OP_MISS, "token": token}
             bundle = pickle.loads(blob)
             sharding.bundle_cache_put(self.bundles, token, bundle, BUNDLE_CACHE_SIZE)
         program, layout, candidates = bundle
         start, stop = msg["start"], msg["stop"]
         if self.shard_pool is not None:
-            est = self.shard_pool.estimate(
+            return self.shard_pool.estimate(
                 program, layout, candidates, token, span=(start, stop)
             )
-        else:
-            est = estimate_at_points(
-                program,
-                layout,
-                ctx.cache,
-                list(ctx.points[start:stop]),
-                ctx.confidence,
-                candidates,
-                cascade_budgets=ctx.cascade_budgets,
-            )
+        return estimate_at_points(
+            program,
+            layout,
+            ctx.cache,
+            list(ctx.points[start:stop]),
+            ctx.confidence,
+            candidates,
+            cascade_budgets=ctx.cascade_budgets,
+        )
+
+    def _op_shard(self, msg: dict) -> dict:
+        est = self._classify_span(msg)
+        if isinstance(est, dict):
+            return est  # miss frame
         return {"op": wire.OP_ESTIMATE, "estimate": est}
+
+    def _op_span(self, msg: dict) -> dict:
+        """A shard job addressed by coordinator span id, with timing.
+
+        Same classification as ``op=shard``; the reply echoes the
+        coordinator's ``span_id`` (first-reply-wins duplicate
+        suppression keys on it) and reports the worker-side compute
+        seconds, which feed the coordinator's per-host throughput model
+        (EWMA points/sec) without network jitter baked in.
+        """
+        t0 = time.monotonic()
+        est = self._classify_span(msg)
+        if isinstance(est, dict):
+            est["span_id"] = msg.get("span_id")
+            return est  # miss frame
+        return {
+            "op": wire.OP_SPAN_ESTIMATE,
+            "span_id": msg.get("span_id"),
+            "estimate": est,
+            "elapsed": time.monotonic() - t0,
+        }
 
 
 class _Handler(socketserver.BaseRequestHandler):

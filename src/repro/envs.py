@@ -156,6 +156,25 @@ HOSTS = _register(
     "is bit-identical to local.",
 )
 
+def _dispatch_mode(raw: str) -> str:
+    if raw not in ("auto", "candidates", "spans"):
+        raise ValueError(
+            f"expected auto|candidates|spans, got {raw!r}"
+        )
+    return raw
+
+
+SHARD_DISPATCH = _register(
+    "REPRO_SHARD_DISPATCH",
+    _dispatch_mode,
+    "auto",
+    help="Cluster dispatch plane: 'candidates' chunks the wave across "
+    "hosts, 'spans' fans each candidate's CME sample across the fleet "
+    "(RemoteShardPool), 'auto' (default) picks per wave — spans when "
+    "the wave is narrower than the fleet and the sample is large.  "
+    "Pure wall-clock knob: every plane is bit-identical.",
+)
+
 CLUSTER_TIMEOUT = _register(
     "REPRO_CLUSTER_TIMEOUT",
     float,

@@ -23,15 +23,44 @@ Values = tuple[int, ...]
 
 _WORKER_FN: Callable[[Values], float] | None = None
 
+#: One-entry wave-payload memo: the current wave's candidate list,
+#: keyed by its monotonically increasing wave id.  NEVER key this by
+#: the shm descriptor (segment name): wave frames come out of a
+#: reusable :class:`repro.evaluation.shm.ShmArena`, so the same
+#: segment name carries *different* candidate lists over time.
+_WAVE_CACHE: dict[int, list] = {}
+
 
 def _init_worker(fn: Callable[[Values], float]) -> None:
     global _WORKER_FN
     _WORKER_FN = fn
+    _WAVE_CACHE.clear()
 
 
 def _eval_in_worker(values: Values) -> float:
     assert _WORKER_FN is not None, "worker used before initialisation"
     return _WORKER_FN(values)
+
+
+def _eval_wave_span(task) -> list[float]:
+    """Evaluate one ``candidates[start:stop]`` slice of a wave frame.
+
+    ``task = (desc, wave_id, start, stop)``: the wave's deduplicated
+    candidate list rides ONE creator-owned shm frame per wave instead
+    of one pickled tuple per task; each worker fetches and unpickles it
+    at most once per wave (memoised by wave id), so follow-up spans of
+    the same wave carry ~60 bytes.
+    """
+    desc, wave_id, start, stop = task
+    assert _WORKER_FN is not None, "worker used before initialisation"
+    wave = _WAVE_CACHE.get(wave_id)
+    if wave is None:
+        from repro.evaluation import shm
+
+        wave = pickle.loads(shm.fetch(desc, unlink=False))
+        _WAVE_CACHE.clear()  # one wave in flight at a time
+        _WAVE_CACHE[wave_id] = wave
+    return [float(_WORKER_FN(v)) for v in wave[start:stop]]
 
 
 @runtime_checkable
@@ -65,8 +94,11 @@ class Evaluator:
         self.cache: dict[Values, float] = {}
         self.calls = 0
         self.new_solves = 0
+        self.shm_waves = 0
         self.parallel_fallback = False
         self._pool: ProcessPoolExecutor | None = None
+        self._wave_arena = None
+        self._wave_seq = 0
 
     # -- single-candidate path (back-compat) -------------------------------
     def __call__(self, values: Values) -> float:
@@ -97,8 +129,51 @@ class Evaluator:
         if self.workers > 1 and len(missing) > 1:
             pool = self._ensure_pool()
             if pool is not None:
+                values = self._evaluate_wave_shm(pool, missing)
+                if values is not None:
+                    return values
                 return list(pool.map(_eval_in_worker, missing))
         return [self._fn(v) for v in missing]
+
+    def _evaluate_wave_shm(
+        self, pool: ProcessPoolExecutor, missing: list[Values]
+    ) -> list[float] | None:
+        """Fan the wave out through one shared-memory frame, or decline.
+
+        The deduplicated candidate list is published once per wave (on
+        a reusable arena slot) and addressed by ``[start, stop)`` span
+        tasks — the candidate-plane analogue of the point-shard frame
+        transport.  Returns ``None`` (caller uses the pickled-task
+        path) when shared memory is off or unavailable; span order
+        equals candidate order, so the flattened result is
+        position-identical to the serial path.
+        """
+        # Function-level import: repro.evaluation.__init__ imports this
+        # module, so a top-level import of a sibling would be circular.
+        from repro.evaluation import shm
+        from repro.evaluation.sharding import shard_spans
+
+        if not shm.shm_enabled():
+            return None
+        if self._wave_arena is None:
+            self._wave_arena = shm.ShmArena()
+        desc = self._wave_arena.publish(pickle.dumps(missing))
+        if desc[0] != shm.SHM:
+            return None  # inline fallback: nothing gained over plain map
+        wave_id = self._wave_seq
+        self._wave_seq += 1
+        # A few spans per worker so a straggling chunk can't serialise
+        # the wave's tail.
+        spans = shard_spans(len(missing), self.workers * 4)
+        try:
+            tasks = [(desc, wave_id, a, b) for a, b in spans]
+            chunks = list(pool.map(_eval_wave_span, tasks))
+        finally:
+            # Wave frames are creator-unlink (every worker reads the
+            # same segment): all chunks gathered means all readers done.
+            self._wave_arena.release(desc)
+        self.shm_waves += 1
+        return [v for chunk in chunks for v in chunk]
 
     def _ensure_pool(self) -> ProcessPoolExecutor | None:
         if self.parallel_fallback:
@@ -138,6 +213,9 @@ class Evaluator:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._wave_arena is not None:
+            self._wave_arena.close()
+            self._wave_arena = None
 
     def __enter__(self) -> "Evaluator":
         return self
@@ -146,9 +224,12 @@ class Evaluator:
         self.close()
 
     def __getstate__(self):
-        # Workers receive a pool-less copy (executors don't pickle).
+        # Workers receive a pool-less copy (executors and the arena's
+        # lock don't pickle; a copy must not share — or on close,
+        # unlink — the parent's arena slots either).
         state = self.__dict__.copy()
         state["_pool"] = None
+        state["_wave_arena"] = None
         return state
 
 

@@ -322,6 +322,11 @@ class ShardPool:
         self.shm_bytes = 0
         self.calls = 0
         self._shipped: set[str] = set()
+        # Bundle frames are periodic (one per new token, reader-shared,
+        # creator-unlinked) — exactly the traffic a reusable-segment
+        # arena absorbs: slot reuse instead of a create/unlink syscall
+        # pair per frame.
+        self._arena = shm.ShmArena()
         self._pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_pool_worker,
@@ -373,7 +378,9 @@ class ShardPool:
         ]
         bundle_desc = None
         if token not in self._shipped:
-            bundle_desc = shm.publish(pickle.dumps((program, layout, candidates)))
+            bundle_desc = self._arena.publish(
+                pickle.dumps((program, layout, candidates))
+            )
         try:
             tasks = [(token, bundle_desc, start, stop) for start, stop in spans]
             futures = [self._pool.submit(_classify_span, t) for t in tasks]
@@ -393,7 +400,7 @@ class ShardPool:
                     # or freshly grown pool): resend with the bundle
                     # attached — all retries in flight, then gathered.
                     if bundle_desc is None:
-                        bundle_desc = shm.publish(
+                        bundle_desc = self._arena.publish(
                             pickle.dumps((program, layout, candidates))
                         )
                         if bundle_desc[0] == shm.SHM:
@@ -411,7 +418,7 @@ class ShardPool:
                 # done (futures gathered), so drop the segment now.
                 if bundle_desc[0] == shm.SHM:
                     self.shm_bytes += bundle_desc[2]
-                shm.release(bundle_desc)
+                self._arena.release(bundle_desc)
         self._shipped.add(token)
         self.calls += 1
         self.last_payload_bytes = sent
@@ -433,3 +440,4 @@ class ShardPool:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        self._arena.close()

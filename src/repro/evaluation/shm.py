@@ -43,6 +43,7 @@ ownership lives elsewhere — the standard workaround until the
 from __future__ import annotations
 
 import pickle
+import threading
 
 from repro import envs
 
@@ -143,6 +144,125 @@ def desc_bytes(desc: tuple) -> int:
     """Payload bytes a descriptor stands for (accounting probe)."""
     tag, *rest = desc
     return len(rest[0]) if tag == INLINE else rest[1]
+
+
+class ShmArena:
+    """A small ring of reusable creator-owned segments.
+
+    Per-frame :func:`publish`/:func:`release` costs two syscalls per
+    frame each side (``shm_open``+``shm_unlink`` create/destroy a
+    ``/dev/shm`` file every time).  Frame traffic on the hot dispatch
+    paths is *periodic* — one bundle per wave, one reply per shard —
+    so an arena of a few slots absorbs almost all of it: ``publish``
+    hands out a **free slot** that is at least as big as the payload
+    (the descriptor carries the true payload length, so readers are
+    oblivious to the slack), and ``release`` just marks the slot free
+    again instead of unlinking.
+
+    Slots are created on demand up to ``slots``; an undersized free
+    slot is replaced in place (unlink + create) rather than leaked.
+    When every slot is busy the frame silently degrades to a plain
+    per-frame :func:`publish` — correctness never depends on arena
+    capacity — and :func:`release` recognises foreign descriptors and
+    forwards them.  ``creates``/``reuses``/``fallbacks`` count the
+    syscall savings for the benchmarks.
+
+    Readers use the ordinary creator-unlink protocol
+    (``fetch(desc, unlink=False)``); the one thing a consumer must NOT
+    do is key any cache by segment *name* — slots are recycled, so the
+    same name will carry different payloads over time.  Key by a
+    monotonically increasing id instead (see the eval-wave cache in
+    :mod:`repro.evaluation.batch`).
+    """
+
+    def __init__(self, slots: int = 8):
+        self.max_slots = max(1, int(slots))
+        #: name -> [size, free]
+        self._slots: dict[str, list] = {}
+        self._lock = threading.Lock()
+        self.creates = 0
+        self.reuses = 0
+        self.fallbacks = 0
+
+    def publish(self, data: bytes) -> tuple:
+        """An arena-backed descriptor for ``data`` (or a fallback)."""
+        if not shm_enabled() or not data:
+            return (INLINE, data)
+        with self._lock:
+            # Best-fit among free slots that are big enough.
+            fit = None
+            for name, slot in self._slots.items():
+                if slot[1] and slot[0] >= len(data):
+                    if fit is None or slot[0] < self._slots[fit][0]:
+                        fit = name
+            if fit is not None:
+                try:
+                    seg = shared_memory.SharedMemory(name=fit)
+                except FileNotFoundError:  # pragma: no cover - vanished
+                    del self._slots[fit]
+                else:
+                    seg.buf[: len(data)] = data
+                    # No _untrack here: this process IS the creator, so
+                    # the tracker registration (a set, so re-attaching
+                    # does not duplicate it) should stand until the
+                    # final unlink unregisters it.
+                    seg.close()
+                    self._slots[fit][1] = False
+                    self.reuses += 1
+                    return (SHM, fit, len(data))
+            # No fitting free slot: make room by replacing an undersized
+            # free slot, or grow the ring while it is under capacity.
+            victim = next(
+                (n for n, s in self._slots.items() if s[1]), None
+            )
+            if len(self._slots) >= self.max_slots and victim is None:
+                self.fallbacks += 1
+                return publish(data)
+            if victim is not None and len(self._slots) >= self.max_slots:
+                del self._slots[victim]
+                release((SHM, victim, 0))
+            try:
+                # Page-align the slot size so slightly-bigger payloads
+                # still reuse it.
+                size = -(-len(data) // 4096) * 4096
+                seg = shared_memory.SharedMemory(create=True, size=size)
+            except OSError:  # pragma: no cover - /dev/shm exhausted
+                self.fallbacks += 1
+                return (INLINE, data)
+            seg.buf[: len(data)] = data
+            self._slots[seg.name] = [size, False]
+            self.creates += 1
+            name = seg.name
+            seg.close()
+            return (SHM, name, len(data))
+
+    def release(self, desc: tuple) -> None:
+        """Mark an arena frame's slot free (foreign frames forward)."""
+        tag, *rest = desc
+        if tag != SHM:
+            return
+        with self._lock:
+            slot = self._slots.get(rest[0])
+            if slot is not None:
+                slot[1] = True
+                return
+        release(desc)
+
+    def close(self) -> None:
+        """Unlink every slot (the ring's creator-side teardown)."""
+        with self._lock:
+            names = list(self._slots)
+            self._slots.clear()
+        for name in names:
+            release((SHM, name, 0))
+
+    def stats(self) -> dict:
+        """Syscall-savings counters (benchmark probe)."""
+        return {
+            "creates": self.creates,
+            "reuses": self.reuses,
+            "fallbacks": self.fallbacks,
+        }
 
 
 def publish_pickle(obj, *, owner: bool = True) -> tuple:

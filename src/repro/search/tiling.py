@@ -177,6 +177,8 @@ def search_tiling(
     backend: str | None = None,
     hosts=None,
     memo_path: str | None = None,
+    shard_dispatch: str | None = None,
+    hosts_source=None,
 ) -> TilingSearchOutcome:
     """Minimise sampled replacement misses for ``nest`` with any strategy.
 
@@ -194,8 +196,12 @@ def search_tiling(
     (defaulting to ``REPRO_HOSTS`` via the CLI).  ``memo_path`` points
     either backend at a persistent :class:`repro.distributed.MemoStore`
     so no run ever re-solves a candidate any prior run against the
-    same (kernel, cache, sampling, seed) fingerprint solved.  All
-    backends yield bit-identical trajectories — see
+    same (kernel, cache, sampling, seed) fingerprint solved.
+    ``shard_dispatch`` picks the cluster dispatch plane
+    (``auto|candidates|spans``, default ``REPRO_SHARD_DISPATCH``) and
+    ``hosts_source`` — a zero-argument callable returning the current
+    ``--hosts`` spec — lets workers join an elastic fleet mid-wave.
+    All backends yield bit-identical trajectories — see
     :mod:`repro.distributed`.
     """
     import hashlib
@@ -243,6 +249,8 @@ def search_tiling(
             workers=workers,
             memo_path=memo_path,
             fingerprint=fingerprint,
+            shard_dispatch=shard_dispatch,
+            hosts_source=hosts_source if backend == "cluster" else None,
         )
     else:
         objective = TilingObjective(analyzer, workers=workers)

@@ -1,0 +1,493 @@
+"""Span dispatch: RemoteShardPool determinism, elasticity, loss.
+
+The acceptance suite for the cluster's second dispatch plane:
+
+* any span partition, arrival order, re-slice or duplication merges to
+  the bit-identical unsharded ``CMEEstimate`` — ``TesterStats`` (incl.
+  budget-exhaustion ``unknown`` counters) included;
+* a worker can die mid-span (its uncovered ranges complete elsewhere)
+  and a worker can *join* mid-wave (``hosts_source`` re-resolution);
+* losing the whole fleet surfaces the accepted parts so the evaluator
+  completes the remainder locally, never recomputing remote work;
+* the ``ClusterClient`` reconnect backoff clears on a successful
+  handshake and ``update_hosts`` adds/removes addresses safely.
+"""
+
+import pickle
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cme.sampling import estimate_at_points, sample_original_points
+from repro.distributed import (
+    DistributedEvaluator,
+    RemoteShardPool,
+    SpanWaveIncomplete,
+    choose_dispatch,
+)
+from repro.distributed.client import ClusterClient
+from repro.distributed.shardclient import _uncovered
+from repro.distributed.worker import WorkerServer
+from repro.evaluation.sharding import ShardContext, merge_estimates
+from repro.ga.objective import SampledTilingFn
+from repro.ir.program import program_from_nest
+from repro.layout.memory import MemoryLayout
+from tests.conftest import make_small_mm, make_small_transpose
+
+CACHE = CacheConfig(1024, 32, 1)
+
+#: Tight cascade budgets: enough exhaustion to keep the `unknown`
+#: accuracy-regression counter non-zero, so the merge tests prove the
+#: counter survives span dispatch.
+TIGHT_BUDGETS = {
+    "enum_limit": 8,
+    "partial_limit": 8,
+    "abs_search_budget": 2,
+    "line_candidate_limit": 4,
+}
+
+
+def _serve():
+    srv = WorkerServer(port=0, capacity=1)
+    thread = threading.Thread(
+        target=lambda: srv.serve_forever(poll_interval=0.05), daemon=True
+    )
+    thread.start()
+    return srv
+
+
+@pytest.fixture()
+def servers():
+    pool = [_serve() for _ in range(2)]
+    try:
+        yield pool
+    finally:
+        for srv in pool:
+            srv.shutdown()
+            srv.server_close()
+
+
+def _span_fixture(n_points=64):
+    nest = make_small_transpose(16)
+    layout = MemoryLayout(nest.arrays())
+    program = program_from_nest(nest)
+    points = sample_original_points(nest, n_points, 0)
+    ctx = ShardContext(cache=CACHE, confidence=0.90, points=tuple(points))
+    bundle = pickle.dumps((program, layout, None))
+    ref = estimate_at_points(program, layout, CACHE, points)
+    return ctx, bundle, ref
+
+
+# -- dispatch-mode policy ------------------------------------------------------
+
+def test_choose_dispatch_auto_picks_spans_for_narrow_heavy_waves():
+    # narrower than the fleet AND >= 2 * MIN_SHARD_POINTS per host
+    assert choose_dispatch("auto", 1, 1000, 4) == "spans"
+    # wave as wide as the fleet: candidate chunks keep every host busy
+    assert choose_dispatch("auto", 4, 1000, 4) == "candidates"
+    # sample too small to pay for span overhead
+    assert choose_dispatch("auto", 1, 20, 4) == "candidates"
+
+
+def test_choose_dispatch_forced_modes_and_degradation():
+    assert choose_dispatch("spans", 10, 10_000, 2) == "spans"
+    assert choose_dispatch("candidates", 1, 10_000, 2) == "candidates"
+    # forced spans still degrades when it cannot work
+    assert choose_dispatch("spans", 1, 10_000, 2, shardable=False) == (
+        "candidates"
+    )
+    assert choose_dispatch("spans", 1, 10_000, 0) == "candidates"
+    with pytest.raises(ValueError, match="unknown dispatch mode"):
+        choose_dispatch("sideways", 1, 10, 1)
+
+
+def test_uncovered_range_arithmetic():
+    accepted = [(0, 8, None), (16, 24, None)]
+    assert _uncovered(accepted, 0, 32) == [(8, 16), (24, 32)]
+    assert _uncovered(accepted, 0, 8) == []
+    assert _uncovered(accepted, 4, 20) == [(8, 16)]
+    assert _uncovered([], 5, 9) == [(5, 9)]
+
+
+# -- merge determinism (property) ---------------------------------------------
+
+#: Congruence-tier *effort* counters: they count classification queries,
+#: and the classification memo is scoped to one ``estimate_at_points``
+#: call — splitting a sample re-queries classes that straddle a cut, so
+#: these counters measure work actually performed (they can only grow
+#: under re-slicing).  Every *outcome* field — per-ref counts, hit
+#: model, per-point solver counters, and the budget-exhaustion
+#: ``unknown`` accuracy counter — is partition-invariant, and that is
+#: the contract span dispatch pins.
+EFFORT_COUNTERS = ("subgroup", "recursive", "line_queries")
+
+
+def _outcome_view(est):
+    """The estimate minus the per-call effort counters (see above)."""
+    import dataclasses
+
+    congruence = {
+        k: v
+        for k, v in est.solver_stats.congruence.items()
+        if k not in EFFORT_COUNTERS
+    }
+    stats = dataclasses.replace(est.solver_stats, congruence=congruence)
+    return dataclasses.replace(est, solver_stats=stats)
+
+
+def test_any_partition_any_arrival_order_merges_bit_identically():
+    """Property: for random span partitions of the sample and random
+    reply arrival orders, sorting accepted spans by start and merging
+    (exactly what RemoteShardPool does) reproduces the unsharded
+    estimate bit-for-bit — per-ref counts, per-point solver stats and
+    the congruence `unknown` exhaustion counter included.  Only the
+    per-call classification-effort counters (EFFORT_COUNTERS) may
+    differ: they count queries against a per-call memo, and spans are
+    separate calls by construction."""
+    nest = make_small_mm(16)
+    layout = MemoryLayout(nest.arrays())
+    program = program_from_nest(nest)
+    points = sample_original_points(nest, 48, 0)
+    ref = estimate_at_points(
+        program, layout, CACHE, points, cascade_budgets=TIGHT_BUDGETS
+    )
+    assert ref.solver_stats.congruence["unknown"] > 0
+    rng = random.Random(0xC0FFEE)
+    n = len(points)
+    for _trial in range(5):
+        n_cuts = rng.randrange(1, 8)
+        cuts = sorted(rng.sample(range(1, n), n_cuts))
+        bounds = [0, *cuts, n]
+        spans = list(zip(bounds, bounds[1:]))
+        parts = [
+            (start, stop, estimate_at_points(
+                program, layout, CACHE, points[start:stop],
+                cascade_budgets=TIGHT_BUDGETS,
+            ))
+            for start, stop in spans
+        ]
+        rng.shuffle(parts)  # arrival order
+        merged = merge_estimates(
+            [est for _s, _t, est in sorted(parts, key=lambda p: p[0])]
+        )
+        assert _outcome_view(merged) == _outcome_view(ref)
+        assert merged.solver_stats.congruence["unknown"] == (
+            ref.solver_stats.congruence["unknown"]
+        )
+
+
+# -- RemoteShardPool over live sockets ----------------------------------------
+
+def test_span_wave_is_bit_identical_and_sized_by_throughput(servers):
+    ctx, bundle, ref = _span_fixture()
+    client = ClusterClient([srv.address for srv in servers])
+    pool = RemoteShardPool(client, max_span_points=8)
+    try:
+        est = pool.estimate(pickle.dumps(ctx), "tok", bundle, 64)
+    finally:
+        client.close()
+    assert est == ref
+    stats = pool.stats()
+    assert stats["span_waves"] == 1
+    assert stats["spans_dispatched"] >= 64 // 8
+    # both hosts fed the throughput model
+    assert len(pool.rates) == 2
+    assert all(rate > 0 for rate in pool.rates.values())
+
+
+def test_repeat_waves_reuse_bundles_and_rates(servers):
+    ctx, bundle, ref = _span_fixture()
+    client = ClusterClient([srv.address for srv in servers])
+    pool = RemoteShardPool(client, max_span_points=16)
+    try:
+        first = pool.estimate(pickle.dumps(ctx), "tok", bundle, 64)
+        second = pool.estimate(pickle.dumps(ctx), "tok", bundle, 64)
+    finally:
+        client.close()
+    assert first == ref and second == ref
+    assert pool.span_waves == 2
+
+
+def test_worker_joins_mid_wave(servers):
+    """An address the host source reveals mid-wave is connected, gets
+    the context lazily, and pulls spans — and the result is still
+    bit-identical."""
+    ctx, bundle, ref = _span_fixture(n_points=128)
+    first, second = (srv.address for srv in servers)
+    replies = [0]
+
+    def hosts_source():
+        return [first, second] if replies[0] >= 2 else [first]
+
+    client = ClusterClient([first])
+    pool = RemoteShardPool(
+        client,
+        hosts_source=hosts_source,
+        max_span_points=8,
+        rejoin_interval=0.0,
+        check_interval=0.01,
+    )
+    record = pool._record_reply
+
+    def counting_record(st, addr, span_id, start, stop, est, elapsed):
+        replies[0] += 1
+        record(st, addr, span_id, start, stop, est, elapsed)
+
+    pool._record_reply = counting_record
+    try:
+        est = pool.estimate(pickle.dumps(ctx), "tok", bundle, 128)
+    finally:
+        client.close()
+    assert est == ref
+    assert pool.joined_hosts == 1
+    assert len(client.hosts) == 2  # update_hosts re-pointed the client
+
+
+def test_fleet_loss_mid_wave_surfaces_partial_parts(servers):
+    """Killing every connection mid-wave raises SpanWaveIncomplete
+    whose parts+missing partition the sample — local completion merges
+    back to the bit-identical whole."""
+    ctx, bundle, ref = _span_fixture(n_points=128)
+    client = ClusterClient([srv.address for srv in servers])
+    pool = RemoteShardPool(client, max_span_points=8)
+    record = pool._record_reply
+    replies = [0]
+
+    def sabotage(st, addr, span_id, start, stop, est, elapsed):
+        record(st, addr, span_id, start, stop, est, elapsed)
+        replies[0] += 1
+        if replies[0] == 3:  # accepted some, plenty outstanding
+            for conn in client._conns.values():
+                if conn is not None:
+                    conn.sock.close()
+
+    pool._record_reply = sabotage
+    with pytest.raises(SpanWaveIncomplete) as info:
+        pool.estimate(pickle.dumps(ctx), "tok", bundle, 128)
+    client.close()
+    exc = info.value
+    assert exc.parts and exc.missing
+    covered = sorted(
+        [(s, t) for s, t, _e in exc.parts] + list(exc.missing)
+    )
+    # parts + missing tile [0, n) exactly: no gap, no overlap
+    assert covered[0][0] == 0 and covered[-1][1] == 128
+    assert all(a[1] == b[0] for a, b in zip(covered, covered[1:]))
+    program, layout, _cands = pickle.loads(bundle)
+    local = [
+        (start, stop, estimate_at_points(
+            program, layout, CACHE, list(ctx.points[start:stop])
+        ))
+        for start, stop in exc.missing
+    ]
+    merged = merge_estimates([
+        est for _s, _t, est in sorted(
+            list(exc.parts) + local, key=lambda p: p[0]
+        )
+    ])
+    assert merged == ref
+
+
+# -- DistributedEvaluator span plane ------------------------------------------
+
+def _tiling_fixture(n_samples=160):
+    from repro.cme.analyzer import LocalityAnalyzer
+
+    nest = make_small_mm(16)
+    analyzer = LocalityAnalyzer(
+        nest, CACHE, n_samples=n_samples, seed=0,
+        cascade_budgets=TIGHT_BUDGETS,
+    )
+    return SampledTilingFn(analyzer)
+
+
+def test_evaluator_span_plane_matches_local(servers):
+    fn = _tiling_fixture()
+    ref = fn((4, 16, 16))
+    ev = DistributedEvaluator(
+        fn, hosts=[srv.address for srv in servers], shard_dispatch="spans"
+    )
+    try:
+        values = ev.evaluate_batch([(4, 16, 16)])
+    finally:
+        ev.close()
+    assert values[0] == ref
+    stats = ev.backend_stats()
+    assert stats["span_solves"] == 1
+    assert stats["remote_solves"] == 1
+    assert stats["local_solves"] == 0
+
+
+def test_evaluator_auto_plane_picks_spans_for_single_candidates(servers):
+    fn = _tiling_fixture()
+    ev = DistributedEvaluator(
+        fn, hosts=[srv.address for srv in servers], shard_dispatch="auto"
+    )
+    try:
+        # one candidate, two hosts, big sample -> spans
+        narrow = ev.evaluate_batch([(4, 16, 16)])
+        # a wide wave goes back to candidate chunks
+        wide = ev.evaluate_batch(
+            [(2, 16, 16), (8, 16, 16), (4, 8, 16), (4, 4, 16)]
+        )
+        stats = ev.backend_stats()
+    finally:
+        ev.close()
+    assert stats["span_solves"] == 1
+    assert stats["remote_solves"] == 5
+    assert narrow[0] == _tiling_fixture()((4, 16, 16))
+    assert list(wide) == [
+        _tiling_fixture()(c)
+        for c in [(2, 16, 16), (8, 16, 16), (4, 8, 16), (4, 4, 16)]
+    ]
+
+
+def test_evaluator_completes_span_wave_locally_after_fleet_loss(servers):
+    fn = _tiling_fixture()
+    ref = fn((4, 16, 16))
+    ev = DistributedEvaluator(
+        fn, hosts=[srv.address for srv in servers], shard_dispatch="spans"
+    )
+    ev.shard_pool.max_span_points = 8
+    record = ev.shard_pool._record_reply
+    replies = [0]
+
+    def sabotage(st, addr, span_id, start, stop, est, elapsed):
+        record(st, addr, span_id, start, stop, est, elapsed)
+        replies[0] += 1
+        if replies[0] == 2:
+            for conn in ev.client._conns.values():
+                if conn is not None:
+                    conn.sock.close()
+
+    ev.shard_pool._record_reply = sabotage
+    try:
+        values = ev.evaluate_batch([(4, 16, 16)])
+        stats = ev.backend_stats()
+    finally:
+        ev.close()
+    assert values[0] == ref
+    assert stats["span_local_spans"] > 0
+    assert stats["lost_hosts"] >= 1
+
+
+def test_invalid_shard_dispatch_is_rejected():
+    with pytest.raises(ValueError, match="shard_dispatch"):
+        DistributedEvaluator(lambda v: 0.0, shard_dispatch="sideways")
+
+
+def test_env_knob_sets_the_default_plane(servers, monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_DISPATCH", "candidates")
+    ev = DistributedEvaluator(
+        _tiling_fixture(), hosts=[srv.address for srv in servers]
+    )
+    try:
+        assert ev.shard_dispatch == "candidates"
+    finally:
+        ev.close()
+    monkeypatch.setenv("REPRO_SHARD_DISPATCH", "sideways")
+    with pytest.raises(ValueError, match="REPRO_SHARD_DISPATCH"):
+        DistributedEvaluator(_tiling_fixture(), hosts=[])
+
+
+# -- LoopbackCluster: real processes, real SIGKILL ----------------------------
+
+@pytest.mark.slow
+def test_loopback_span_waves_survive_sigkill_and_elastic_join():
+    """The acceptance scenario end to end, against real worker
+    processes: a healthy span wave is bit-identical to the serial
+    estimate; a wave that loses a worker to SIGKILL mid-span completes
+    bit-identically on the survivor; a worker spawned mid-wave joins
+    the fleet and the wave still merges bit-identically."""
+    from repro.distributed.cluster import LoopbackCluster
+
+    ctx, bundle, ref = _span_fixture(n_points=128)
+    ctx_blob = pickle.dumps(ctx)
+    with LoopbackCluster(2) as cluster:
+        client = ClusterClient(cluster.hosts)
+        pool = RemoteShardPool(
+            client,
+            hosts_source=lambda: cluster.hosts,
+            max_span_points=8,
+            rejoin_interval=0.0,
+            check_interval=0.01,
+        )
+        try:
+            healthy = pool.estimate(ctx_blob, "tok", bundle, 128)
+
+            record = pool._record_reply
+            replies = [0]
+
+            def on_reply(st, addr, span_id, start, stop, est, elapsed):
+                record(st, addr, span_id, start, stop, est, elapsed)
+                replies[0] += 1
+                if replies[0] == 1:
+                    cluster.kill(0)  # SIGKILL mid-wave, spans in flight
+                if replies[0] == 6:
+                    cluster.add_worker()  # elastic join, same wave
+
+            pool._record_reply = on_reply
+            wounded = pool.estimate(ctx_blob, "tok", bundle, 128)
+        finally:
+            client.close()
+    assert healthy == ref
+    assert wounded == ref
+    assert cluster.alive() == 0
+    assert pool.span_waves == 2
+    assert pool.joined_hosts >= 1
+
+
+# -- ClusterClient backoff + elasticity regressions ---------------------------
+
+def _free_addr():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    addr = probe.getsockname()
+    probe.close()
+    return addr
+
+
+def test_reconnect_backoff_clears_on_successful_handshake():
+    """Regression: a host that flapped once must be penalised per
+    incident, not for the rest of the run — the failure clock clears
+    the moment a handshake succeeds."""
+    addr = _free_addr()
+    client = ClusterClient([addr], reconnect_backoff=30.0)
+    assert client.connect() == []  # nothing listening: failure recorded
+    assert addr in client._last_failure
+    srv = WorkerServer(host=addr[0], port=addr[1])
+    thread = threading.Thread(
+        target=lambda: srv.serve_forever(poll_interval=0.05), daemon=True
+    )
+    thread.start()
+    try:
+        # within the backoff window the addr is skipped, even though a
+        # worker now listens...
+        assert client.connect() == []
+        # ...and once the window is lifted, the successful handshake
+        # clears the failure clock entirely.
+        client.reconnect_backoff = 0.0
+        assert len(client.connect()) == 1
+        assert addr not in client._last_failure
+        client.close()
+    finally:
+        srv.shutdown()
+        srv.server_close()
+
+
+def test_update_hosts_adds_and_removes_addresses(servers):
+    a1, a2 = (srv.address for srv in servers)
+    client = ClusterClient([a1])
+    try:
+        assert len(client.connect()) == 1
+        assert client.update_hosts([a1, a2]) == (1, 0)
+        assert len(client.connect()) == 2
+        assert client.update_hosts([a2]) == (0, 1)
+        assert client.hosts == (a2,)
+        conns = client.connect()
+        assert [(c.host, c.port) for c in conns] == [a2]
+    finally:
+        client.close()

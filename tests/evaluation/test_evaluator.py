@@ -134,3 +134,58 @@ def test_close_is_idempotent():
     ev.close()
     # the evaluator still answers after close (cache + serial path)
     assert ev((9,)) == 81.0
+
+
+def test_shm_wave_path_matches_serial_values():
+    """The one-frame-per-wave shm transport is a pure wall-clock
+    optimisation: values, order and cache contents are identical to
+    the serial path, and the waves actually rode shared memory."""
+    from repro.evaluation import shm
+
+    batch = [(i, i + 1) for i in range(16)]
+    serial = Evaluator(_square)
+    parallel = Evaluator(_square, workers=2)
+    try:
+        a = serial.evaluate_batch(batch)
+        b = parallel.evaluate_batch(batch)
+        assert np.array_equal(a, b)
+        assert parallel.cache == serial.cache
+        if shm.shm_enabled():
+            assert parallel.shm_waves == 1
+        # second wave: only new candidates travel, order still holds
+        batch2 = batch + [(99, 7), (98, 6), (97, 5), (96, 4)]
+        assert np.array_equal(
+            serial.evaluate_batch(batch2), parallel.evaluate_batch(batch2)
+        )
+    finally:
+        serial.close()
+        parallel.close()
+
+
+def test_shm_wave_path_declines_when_transport_off(monkeypatch):
+    monkeypatch.setenv("REPRO_SHM_TRANSPORT", "0")
+    ev = Evaluator(_square, workers=2)
+    try:
+        got = ev.evaluate_batch([(i,) for i in range(8)])
+        assert np.array_equal(got, np.array([float(i * i) for i in range(8)]))
+        assert ev.shm_waves == 0
+    finally:
+        ev.close()
+
+
+def test_shm_wave_frames_do_not_leak(tmp_path):
+    import glob
+
+    from repro.evaluation import shm
+
+    if not shm.shm_enabled():
+        pytest.skip("no shared memory")
+    before = set(glob.glob("/dev/shm/*"))
+    ev = Evaluator(_square, workers=2)
+    try:
+        for wave in range(3):
+            ev.evaluate_batch([(wave, i) for i in range(12)])
+        assert ev.shm_waves == 3
+    finally:
+        ev.close()
+    assert set(glob.glob("/dev/shm/*")) == before

@@ -183,3 +183,84 @@ def test_worker_subpool_spans_match_serial(monkeypatch):
         srv.shutdown()
         srv.server_close()
         thread.join(timeout=5)
+
+
+# -- the reusable arena -------------------------------------------------------
+
+@needs_shm
+def test_arena_reuses_slots_and_counts_syscall_savings():
+    """Release + republish recycles the same segment: one create, then
+    pure reuses — the syscall saving the arena exists for."""
+    arena = shm.ShmArena(slots=2)
+    try:
+        first = arena.publish(b"x" * 100)
+        assert first[0] == shm.SHM and first[2] == 100
+        arena.release(first)
+        second = arena.publish(b"y" * 60)  # smaller fits the same slot
+        assert second[1] == first[1]  # same segment name
+        assert second[2] == 60  # true payload length, not slot size
+        assert shm.fetch(second, unlink=False) == b"y" * 60
+        assert arena.stats() == {"creates": 1, "reuses": 1, "fallbacks": 0}
+    finally:
+        arena.close()
+
+
+@needs_shm
+def test_arena_recycles_names_so_caches_must_not_key_by_name():
+    """The documented consumer hazard, pinned: one name, two payloads
+    over time — anything cached by segment name would go stale."""
+    arena = shm.ShmArena(slots=1)
+    try:
+        a = arena.publish(b"wave-one")
+        arena.release(a)
+        b = arena.publish(b"wave-two")
+        assert a[1] == b[1]
+        assert shm.fetch(b, unlink=False) == b"wave-two"
+    finally:
+        arena.close()
+
+
+@needs_shm
+def test_arena_full_ring_degrades_to_plain_frames():
+    """Busy slots never block a publish: the frame falls back to the
+    ordinary per-frame protocol, and release() forwards it there."""
+    before = _segments()
+    arena = shm.ShmArena(slots=1)
+    try:
+        held = arena.publish(b"a" * 64)  # occupies the only slot
+        foreign = arena.publish(b"b" * 64)
+        assert foreign[0] == shm.SHM and foreign[1] != held[1]
+        assert arena.stats()["fallbacks"] == 1
+        assert shm.fetch(foreign, unlink=False) == b"b" * 64
+        arena.release(foreign)  # forwarded to the module-level unlink
+        assert foreign[1] not in _segments()
+    finally:
+        arena.close()
+    assert _segments() == before
+
+
+@needs_shm
+def test_arena_replaces_undersized_free_slot_without_leaking():
+    before = _segments()
+    arena = shm.ShmArena(slots=1)
+    try:
+        small = arena.publish(b"s" * 16)
+        arena.release(small)
+        big = arena.publish(b"B" * 10_000)  # slot too small: replaced
+        assert big[0] == shm.SHM and big[1] != small[1]
+        assert small[1] not in _segments()  # the old slot was unlinked
+        assert shm.fetch(big, unlink=False) == b"B" * 10_000
+        assert arena.stats()["creates"] == 2
+    finally:
+        arena.close()
+    assert _segments() == before
+
+
+def test_arena_inlines_when_transport_is_off(monkeypatch):
+    monkeypatch.setenv("REPRO_SHM_TRANSPORT", "0")
+    arena = shm.ShmArena()
+    assert arena.publish(b"data") == (shm.INLINE, b"data")
+    assert arena.publish(b"") == (shm.INLINE, b"")
+    arena.release((shm.INLINE, b"data"))  # no-op
+    arena.close()
+    assert arena.stats() == {"creates": 0, "reuses": 0, "fallbacks": 0}
