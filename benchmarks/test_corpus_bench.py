@@ -1,0 +1,47 @@
+"""Corpus throughput benchmark: cases/second through the oracle.
+
+The nightly lane budgets ~45 minutes for a ≥300-case sweep; this bench
+keeps the per-case cost visible so a solver or generator regression
+that would blow that budget is caught by the perf gate
+(``benchmarks/check_regression.py``) before the nightly job times out.
+Results land in ``bench_results/BENCH_corpus.json``.
+"""
+
+import time
+
+from benchmarks.conftest import publish, publish_bench_rows
+from repro.corpus.generator import generate_corpus
+from repro.corpus.oracle import run_corpus
+
+
+def test_corpus_sweep_throughput():
+    n = 60
+
+    t0 = time.perf_counter()
+    cases = generate_corpus(0, n)
+    gen_s = time.perf_counter() - t0
+    assert len(cases) == n
+
+    t0 = time.perf_counter()
+    report = run_corpus(0, n)
+    sweep_s = time.perf_counter() - t0
+    assert not report.divergences, report.summary()
+
+    per_case = sweep_s / n
+    rows = [
+        {"config": f"generate_{n}", "wall_s": round(gen_s, 4), "speedup": None},
+        {"config": f"sweep_{n}", "wall_s": round(sweep_s, 4), "speedup": None},
+        {
+            "config": "per_case",
+            "wall_s": round(per_case, 4),
+            "speedup": None,
+        },
+    ]
+    publish_bench_rows("corpus", rows)
+    publish(
+        "corpus_throughput",
+        f"corpus bench: generated {n} cases in {gen_s:.2f}s, "
+        f"swept in {sweep_s:.2f}s ({per_case*1000:.0f} ms/case)",
+    )
+    # A 300-case nightly sweep must fit its CI budget with headroom.
+    assert per_case * 300 < 600, f"sweep too slow: {per_case:.2f}s/case"

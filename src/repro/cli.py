@@ -123,6 +123,10 @@ FLAG_SPEC = {
     "--cascade-abs-budget": ("cascade_abs_budget", int),
     "--baseline": ("baseline", str),
     "--format": ("format", str),
+    "--cases": ("cases", int),
+    "--case": ("case", int),
+    "--out": ("out", str),
+    "--distributed-smoke": ("distributed_smoke", int),
 }
 
 #: Commands understood by :func:`main` (anything else prints the
@@ -130,7 +134,7 @@ FLAG_SPEC = {
 COMMANDS = (
     "search", "portfolio", "serve", "table2", "table3", "table4",
     "figure8", "figure9", "convergence", "validate", "associativity",
-    "all", "kernels", "landscape", "source", "lint",
+    "all", "kernels", "landscape", "source", "lint", "corpus",
 )
 
 
@@ -220,6 +224,106 @@ def _run_search_command(args: list[str], flags: dict) -> int:
     return 0
 
 
+def _run_corpus_command(args: list[str], flags: dict) -> int:
+    """`corpus generate|run|shrink`: the scenario-corpus lane.
+
+    * ``generate`` prints case sources (``--case I`` for one case,
+      ``--cases N`` for a range);
+    * ``run`` sweeps the differential oracle over ``--cases N`` cases,
+      optionally writes the JSON report to ``--out`` and runs the
+      distributed bit-identity smoke over ``--distributed-smoke K``
+      cases; exits 1 on any divergence;
+    * ``shrink I`` reduces diverging case ``I`` to a minimal DSL repro
+      (written to ``--out`` as a regression file when given).
+
+    ``--seed`` defaults to ``REPRO_CORPUS_SEED``, ``--cases`` to
+    ``REPRO_CORPUS_CASES``.
+    """
+    import dataclasses
+
+    from repro import envs
+    from repro.corpus import (
+        generate_case,
+        run_case,
+        run_corpus,
+        shrink_source,
+        write_regression,
+    )
+
+    sub = args[1] if len(args) > 1 else "run"
+    seed = flags.get("seed", envs.CORPUS_SEED.get())
+    n_cases = flags.get("cases", envs.CORPUS_CASES.get())
+
+    if sub == "generate":
+        indices = (
+            [flags["case"]] if "case" in flags else range(n_cases)
+        )
+        for i in indices:
+            case = generate_case(seed, i)
+            print(f"! --- case ({seed}, {i}) geometry={case.geometry.label} "
+                  f"mode={case.mode}")
+            print(case.source)
+        return 0
+
+    if sub == "run":
+        report = run_corpus(
+            seed, n_cases, progress=lambda r: print(r.summary(), flush=True)
+        )
+        print()
+        print(report.summary())
+        out = flags.get("out")
+        if out:
+            with open(out, "w") as fh:
+                fh.write(report.to_json())
+            print(f"report written to {out}")
+        smoke_n = flags.get("distributed_smoke", 0)
+        if smoke_n:
+            from repro.corpus import run_distributed_smoke
+
+            results = run_distributed_smoke(seed, smoke_n)
+            for r in results:
+                verdict = "bit-identical" if r.identical else "MISMATCH"
+                print(f"smoke {r.name}: {len(r.candidates)} candidates "
+                      f"{verdict}")
+            if not all(r.identical for r in results):
+                return 1
+        return 1 if report.divergences else 0
+
+    if sub == "shrink":
+        if len(args) < 3:
+            raise SystemExit("usage: corpus shrink INDEX [--seed N] [--out PATH]")
+        index = int(args[2])
+        case = generate_case(seed, index)
+        base = run_case(case)
+        if base.ok:
+            print(f"case ({seed}, {index}) does not diverge — nothing to shrink")
+            print(base.summary())
+            return 0
+
+        def diverges(src: str) -> bool:
+            return not run_case(
+                dataclasses.replace(case, source=src)
+            ).ok
+
+        minimal = shrink_source(case.source, diverges, name=case.name)
+        print(f"shrunk case ({seed}, {index}) "
+              f"[geometry={case.geometry.label} mode={case.mode}]:")
+        print(minimal)
+        out = flags.get("out")
+        if out:
+            write_regression(
+                out, minimal, case.geometry, case.mode,
+                sample_seed=case.sample_seed,
+                reason=f"shrunk corpus divergence ({seed}, {index})",
+            )
+            print(f"regression written to {out}")
+        return 0
+
+    raise SystemExit(
+        f"unknown corpus subcommand {sub!r} (known: generate, run, shrink)"
+    )
+
+
 def _cascade_knobs():
     """CLI flag → registered cascade-budget env knob (worker-inherited)."""
     from repro import envs
@@ -299,6 +403,9 @@ def main(argv: list[str] | None = None) -> int:
             host=flags.get("bind", "127.0.0.1"),
             capacity=flags.get("capacity", 1),
         )
+
+    if what == "corpus":
+        return _run_corpus_command(args, flags)
 
     if what == "search":
         return _run_search_command(args, flags)

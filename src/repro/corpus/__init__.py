@@ -1,0 +1,61 @@
+"""Scenario corpus: generated kernels × cache geometries, differentially
+checked against the exact trace simulator.
+
+This package is the "as many scenarios as you can imagine" axis of the
+roadmap: instead of validating the CME estimator only on the hand-built
+Table 1 kernels, a seeded generator synthesizes hundreds of valid
+parser-DSL loop nests (varied depths, extents, scaled/shifted affine
+subscripts, boundary-condition stencils, multiple read references),
+crosses them with single- and multi-level cache geometries, and a
+differential oracle classifies CME-vs-simulator agreement under the
+documented tolerance policy of :mod:`repro.corpus.oracle` (see
+``docs/CORPUS.md``).  Failing cases are reduced by
+:mod:`repro.corpus.shrink` to minimal standalone DSL repro files
+suitable for check-in under ``tests/corpus/regressions/``.
+
+Every case is reproducible from ``(corpus_seed, index)`` alone.
+"""
+
+from repro.corpus.generator import (
+    CorpusCase,
+    Geometry,
+    generate_case,
+    generate_corpus,
+)
+from repro.corpus.oracle import (
+    CaseReport,
+    CorpusReport,
+    ToleranceClass,
+    nonuniform_fraction,
+    run_case,
+    run_corpus,
+    tolerance_for,
+)
+from repro.corpus.shrink import (
+    RegressionCase,
+    ShrinkError,
+    load_regression,
+    shrink_source,
+    write_regression,
+)
+from repro.corpus.smoke import run_distributed_smoke
+
+__all__ = [
+    "CorpusCase",
+    "Geometry",
+    "generate_case",
+    "generate_corpus",
+    "CaseReport",
+    "CorpusReport",
+    "ToleranceClass",
+    "nonuniform_fraction",
+    "run_case",
+    "run_corpus",
+    "tolerance_for",
+    "RegressionCase",
+    "ShrinkError",
+    "load_regression",
+    "shrink_source",
+    "write_regression",
+    "run_distributed_smoke",
+]

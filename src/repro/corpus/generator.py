@@ -1,0 +1,361 @@
+"""Seeded scenario generator: DSL kernel sources × cache geometries.
+
+Every case is a *source text* in the :mod:`repro.ir.parser` do-loop DSL
+— the corpus deliberately goes through the textual frontend rather than
+building IR objects directly, so each case exercises the parser exactly
+the way a user-authored kernel would.  Generation is deterministic from
+``(corpus_seed, index)``: case ``i`` of seed ``s`` is the same nest and
+geometry on every machine and every run, with no dependence on the
+cases generated before it.
+
+Grammar coverage (see ``docs/CORPUS.md`` for the policy):
+
+* depths 1–3, loop lower bounds 0/1/2, extents spanning exact-mode
+  (full-point classification) and sampled-mode (CRN sample) spaces;
+* plain / shifted / scaled / reversed / two-variable affine subscripts,
+  plus constant subscript dimensions;
+* boundary-condition stencils (same array read at ``x-1, x, x+1``);
+* 1–3 arrays per nest, multiple read references (including same-array
+  group reuse), ``real`` and ``real*4`` element widths;
+* optional ``parameter (nK = …)`` lines feeding bounds and extents;
+* geometries: direct-mapped and k-way single level, plus L1/L2
+  hierarchies via :mod:`repro.simulator.hierarchy`.
+
+Subscripts are *shift-normalised* after drawing: whatever coefficients
+were chosen, a constant is added so the subscript's minimum over the
+loop bounds is exactly the array's Fortran lower bound, and array
+extents are then sized to the subscript maxima.  Every generated source
+therefore parses and validates by construction (asserted at the end of
+:func:`generate_case`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import envs
+from repro.cache.config import CacheConfig
+from repro.ir.affine import AffineExpr
+from repro.ir.parser import parse_nest
+from repro.ir.validate import validate_nest
+
+#: Bump when the generation scheme changes incompatibly: the version is
+#: folded into the RNG seed material, so old (seed, index) case IDs are
+#: never silently re-used for different nests.
+GENERATOR_VERSION = 1
+
+#: Induction-variable pool (outermost first).
+_VARS = ("i", "j", "k")
+
+#: Array-name pool (write target first).
+_ARRAYS = ("a", "b", "c", "d")
+
+#: Hard cap on simulated accesses per case, far under the simulator's
+#: MAX_TRACE_ACCESSES guard — keeps a 300-case sweep tractable.
+MAX_CASE_ACCESSES = 200_000
+
+#: Hard cap on any single array's element count.
+MAX_ARRAY_ELEMENTS = 2_000_000
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """One cache geometry: a single level, or an L1→L2 hierarchy."""
+
+    levels: tuple[CacheConfig, ...]
+
+    def __post_init__(self):
+        if not 1 <= len(self.levels) <= 2:
+            raise ValueError("geometry must have one or two levels")
+
+    @property
+    def l1(self) -> CacheConfig:
+        return self.levels[0]
+
+    @property
+    def multi_level(self) -> bool:
+        return len(self.levels) > 1
+
+    @property
+    def label(self) -> str:
+        """``size:line:assoc`` per level, comma-separated (parseable
+        back by :func:`parse_geometry`)."""
+        return ",".join(
+            f"{c.size_bytes}:{c.line_size}:{c.associativity}"
+            for c in self.levels
+        )
+
+
+def parse_geometry(label: str) -> Geometry:
+    """Inverse of :attr:`Geometry.label`."""
+    levels = []
+    for part in label.split(","):
+        size, line, assoc = (int(x) for x in part.strip().split(":"))
+        levels.append(CacheConfig(size, line, assoc))
+    return Geometry(tuple(levels))
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One generated scenario, fully determined by ``(corpus_seed, index)``.
+
+    ``mode`` is ``"exact"`` (small iteration space: the oracle
+    classifies every point) or ``"sampled"`` (CRN sample of
+    ``PAPER_SAMPLE_SIZE`` points, CI-widened tolerance).
+    ``sample_seed`` seeds the sampled-mode CRN draw.
+    """
+
+    corpus_seed: int
+    index: int
+    source: str
+    geometry: Geometry
+    mode: str
+    sample_seed: int
+
+    @property
+    def name(self) -> str:
+        return f"corpus_s{self.corpus_seed}_c{self.index}"
+
+
+def _case_rng(corpus_seed: int, index: int) -> np.random.Generator:
+    return np.random.default_rng([GENERATOR_VERSION, corpus_seed, index])
+
+
+def _draw_geometry(rng: np.random.Generator) -> Geometry:
+    line = int(rng.choice([16, 32, 32, 64]))
+    assoc = int(rng.choice([1, 1, 1, 2, 2, 4]))
+    # size = line * assoc * sets, sets a power of two in [2, 64]
+    sets = 2 ** int(rng.integers(1, 7))
+    l1 = CacheConfig(line * assoc * sets, line, assoc)
+    if rng.random() < 0.25:
+        l2_line = min(128, line * int(rng.choice([1, 2])))
+        l2_assoc = int(rng.choice([1, 2, 4]))
+        l2_size = l1.size_bytes * int(rng.choice([4, 8]))
+        l2_size = max(l2_size, l2_line * l2_assoc)
+        return Geometry((l1, CacheConfig(l2_size, l2_line, l2_assoc)))
+    return Geometry((l1,))
+
+
+def _draw_extents(
+    rng: np.random.Generator, depth: int, exact_limit: int
+) -> tuple[list[int], str]:
+    """Per-loop extents plus the intended mode for the drawn volume."""
+    if rng.random() < 0.2:
+        lo, hi = 4 * exact_limit, 16 * exact_limit
+        mode = "sampled"
+    else:
+        lo, hi = 48, exact_limit
+        mode = "exact"
+    target = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+    weights = rng.dirichlet(np.ones(depth) * 2.0)
+    extents = [
+        max(2, int(round(np.exp(w * np.log(target))))) for w in weights
+    ]
+    return extents, mode
+
+
+def _draw_subscript(
+    rng: np.random.Generator, var: str, partner: str | None
+) -> AffineExpr:
+    """An un-normalised affine subscript over ``var`` (and maybe a
+    second variable).  The shift-normalisation pass fixes the range."""
+    roll = rng.random()
+    if roll < 0.45:
+        return AffineExpr.var(var)
+    if roll < 0.62:
+        return AffineExpr.var(var) + int(rng.integers(-2, 3))
+    if roll < 0.74:
+        return AffineExpr.var(var, int(rng.choice([2, 3]))) + int(
+            rng.integers(-1, 2)
+        )
+    if roll < 0.84:
+        return AffineExpr.var(var, -1)  # reversed traversal
+    if roll < 0.94 and partner is not None:
+        return AffineExpr.var(var) + AffineExpr.var(partner)
+    return AffineExpr.constant(int(rng.integers(1, 4)))
+
+
+def _normalise(expr: AffineExpr, bounds: dict[str, tuple[int, int]]) -> AffineExpr:
+    """Shift ``expr`` so its minimum over ``bounds`` is exactly 1 (the
+    Fortran array lower bound)."""
+    lo, _hi = expr.range_over(bounds)
+    return expr + (1 - lo)
+
+
+def _render_statement(write, reads) -> str:
+    def fmt(name: str, subs: tuple[AffineExpr, ...]) -> str:
+        return f"{name}({','.join(repr(s) for s in subs)})"
+
+    lhs = fmt(*write)
+    rhs = " + ".join(fmt(*r) for r in reads) if reads else "0"
+    return f"{lhs} = {rhs}"
+
+
+def generate_case(
+    corpus_seed: int, index: int, exact_limit: int | None = None
+) -> CorpusCase:
+    """Generate corpus case ``index`` of ``corpus_seed``.
+
+    ``exact_limit`` is the iteration-point threshold separating exact
+    from sampled oracle mode (default: the ``REPRO_CORPUS_EXACT_POINTS``
+    knob).
+    """
+    if exact_limit is None:
+        exact_limit = envs.CORPUS_EXACT_POINTS.get()
+    rng = _case_rng(corpus_seed, index)
+
+    depth = int(rng.choice([1, 2, 3], p=[0.2, 0.45, 0.35]))
+    loop_vars = _VARS[:depth]
+    extents, _intended_mode = _draw_extents(rng, depth, exact_limit)
+    lowers = [int(rng.choice([0, 1, 1, 1, 2])) for _ in range(depth)]
+    bounds = {
+        v: (lo, lo + ext - 1)
+        for v, lo, ext in zip(loop_vars, lowers, extents)
+    }
+
+    n_arrays = int(rng.integers(1, 4))
+    array_names = list(_ARRAYS[:n_arrays])
+    element_size = int(rng.choice([8, 8, 8, 4]))
+    ranks = {
+        name: int(rng.integers(1, min(depth, 2) + 1))
+        for name in array_names
+    }
+    # The write target gets the deepest rank drawn, so the nest always
+    # has at least one reference walking the full drawn rank.
+    write_name = array_names[0]
+    ranks[write_name] = max(ranks.values())
+
+    def draw_ref(name: str) -> tuple[str, tuple[AffineExpr, ...]]:
+        rank = ranks[name]
+        # Assign variables to dimensions: a random draw without
+        # replacement where possible, so multi-dim arrays are walked by
+        # distinct induction variables (transposed orders included).
+        if rank <= depth:
+            dims_vars = list(
+                rng.choice(depth, size=rank, replace=False)
+            )
+        else:  # pragma: no cover - rank is capped at depth above
+            dims_vars = list(rng.integers(0, depth, size=rank))
+        subs = []
+        for d in dims_vars:
+            var = loop_vars[int(d)]
+            partner = loop_vars[(int(d) + 1) % depth] if depth > 1 else None
+            subs.append(
+                _normalise(_draw_subscript(rng, var, partner), bounds)
+            )
+        return name, tuple(subs)
+
+    write = draw_ref(write_name)
+    reads: list[tuple[str, tuple[AffineExpr, ...]]] = []
+    if rng.random() < 0.35:
+        # Boundary-condition stencil: the same array read at shifted
+        # positions along one dimension (x-1, x, x+1 after
+        # normalisation the offsets become 0, 1, 2).
+        sname = str(rng.choice(array_names))
+        base_name, base_subs = draw_ref(sname)
+        stencil_dim = int(rng.integers(0, len(base_subs)))
+        for off in (0, 1, 2):
+            subs = tuple(
+                s + off if d == stencil_dim else s
+                for d, s in enumerate(base_subs)
+            )
+            reads.append((base_name, subs))
+    n_extra = int(rng.integers(1, 4)) if not reads else int(rng.integers(0, 2))
+    for _ in range(n_extra):
+        reads.append(draw_ref(str(rng.choice(array_names))))
+
+    refs = reads + [write]
+
+    # Size arrays to the normalised subscript maxima.
+    array_extents: dict[str, list[int]] = {}
+    for name, subs in refs:
+        maxima = [expr.range_over(bounds)[1] for expr in subs]
+        cur = array_extents.setdefault(name, [1] * len(subs))
+        for d, hi in enumerate(maxima):
+            cur[d] = max(cur[d], hi)
+    # Arrays nothing references any more (possible when the stencil and
+    # extra-read draws all landed on one array) are dropped.
+    array_names = [n for n in array_names if n in array_extents]
+
+    # Respect the per-case budgets: scale the *loop* extents down if the
+    # accesses or any array overflow the caps (rare; keeps worst-case
+    # sweep time bounded).
+    def _recount() -> int:
+        return int(
+            np.prod([bounds[v][1] - bounds[v][0] + 1 for v in loop_vars])
+        )
+
+    while _recount() * len(refs) > MAX_CASE_ACCESSES or any(
+        int(np.prod(ext)) > MAX_ARRAY_ELEMENTS
+        for ext in array_extents.values()
+    ):
+        widest = max(loop_vars, key=lambda v: bounds[v][1] - bounds[v][0])
+        lo, hi = bounds[widest]
+        if hi == lo:  # pragma: no cover - cannot shrink further
+            break
+        bounds[widest] = (lo, lo + (hi - lo) // 2)
+        merged: dict[str, list[int]] = {}
+        for name, subs in refs:
+            maxima = [expr.range_over(bounds)[1] for expr in subs]
+            cur = merged.setdefault(name, [1] * len(subs))
+            for d, hi_d in enumerate(maxima):
+                cur[d] = max(cur[d], hi_d)
+        array_extents = merged
+
+    # -- render the DSL source -------------------------------------------
+    lines = [f"! corpus case seed={corpus_seed} index={index}"]
+    params: dict[int, str] = {}
+    if rng.random() < 0.4:
+        for d, v in enumerate(loop_vars):
+            pname = f"n{d + 1}"
+            upper = bounds[v][1]
+            if upper not in params and upper > 0:
+                params[upper] = pname
+                lines.append(f"parameter ({pname} = {upper})")
+
+    suffix = "" if element_size == 8 else f"*{element_size}"
+    for name in array_names:
+        exts = ",".join(
+            params.get(e, str(e)) for e in array_extents[name]
+        )
+        lines.append(f"real{suffix} {name}({exts})")
+
+    indent = ""
+    for v in loop_vars:
+        lo, hi = bounds[v]
+        hi_txt = params.get(hi, str(hi))
+        lines.append(f"{indent}do {v} = {lo}, {hi_txt}")
+        indent += "  "
+    lines.append(indent + _render_statement(write, reads))
+    for _ in loop_vars:
+        indent = indent[:-2]
+        lines.append(f"{indent}enddo")
+    source = "\n".join(lines) + "\n"
+
+    # Generator contract: every emitted source parses and validates.
+    nest = parse_nest(source, name=f"corpus_s{corpus_seed}_c{index}")
+    validate_nest(nest)
+
+    mode = "exact" if nest.num_iterations <= exact_limit else "sampled"
+    sample_seed = int(rng.integers(0, 2**31 - 1))
+    return CorpusCase(
+        corpus_seed=corpus_seed,
+        index=index,
+        source=source,
+        geometry=_draw_geometry(rng),
+        mode=mode,
+        sample_seed=sample_seed,
+    )
+
+
+def generate_corpus(
+    corpus_seed: int, n_cases: int, exact_limit: int | None = None
+) -> list[CorpusCase]:
+    """The first ``n_cases`` cases of ``corpus_seed`` in index order."""
+    if n_cases < 1:
+        raise ValueError("n_cases must be >= 1")
+    return [
+        generate_case(corpus_seed, i, exact_limit) for i in range(n_cases)
+    ]

@@ -1,0 +1,236 @@
+"""Automatic shrinking of failing corpus cases to minimal DSL repros.
+
+Given a DSL source and a *predicate* (``source -> bool``, True while
+the case is still "interesting" — e.g. still diverging from the
+simulator under its tolerance class), :func:`shrink_source` greedily
+applies structure-reducing transformations until none preserves the
+predicate:
+
+* drop one read reference,
+* remove one loop entirely (its variable is substituted by the loop's
+  lower bound in every subscript),
+* halve one loop's extent,
+
+re-sizing every array to its minimal valid extents after each step.
+Each candidate is re-rendered through :func:`repro.ir.parser.nest_to_dsl`
+and re-parsed, so the result is always a valid, standalone DSL source —
+small enough to read, and suitable for check-in under
+``tests/corpus/regressions/`` via :func:`write_regression`
+(:func:`load_regression` is the loader the regression test suite uses).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.corpus.generator import Geometry, parse_geometry
+from repro.ir.arrays import Array, ArrayRef
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.parser import nest_to_dsl, parse_nest
+from repro.ir.validate import validate_nest
+
+Predicate = Callable[[str], bool]
+
+
+class ShrinkError(ValueError):
+    """The input source cannot be shrunk (it never satisfied the
+    predicate, or it does not parse)."""
+
+
+def _rebuild(name: str, loops: tuple[Loop, ...], refs) -> LoopNest:
+    """A nest over ``loops``/``refs`` with arrays shrunk to the minimal
+    extents the subscripts require (statement left to the renderer)."""
+    bounds = {l.var: (l.lower, l.upper) for l in loops}
+    extents: dict[str, list[int]] = {}
+    meta: dict[str, Array] = {}
+    for ref in refs:
+        meta.setdefault(ref.array.name, ref.array)
+        cur = extents.setdefault(ref.array.name, [1] * ref.array.rank)
+        for d, expr in enumerate(ref.subscripts):
+            cur[d] = max(cur[d], expr.range_over(bounds)[1])
+    arrays = {
+        aname: Array(
+            aname,
+            tuple(ext),
+            element_size=meta[aname].element_size,
+            order=meta[aname].order,
+        )
+        for aname, ext in extents.items()
+    }
+    new_refs = tuple(
+        ArrayRef(arrays[r.array.name], r.subscripts, r.is_write, pos)
+        for pos, r in enumerate(refs)
+    )
+    return LoopNest(name=name, loops=loops, refs=new_refs)
+
+
+def _variants(nest: LoopNest):
+    """Structure-reduced candidates, most aggressive first."""
+    reads = [r for r in nest.refs if not r.is_write]
+    writes = [r for r in nest.refs if r.is_write]
+
+    # Remove a whole loop: substitute var := lower bound everywhere.
+    if nest.depth > 1:
+        for drop in nest.loops:
+            kept = tuple(l for l in nest.loops if l.var != drop.var)
+            subst = {drop.var: drop.lower}
+            refs = [
+                ArrayRef(
+                    r.array,
+                    tuple(s.substitute(subst) for s in r.subscripts),
+                    r.is_write,
+                    r.position,
+                )
+                for r in nest.refs
+            ]
+            yield _rebuild(nest.name, kept, refs)
+
+    # Drop one read reference (the write must stay: the DSL statement
+    # needs a left-hand side).
+    if len(reads) > 1 or (reads and writes):
+        for skip in range(len(reads)):
+            refs = [r for i, r in enumerate(reads) if i != skip] + writes
+            yield _rebuild(nest.name, nest.loops, refs)
+
+    # Halve one loop's extent.
+    for i, loop in enumerate(nest.loops):
+        if loop.extent > 1:
+            half = Loop(loop.var, loop.lower, loop.lower + (loop.extent - 1) // 2)
+            loops = tuple(
+                half if j == i else l for j, l in enumerate(nest.loops)
+            )
+            yield _rebuild(nest.name, loops, nest.refs)
+
+
+def normalise_source(source: str, name: str = "shrunk") -> str:
+    """Parse and re-render, giving the canonical form shrinking works in."""
+    nest = parse_nest(source, name=name)
+    # Re-render through the default statement printer (reads first,
+    # write last) so every shrink step compares like with like.
+    return nest_to_dsl(_rebuild(name, nest.loops, nest.refs))
+
+
+def shrink_source(
+    source: str,
+    predicate: Predicate,
+    name: str = "shrunk",
+    max_steps: int = 1000,
+) -> str:
+    """Greedily reduce ``source`` while ``predicate`` stays True.
+
+    Returns the minimal re-rendered DSL source.  Raises
+    :class:`ShrinkError` if the predicate does not hold on the
+    (normalised) input — there is nothing to shrink then.
+    """
+    current = normalise_source(source, name=name)
+    if not predicate(current):
+        raise ShrinkError(
+            "predicate does not hold on the normalised input source"
+        )
+    steps = 0
+    made_progress = True
+    while made_progress and steps < max_steps:
+        made_progress = False
+        nest = parse_nest(current, name=name)
+        for variant in _variants(nest):
+            steps += 1
+            try:
+                rendered = nest_to_dsl(variant)
+                reparsed = parse_nest(rendered, name=name)
+                validate_nest(reparsed)
+            except ValueError:
+                continue  # variant left the DSL fragment; try the next
+            if predicate(rendered):
+                current = rendered
+                made_progress = True
+                break
+            if steps >= max_steps:
+                break
+    return current
+
+
+# -- regression files ------------------------------------------------------
+
+#: Directory regression repros are promoted into (relative to the repo
+#: root); the corpus regression test suite runs every ``*.dsl`` in it.
+REGRESSION_DIR = "tests/corpus/regressions"
+
+
+@dataclass(frozen=True)
+class RegressionCase:
+    """A checked-in minimal repro: source + the geometry/mode it failed
+    under + the tolerance class it must (now) satisfy."""
+
+    name: str
+    source: str
+    geometry: Geometry
+    mode: str
+    sample_seed: int
+    reason: str
+
+    def to_corpus_case(self):
+        """View as a corpus case so the oracle can run it unchanged."""
+        from repro.corpus.generator import CorpusCase
+
+        return CorpusCase(
+            corpus_seed=-1,
+            index=-1,
+            source=self.source,
+            geometry=self.geometry,
+            mode=self.mode,
+            sample_seed=self.sample_seed,
+        )
+
+
+def write_regression(
+    path: str | pathlib.Path,
+    source: str,
+    geometry: Geometry,
+    mode: str,
+    sample_seed: int = 0,
+    reason: str = "",
+    name: str | None = None,
+) -> pathlib.Path:
+    """Write a standalone repro file (the shrinker's check-in format)."""
+    path = pathlib.Path(path)
+    header = [
+        "! repro-corpus regression",
+        f"! name: {name or path.stem}",
+        f"! geometry: {geometry.label}",
+        f"! mode: {mode}",
+        f"! sample-seed: {sample_seed}",
+        f"! reason: {reason or 'shrunk corpus divergence'}",
+    ]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(header) + "\n" + source.rstrip() + "\n")
+    return path
+
+
+def load_regression(path: str | pathlib.Path) -> RegressionCase:
+    """Parse a :func:`write_regression` file back into a runnable case."""
+    path = pathlib.Path(path)
+    fields = {"name": path.stem, "sample-seed": "0", "reason": ""}
+    body: list[str] = []
+    for line in path.read_text().splitlines():
+        stripped = line.strip()
+        if stripped.startswith("!") and ":" in stripped:
+            key, _, value = stripped.lstrip("! ").partition(":")
+            if key.strip() in ("name", "geometry", "mode", "sample-seed", "reason"):
+                fields[key.strip()] = value.strip()
+                continue
+        body.append(line)
+    for required in ("geometry", "mode"):
+        if required not in fields:
+            raise ValueError(f"{path}: missing '! {required}:' header")
+    source = "\n".join(body).strip() + "\n"
+    parse_nest(source, name=fields["name"])  # fail fast on a torn file
+    return RegressionCase(
+        name=fields["name"],
+        source=source,
+        geometry=parse_geometry(fields["geometry"]),
+        mode=fields["mode"],
+        sample_seed=int(fields["sample-seed"]),
+        reason=fields["reason"],
+    )

@@ -1,0 +1,87 @@
+"""Distributed bit-identity smoke over generated corpus cases.
+
+The corpus doubles as a fuzz lane for the cluster backend: a few
+generated nests — sources nobody hand-wrote — are evaluated through
+:class:`repro.distributed.DistributedEvaluator` on a loopback cluster
+and the results are asserted **bit-identical** to the serial local
+path (the determinism contract of ``ARCHITECTURE.md``).  Smoke-sized
+by design: spawning worker processes costs seconds, so the nightly
+lane runs this over a handful of cases, not the whole corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cme.analyzer import LocalityAnalyzer
+from repro.corpus.generator import generate_corpus
+from repro.distributed.cluster import LoopbackCluster
+from repro.distributed.evaluator import DistributedEvaluator
+from repro.ga.objective import SampledTilingFn
+from repro.ir.parser import parse_nest
+
+#: Small fixed sample: the smoke checks *identity*, not accuracy.
+SMOKE_SAMPLES = 64
+
+
+@dataclass(frozen=True)
+class SmokeResult:
+    """Outcome of one distributed-vs-local comparison."""
+
+    name: str
+    candidates: tuple[tuple[int, ...], ...]
+    identical: bool
+    local: tuple[float, ...]
+    remote: tuple[float, ...]
+
+
+def _candidates_for(nest) -> list[tuple[int, ...]]:
+    """Two tilings per nest: untiled, and every extent halved."""
+    extents = tuple(l.extent for l in nest.loops)
+    halved = tuple(max(1, e // 2) for e in extents)
+    cands = [extents]
+    if halved != extents:
+        cands.append(halved)
+    return cands
+
+
+def run_distributed_smoke(
+    corpus_seed: int,
+    n_cases: int = 2,
+    n_workers: int = 2,
+) -> list[SmokeResult]:
+    """Evaluate the first ``n_cases`` corpus cases of ``corpus_seed``
+    both serially and on a loopback cluster; every value pair must be
+    bit-identical.  Returns one :class:`SmokeResult` per case."""
+    if n_cases < 1:
+        raise ValueError("n_cases must be >= 1")
+    results: list[SmokeResult] = []
+    with LoopbackCluster(n_workers) as cluster:
+        for case in generate_corpus(corpus_seed, n_cases):
+            nest = parse_nest(case.source, name=case.name)
+            analyzer = LocalityAnalyzer(
+                nest,
+                case.geometry.l1,
+                n_samples=SMOKE_SAMPLES,
+                seed=case.sample_seed,
+            )
+            fn = SampledTilingFn(analyzer)
+            candidates = _candidates_for(nest)
+            local = tuple(float(fn(c)) for c in candidates)
+            ev = DistributedEvaluator(fn, hosts=cluster.hosts)
+            try:
+                remote = tuple(
+                    float(v) for v in ev.evaluate_batch(candidates)
+                )
+            finally:
+                ev.close()
+            results.append(
+                SmokeResult(
+                    name=case.name,
+                    candidates=tuple(candidates),
+                    identical=local == remote,
+                    local=local,
+                    remote=remote,
+                )
+            )
+    return results

@@ -271,6 +271,44 @@ CASCADE_BUDGET_ABS = _register(
     help="Node budget of the recursive absolute-interval search.",
 )
 
+#: Corpus knobs configure the *test harness* (which scenarios the
+#: differential oracle sweeps and how), never an objective: corpus
+#: reports are not objective values and nothing here reaches a
+#: fingerprint, so all four are declared ``affects_results=False``.
+CORPUS_SEED = _register(
+    "REPRO_CORPUS_SEED",
+    int,
+    0,
+    help="Default corpus seed for `repro.cli corpus` (generate/run/"
+    "shrink).  Every case is reproducible from (seed, index) alone.",
+)
+
+CORPUS_CASES = _register(
+    "REPRO_CORPUS_CASES",
+    int,
+    300,
+    help="Default sweep size for `repro.cli corpus run` — the nightly "
+    "CI lane's case count.",
+)
+
+CORPUS_EXACT_POINTS = _register(
+    "REPRO_CORPUS_EXACT_POINTS",
+    int,
+    2048,
+    help="Iteration-point threshold separating the oracle's exact mode "
+    "(every point classified, pure model-band tolerance) from sampled "
+    "mode (CRN sample, CI-widened tolerance).  See docs/CORPUS.md.",
+)
+
+CORPUS_LADDER_POINTS = _register(
+    "REPRO_CORPUS_LADDER_POINTS",
+    int,
+    96,
+    help="Per-case point budget of the cascade-ladder fuzz check "
+    "(compiled vs batched vs scalar bit-identity inside the corpus "
+    "oracle).  Caps cost only; each engine sees the same points.",
+)
+
 EXAMPLE_KERNEL = _register(
     "REPRO_EXAMPLE_KERNEL",
     str,

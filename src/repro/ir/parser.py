@@ -96,8 +96,12 @@ def _parse_affine(
     s = text.replace(" ", "")
     if not s:
         raise ParseError(line_no, "empty expression")
-    # Tokenise into signed terms.
+    # Tokenise into signed terms; the match must cover the whole
+    # string, otherwise a malformed tail (e.g. a trailing sign in
+    # "i+") would be silently dropped.
     terms = re.findall(r"[+-]?[^+-]+", s)
+    if sum(len(t) for t in terms) != len(s):
+        raise ParseError(line_no, f"dangling sign in {text!r}")
     expr = AffineExpr.constant(0)
     for term in terms:
         sign = 1

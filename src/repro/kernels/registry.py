@@ -138,6 +138,50 @@ def kernel_names() -> list[str]:
     return list(KERNELS)
 
 
+def dsl_spec(
+    name: str,
+    source: str,
+    program: str = "CORPUS",
+    description: str = "DSL-defined kernel",
+) -> KernelSpec:
+    """A :class:`KernelSpec` whose builder parses a DSL source.
+
+    The extents live in the source text, so the spec is unsized and the
+    builder ignores its size argument.  The source is parsed eagerly to
+    fail fast on malformed input.
+    """
+    from repro.ir.parser import parse_nest
+
+    nest = parse_nest(source, name=name)
+
+    def build(size: int | None = None) -> LoopNest:
+        return parse_nest(source, name=name)
+
+    return KernelSpec(
+        name, program, nest.depth, build, (nest.loops[0].extent,),
+        description, sized=False,
+    )
+
+
+def register_kernel(spec: KernelSpec, *, replace: bool = False) -> None:
+    """Add a kernel to the registry (e.g. a promoted corpus repro).
+
+    Registration is intended to be temporary — tests pin the exact
+    Table 1 set — so callers must pair it with
+    :func:`unregister_kernel`.
+    """
+    if spec.name in KERNELS and not replace:
+        raise ValueError(f"kernel {spec.name!r} already registered")
+    KERNELS[spec.name] = spec
+
+
+def unregister_kernel(name: str) -> KernelSpec:
+    """Remove and return a previously registered kernel."""
+    if name not in KERNELS:
+        raise KeyError(f"kernel {name!r} not registered")
+    return KERNELS.pop(name)
+
+
 def get_kernel(name: str, size: int | None = None) -> LoopNest:
     """Build a kernel by Table 1 name, using its default size if omitted."""
     spec = KERNELS[name]

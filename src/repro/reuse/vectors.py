@@ -86,6 +86,27 @@ def compute_reuse_candidates(
             if 0 < abs(coeffs[j]) < line_size:
                 cands.append(ReuseCandidate(_unit(d, j), pos, "self-spatial"))
 
+        # Diagonal self-spatial: two strides that nearly cancel keep a
+        # skewed reference (e.g. ``a(j,i+j)``) inside one line along
+        # the combined direction even when each stride alone spans
+        # lines.  Exact cancellation is temporal and already covered
+        # by the kernel basis.
+        for j in range(d):
+            for k in range(j + 1, d):
+                if not (coeffs[j] and coeffs[k]):
+                    continue
+                for s in (1, -1):
+                    comb = coeffs[j] + s * coeffs[k]
+                    if 0 < abs(comb) < line_size:
+                        r = [0] * d
+                        r[j] = 1
+                        r[k] = s
+                        cands.append(
+                            ReuseCandidate(
+                                lex_positive(tuple(r)), pos, "self-spatial"
+                            )
+                        )
+
         for other in nest.refs:
             if other.position == pos or other.array.name != ref.array.name:
                 continue
@@ -115,6 +136,25 @@ def compute_reuse_candidates(
                                 lex_positive(tuple(r)), other.position, "group-temporal"
                             )
                         )
+                else:
+                    # Group-spatial at a translated iteration: when the
+                    # constant gap is not a stride multiple, the other
+                    # reference's access at p - steps·e_j may still land
+                    # within a line of this one's at p — the residual
+                    # byte distance |delta - c·steps| decides.  (E.g.
+                    # b(i+j,j) reused by b(i+j,j+1) one j-iteration
+                    # later, one element apart.)
+                    for steps in {delta // c, -((-delta) // c)}:
+                        if steps and abs(delta - c * steps) < line_size:
+                            r = [0] * d
+                            r[j] = steps
+                            cands.append(
+                                ReuseCandidate(
+                                    lex_positive(tuple(r)),
+                                    other.position,
+                                    "group-spatial",
+                                )
+                            )
                 if abs(c) < line_size:
                     # Group-spatial: the other reference's access at a
                     # neighbouring iteration may sit in the same line

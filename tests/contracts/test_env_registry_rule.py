@@ -63,5 +63,23 @@ def test_examples_are_walked_too(make_tree):
     assert findings[0].path == "examples/demo.py"
 
 
+def test_corpus_module_reads_flagged(make_tree):
+    # The corpus knobs (REPRO_CORPUS_*) must flow through repro.envs
+    # like every other knob — a direct read in src/repro/corpus/ is a
+    # finding.
+    bad = textwrap.dedent(
+        """
+        import os
+
+        SEED = int(os.environ.get("REPRO_CORPUS_SEED", "0"))
+        CASES = os.getenv("REPRO_CORPUS_CASES")
+        """
+    )
+    root = make_tree({"src/repro/corpus/bad_knobs.py": bad})
+    findings = lint(root)
+    assert len(findings) == 2
+    assert "REPRO_CORPUS_SEED" in findings[0].message
+
+
 def test_real_repo_is_fully_centralised():
     assert lint(".") == []

@@ -1,0 +1,12 @@
+! repro-corpus regression
+! name: diagonal_self_spatial
+! geometry: 4096:32:2
+! mode: exact
+! sample-seed: 0
+! reason: skewed reference's self-spatial reuse along (1,-1) was invisible to compute_reuse_candidates (unit vectors only; gap fixed in repro.reuse.vectors); shrunk from corpus case (1, 97)
+real a(6,7)
+do i = 1, 2
+  do j = 1, 6
+    a(j,i+j-1) = 0
+  enddo
+enddo

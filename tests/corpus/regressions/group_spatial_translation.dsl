@@ -1,0 +1,11 @@
+! repro-corpus regression
+! name: group_spatial_translation
+! geometry: 512:32:4,4096:64:2
+! mode: exact
+! sample-seed: 0
+! reason: group-spatial reuse at a translated iteration was invisible to compute_reuse_candidates (gap fixed in repro.reuse.vectors); shrunk from corpus case (0, 162)
+real b(4,6)
+real a(1,1)
+do j = 1, 4
+  a(1,1) = b(j,j+1) + b(j,j+2)
+enddo

@@ -1,0 +1,67 @@
+"""`repro.cli corpus` subcommands."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+def test_corpus_generate_single_case(capsys):
+    assert cli.main(["corpus", "generate", "--case", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "case (0, 7)" in out
+    assert "do " in out and "enddo" in out
+    # printed source must re-parse
+    from repro.ir.parser import parse_nest
+
+    body = "\n".join(
+        l for l in out.splitlines() if not l.startswith("! ---")
+    )
+    parse_nest(body)
+
+
+def test_corpus_generate_respects_seed_flag(capsys):
+    assert cli.main(["corpus", "generate", "--case", "3", "--seed", "5"]) == 0
+    out5 = capsys.readouterr().out
+    assert cli.main(["corpus", "generate", "--case", "3", "--seed", "6"]) == 0
+    assert out5 != capsys.readouterr().out
+
+
+def test_corpus_run_small_sweep(capsys, tmp_path):
+    out_path = tmp_path / "report.json"
+    assert cli.main(
+        ["corpus", "run", "--seed", "0", "--cases", "4", "--out", str(out_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "corpus sweep: seed=0 cases=4" in out
+    assert "divergences: 0" in out
+    data = json.loads(out_path.read_text())
+    assert data["n_cases"] == 4 and len(data["cases"]) == 4
+
+
+def test_corpus_shrink_non_diverging_case(capsys):
+    assert cli.main(["corpus", "shrink", "2", "--seed", "0"]) == 0
+    assert "does not diverge" in capsys.readouterr().out
+
+
+def test_corpus_shrink_requires_index():
+    with pytest.raises(SystemExit):
+        cli.main(["corpus", "shrink"])
+
+
+def test_corpus_unknown_subcommand():
+    with pytest.raises(SystemExit):
+        cli.main(["corpus", "fuzz"])
+
+
+def test_corpus_flags_in_spec():
+    for flag in ("--cases", "--case", "--out", "--distributed-smoke"):
+        assert flag in cli.FLAG_SPEC
+    assert "corpus" in cli.COMMANDS
+
+
+def test_corpus_seed_defaults_from_env(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CORPUS_SEED", "9")
+    assert cli.main(["corpus", "generate", "--case", "0"]) == 0
+    assert "case (9, 0)" in capsys.readouterr().out

@@ -1,0 +1,21 @@
+"""Distributed bit-identity smoke over generated corpus nests.
+
+Slow (spawns loopback worker processes): part of the nightly corpus
+lane, deselected from the fast lane via ``-m "not slow"``.
+"""
+
+import pytest
+
+from repro.corpus.smoke import run_distributed_smoke
+
+pytestmark = pytest.mark.slow
+
+
+def test_distributed_matches_local_bit_identically():
+    results = run_distributed_smoke(0, n_cases=2, n_workers=2)
+    assert len(results) == 2
+    for r in results:
+        assert r.identical, (
+            f"{r.name}: local {r.local} != remote {r.remote}"
+        )
+        assert len(r.candidates) >= 1

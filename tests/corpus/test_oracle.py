@@ -1,0 +1,154 @@
+"""Differential oracle: seeded tier-1 slice + tolerance-class unit tests.
+
+The slice sweeps the first 60 cases of corpus seed 0 through the full
+differential pipeline — CME estimate vs exact trace simulation, cascade
+dispatch-ladder bit-identity, multi-level hierarchy consistency — and
+must report **zero divergences**.  The nightly CI lane runs the same
+sweep at 300 cases; a failure here is a real model/solver regression,
+reproducible via ``repro.cli corpus shrink INDEX``.
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.corpus.generator import generate_case, parse_geometry
+from repro.corpus.oracle import (
+    DM_BAND,
+    ASSOC_BAND,
+    CaseReport,
+    nonuniform_fraction,
+    run_case,
+    run_corpus,
+    tolerance_for,
+)
+
+SLICE_SEED = 0
+SLICE_CASES = 60
+
+
+@pytest.fixture(scope="module")
+def slice_report():
+    return run_corpus(SLICE_SEED, SLICE_CASES)
+
+
+def test_slice_has_zero_divergences(slice_report):
+    assert not slice_report.divergences, "\n" + "\n".join(
+        r.summary() for r in slice_report.divergences
+    )
+
+
+def test_slice_exercises_every_check(slice_report):
+    reports = slice_report.reports
+    assert len(reports) == SLICE_CASES
+    assert all(r.error is None for r in reports)
+    # the ladder ran everywhere, the hierarchy check on multi-level cases
+    assert all(r.ladder_ok is True for r in reports)
+    assert any(r.hierarchy_ok is True for r in reports)
+    assert {r.mode for r in reports} == {"exact", "sampled"}
+
+
+def test_slice_model_is_conservative(slice_report):
+    # The sharp direction of every tolerance class: the model may
+    # over-report misses, never under-report beyond the small band.
+    for r in slice_report.reports:
+        assert r.delta >= r.tolerance.lower, r.summary()
+
+
+def test_report_json_roundtrip(slice_report):
+    import json
+
+    data = json.loads(slice_report.to_json())
+    assert data["corpus_seed"] == SLICE_SEED
+    assert data["n_cases"] == SLICE_CASES
+    assert data["divergences"] == 0
+    assert len(data["cases"]) == SLICE_CASES
+    assert all("delta" in c and "tolerance" in c for c in data["cases"])
+
+
+def test_run_case_reports_crash_as_error():
+    import dataclasses
+
+    case = generate_case(0, 0)
+    broken = dataclasses.replace(case, source="do i = 1, 4\n")
+    report = run_case(broken)
+    assert report.error is not None
+    assert not report.ok
+
+
+# -- tolerance classes ------------------------------------------------------
+
+DM = CacheConfig(1024, 32, 1)
+KWAY = CacheConfig(1024, 32, 2)
+
+
+class FakeEst:
+    def __init__(self, hw):
+        self._hw = hw
+
+    def ci_halfwidth(self):
+        return self._hw
+
+
+def test_exact_classes_are_the_model_bands():
+    t = tolerance_for("exact", DM, FakeEst(0.0))
+    assert (t.lower, t.upper) == DM_BAND and t.name == "exact-dm"
+    t = tolerance_for("exact", KWAY, FakeEst(0.0))
+    assert (t.lower, t.upper) == ASSOC_BAND and t.name == "exact-assoc"
+
+
+def test_sampled_classes_widen_by_ci_halfwidth():
+    hw = 0.05
+    t = tolerance_for("sampled", DM, FakeEst(hw))
+    assert t.name == "sampled-dm"
+    assert t.lower == pytest.approx(DM_BAND[0] - 2 * hw)
+    assert t.upper == pytest.approx(DM_BAND[1] + 3 * hw)
+
+
+def test_nonuniform_widens_upper_only():
+    t = tolerance_for("exact", DM, FakeEst(0.0), nonuniform=0.5)
+    assert t.name == "exact-dm-nonuniform"
+    assert t.lower == DM_BAND[0]
+    assert t.upper == pytest.approx(DM_BAND[1] + 0.5)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        tolerance_for("approximate", DM, FakeEst(0.0))
+
+
+def test_nonuniform_fraction_detects_skewed_pairs():
+    from repro.ir.parser import parse_nest
+    from repro.layout.memory import MemoryLayout
+
+    uniform = parse_nest(
+        "real a(8,8)\n"
+        "do i = 1, 8\n"
+        "  do j = 1, 8\n"
+        "    a(i,j) = a(i,j)\n"
+        "  enddo\n"
+        "enddo\n"
+    )
+    assert nonuniform_fraction(uniform, MemoryLayout(uniform.arrays())) == 0.0
+
+    skewed = parse_nest(
+        "real a(9,16)\n"
+        "do i = 1, 8\n"
+        "  do j = 1, 8\n"
+        "    a(i+1,i+j) = a(1,j)\n"
+        "  enddo\n"
+        "enddo\n"
+    )
+    assert nonuniform_fraction(skewed, MemoryLayout(skewed.arrays())) == 1.0
+
+
+def test_tolerance_admits():
+    t = tolerance_for("exact", DM, FakeEst(0.0))
+    assert t.admits(0.0) and t.admits(0.15) and t.admits(-0.06)
+    assert not t.admits(0.16) and not t.admits(-0.07)
+
+
+def test_geometry_parse_used_by_reports():
+    g = parse_geometry("512:16:4")
+    report = run_case(generate_case(0, 1))
+    assert isinstance(report, CaseReport)
+    assert g.l1.associativity == 4

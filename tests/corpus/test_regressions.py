@@ -1,0 +1,35 @@
+"""Every checked-in regression repro must pass the differential oracle.
+
+Files under ``tests/corpus/regressions/`` are minimal DSL sources the
+shrinker reduced from real corpus divergences; each records the cache
+geometry and oracle mode it failed under.  A file failing here means a
+previously-fixed model/solver defect has returned.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.corpus.oracle import run_case
+from repro.corpus.shrink import load_regression
+
+REGRESSION_DIR = pathlib.Path(__file__).parent / "regressions"
+FILES = sorted(REGRESSION_DIR.glob("*.dsl"))
+
+
+def test_regression_corpus_is_not_empty():
+    assert FILES, "expected checked-in regression repros"
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_regression_case_agrees(path):
+    case = load_regression(path).to_corpus_case()
+    report = run_case(case)
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_regression_repro_is_minimal(path):
+    case = load_regression(path)
+    lines = [l for l in case.source.splitlines() if l.strip()]
+    assert len(lines) <= 10, f"{path.name}: repro no longer minimal"

@@ -1,0 +1,119 @@
+"""Shrinker: greedy reduction to minimal DSL repros + regression files."""
+
+import pytest
+
+from repro.corpus.generator import generate_case, parse_geometry
+from repro.corpus.shrink import (
+    ShrinkError,
+    load_regression,
+    normalise_source,
+    shrink_source,
+    write_regression,
+)
+from repro.ir.parser import parse_nest
+
+BIG = """\
+parameter (n = 12)
+real a(n,n)
+real b(n,n)
+real c(n,n)
+do i = 1, n
+  do j = 1, n
+    do k = 1, n
+      a(i,j) = a(i,j) + b(i,k) + c(k,j)
+    enddo
+  enddo
+enddo
+"""
+
+
+def test_shrinks_injected_failure_to_tiny_repro():
+    """An 'always interesting' predicate must drive the source to the
+    minimum the grammar admits — and well under the 10-line bar."""
+    minimal = shrink_source(BIG, lambda src: True)
+    lines = [l for l in minimal.splitlines() if l.strip()]
+    assert len(lines) <= 10
+    nest = parse_nest(minimal)
+    assert nest.depth == 1
+    assert nest.num_iterations == 1
+    assert len(nest.refs) == 1
+
+
+def test_shrink_preserves_predicate():
+    # Interesting = still reads array b; the result must keep b but
+    # drop everything else it can.
+    def uses_b(src):
+        return "b(" in src
+
+    minimal = shrink_source(BIG, uses_b)
+    assert "b(" in minimal
+    nest = parse_nest(minimal)
+    assert nest.num_iterations == 1
+    # a write plus the one interesting read survive
+    assert len(nest.refs) <= 2
+
+
+def test_shrink_requires_failing_input():
+    with pytest.raises(ShrinkError):
+        shrink_source(BIG, lambda src: False)
+
+
+def test_shrink_output_reparses_and_revalidates():
+    from repro.ir.validate import validate_nest
+
+    minimal = shrink_source(BIG, lambda src: parse_nest(src).depth >= 2)
+    nest = parse_nest(minimal)
+    validate_nest(nest)
+    assert nest.depth == 2
+
+
+def test_normalise_is_idempotent():
+    once = normalise_source(BIG)
+    assert normalise_source(once) == once
+
+
+def test_regression_file_roundtrip(tmp_path):
+    geom = parse_geometry("1024:32:2,8192:64:2")
+    src = normalise_source(BIG)
+    path = write_regression(
+        tmp_path / "case.dsl", src, geom, "exact",
+        sample_seed=7, reason="unit-test repro",
+    )
+    case = load_regression(path)
+    assert case.geometry == geom
+    assert case.mode == "exact"
+    assert case.sample_seed == 7
+    assert case.reason == "unit-test repro"
+    assert parse_nest(case.source).depth == 3
+    # and it is runnable through the oracle unchanged
+    corpus_case = case.to_corpus_case()
+    assert corpus_case.geometry == geom
+
+
+def test_regression_loader_rejects_torn_file(tmp_path):
+    p = tmp_path / "torn.dsl"
+    p.write_text("! name: torn\nreal a(4)\n")  # no geometry/mode, no loops
+    with pytest.raises(ValueError):
+        load_regression(p)
+
+
+def test_shrink_diverging_corpus_case_end_to_end():
+    """A real divergence predicate (oracle-based) shrinks a generated
+    case to a small repro that still diverges under a tightened band."""
+    import dataclasses
+
+    from repro.corpus.oracle import run_case
+
+    case = generate_case(0, 17)  # known large-but-explained delta
+
+    def beyond_sharp_band(src):
+        rep = run_case(
+            dataclasses.replace(case, source=src), ladder=False
+        )
+        return rep.error is None and rep.delta > 0.2
+
+    assert beyond_sharp_band(case.source)
+    minimal = shrink_source(case.source, beyond_sharp_band, name="shrunk17")
+    lines = [l for l in minimal.splitlines() if l.strip()]
+    assert len(lines) <= 10
+    assert beyond_sharp_band(minimal)

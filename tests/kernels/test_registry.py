@@ -91,3 +91,43 @@ def test_vpenta_arrays_align():
     layout = MemoryLayout(nest.arrays())
     bases = [layout.base(a) for a in nest.arrays()]
     assert all((b - bases[0]) % 8192 == 0 for b in bases)
+
+
+def test_dsl_spec_registration_roundtrip():
+    """A shrunk corpus repro can be promoted to a (temporary) named
+    kernel and built through the normal get_kernel path."""
+    from repro.kernels.registry import (
+        dsl_spec,
+        register_kernel,
+        unregister_kernel,
+    )
+
+    src = (
+        "real a(6,7)\n"
+        "do i = 1, 2\n"
+        "  do j = 1, 6\n"
+        "    a(j,i+j-1) = 0\n"
+        "  enddo\n"
+        "enddo\n"
+    )
+    spec = dsl_spec("CORPUS_DIAG", src, description="diagonal stencil repro")
+    assert spec.depth == 2 and not spec.sized
+    register_kernel(spec)
+    try:
+        nest = get_kernel("CORPUS_DIAG")
+        assert nest.depth == 2
+        assert nest.num_iterations == 12
+        with pytest.raises(ValueError):
+            register_kernel(spec)  # no silent replacement
+    finally:
+        assert unregister_kernel("CORPUS_DIAG") is spec
+    assert "CORPUS_DIAG" not in KERNELS
+    with pytest.raises(KeyError):
+        unregister_kernel("CORPUS_DIAG")
+
+
+def test_dsl_spec_rejects_malformed_source():
+    from repro.kernels.registry import dsl_spec
+
+    with pytest.raises(ValueError):
+        dsl_spec("BROKEN", "real a(4)\n")  # no loops

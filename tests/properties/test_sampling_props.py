@@ -1,0 +1,106 @@
+"""Property-based tests for sampled CME estimation (§2.3).
+
+Two families of invariant:
+
+* ``required_sample_size`` is monotone in its statistical knobs —
+  tighter intervals and higher confidence can only demand more points
+  (and the published 164-point design point is reproduced exactly);
+* sampling is deterministic under ``(seed, n)`` so common-random-number
+  candidate comparisons (and the corpus oracle's sampled mode) are
+  reproducible bit-for-bit.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cme.sampling import (
+    PAPER_SAMPLE_SIZE,
+    required_sample_size,
+    sample_original_points,
+)
+from tests.conftest import make_small_mm
+
+# Domain where the formula yields n >= 1; looser combinations are
+# rejected by design (tested explicitly below).
+widths = st.floats(0.01, 0.5)
+confidences = st.floats(0.70, 0.995)
+
+
+def test_paper_design_point():
+    assert required_sample_size(0.1, 0.90) == PAPER_SAMPLE_SIZE == 164
+
+
+@given(widths, confidences, confidences)
+def test_monotone_in_confidence(width, c1, c2):
+    lo, hi = sorted((c1, c2))
+    assert required_sample_size(width, lo) <= required_sample_size(width, hi)
+
+
+@given(widths, widths, confidences)
+def test_antitone_in_width(w1, w2, confidence):
+    lo, hi = sorted((w1, w2))
+    assert required_sample_size(hi, confidence) <= required_sample_size(
+        lo, confidence
+    )
+
+
+@given(widths, confidences)
+def test_quarter_width_needs_16x_points(width, confidence):
+    """n ∝ 1/w²: quartering the width multiplies the count by ~16."""
+    if width / 4 <= 0.0025:  # stay inside the validated domain
+        return
+    n1 = required_sample_size(width, confidence)
+    n16 = required_sample_size(width / 4, confidence)
+    assert n16 >= 16 * n1 - 16  # floor() slack
+
+
+def test_too_loose_parameters_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        required_sample_size(0.5, 0.625)  # would need < 1 point
+    with pytest.raises(ValueError):
+        required_sample_size(1.5, 0.9)
+    with pytest.raises(ValueError):
+        required_sample_size(0.1, 0.4)
+
+
+@given(st.integers(0, 2**31), st.integers(1, 200))
+def test_sample_deterministic_under_seed(seed, n):
+    nest = make_small_mm(8)
+    a = sample_original_points(nest, n, seed)
+    b = sample_original_points(nest, n, seed)
+    assert a == b
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=25)
+def test_sample_prefix_free_across_sizes(seed):
+    """Different n values are independent draws — determinism is keyed
+    on (seed, n) jointly, which is what the CRN contract promises."""
+    small = sample_original_points(make_small_mm(8), 10, seed)
+    again = sample_original_points(make_small_mm(8), 10, seed)
+    assert small == again
+    assert len(small) == 10
+
+
+@given(st.integers(0, 1000), st.integers(1, 100))
+def test_sample_points_inside_bounds(seed, n):
+    nest = make_small_mm(8)
+    for p in sample_original_points(nest, n, seed):
+        for v, loop in zip(p, nest.loops):
+            assert loop.lower <= v <= loop.upper
+
+
+def test_estimate_repeat_determinism():
+    """Same (seed, n_samples) → bit-identical estimate, including the
+    per-reference outcome breakdown."""
+    from repro.cache.config import CacheConfig
+    from repro.cme.analyzer import LocalityAnalyzer
+
+    nest = make_small_mm(12)
+    cache = CacheConfig(1024, 32, 2)
+    a = LocalityAnalyzer(nest, cache, n_samples=64, seed=3).estimate()
+    b = LocalityAnalyzer(nest, cache, n_samples=64, seed=3).estimate()
+    assert a.miss_ratio == b.miss_ratio
+    assert a.per_ref == b.per_ref
+    assert (a.hits, a.cold, a.replacement) == (b.hits, b.cold, b.replacement)

@@ -77,3 +77,55 @@ def test_stencil_group_translation():
     assert any(
         c.vector == (2,) and c.source_position == 1 for c in cands[0]
     )
+
+
+def test_translated_group_spatial_candidate():
+    """b(j,j+1) / b(j,j+2): constant gap is not a stride multiple, but
+    the other ref's access one iteration back lands a few bytes away —
+    within the line.  (Shrunk corpus regression group_spatial_translation.)"""
+    from repro.ir.parser import parse_nest
+
+    nest = parse_nest(
+        "real b(4,6)\n"
+        "real a(1,1)\n"
+        "do j = 1, 4\n"
+        "  a(1,1) = b(j,j+1) + b(j,j+2)\n"
+        "enddo\n"
+    )
+    layout = MemoryLayout(nest.arrays())
+    cands = compute_reuse_candidates(nest, layout, 32)
+    # b(j,j+1) is position 0, b(j,j+2) position 1; with 8-byte elements
+    # and leading dim 4 the stride is 40 and delta 32: steps=1 leaves an
+    # 8-byte residual < line.
+    assert any(
+        c.vector == (1,) and c.source_position == 1 and c.kind == "group-spatial"
+        for c in cands[0]
+    )
+
+
+def test_diagonal_self_spatial_candidate():
+    """a(j,i+j-1): per-variable strides exceed the line, but along
+    (1,-1) consecutive accesses differ by one row — same line.  (Shrunk
+    corpus regression diagonal_self_spatial.)"""
+    from repro.ir.parser import parse_nest
+
+    nest = parse_nest(
+        "real a(6,7)\n"
+        "do i = 1, 2\n"
+        "  do j = 1, 6\n"
+        "    a(j,i+j-1) = 0\n"
+        "  enddo\n"
+        "enddo\n"
+    )
+    layout = MemoryLayout(nest.arrays())
+    cands = compute_reuse_candidates(nest, layout, 32)
+    # strides: i → 48, j → 8 + 48 = 56, both ≥ line 32; combination
+    # |48 - 56| = 8 < 32 along the lex-positive direction (1,-1).
+    vecs = vec_set(cands[0])
+    assert (1, -1) in vecs
+    # and neither raw unit vector qualifies spatially on its own
+    spatial_units = {
+        c.vector for c in cands[0]
+        if c.kind == "self-spatial" and sum(map(abs, c.vector)) == 1
+    }
+    assert not spatial_units

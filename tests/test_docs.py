@@ -27,6 +27,7 @@ DOC_FILES = [
     ROOT / "README.md",
     ROOT / "docs" / "ARCHITECTURE.md",
     ROOT / "docs" / "CLI.md",
+    ROOT / "docs" / "CORPUS.md",
     ROOT / "docs" / "LINTS.md",
 ]
 CLI_DOC = ROOT / "docs" / "CLI.md"
