@@ -22,6 +22,8 @@ Usage::
     python -m repro.cli lint                 # contract linter (docs/LINTS.md)
     python -m repro.cli search MM 500 --backend cluster \
         --hosts hostA:7070,hostB:7070 --memo /shared/mm500.memo
+    python -m repro.cli search MM 500 --trace run.jsonl   # telemetry log
+    python -m repro.cli report run.jsonl --chrome timeline.json
 
 Uniform flags (accepted anywhere on the command line):
 
@@ -85,6 +87,24 @@ Uniform flags (accepted anywhere on the command line):
     (default ``lint_baseline.json`` in the linted root) and the output
     format.  ``lint`` exits non-zero iff any non-baselined contract
     violation remains (see ``docs/LINTS.md``).
+``--trace PATH``
+    Record run telemetry (spans, counters, worker events) to a JSONL
+    file for ``search``/``portfolio`` — implies telemetry on unless
+    ``REPRO_TELEMETRY=0`` explicitly forces it off.  Telemetry is
+    write-only with respect to results (see ``docs/TELEMETRY.md``);
+    summarize the file later with ``report``.
+``--chrome PATH``
+    Also export a Chrome/Perfetto ``trace_event`` timeline: with
+    ``search``/``portfolio`` it is derived from the ``--trace`` file
+    after the run; with ``report`` from the trace being summarized.
+``--quiet``
+    Print only the one-line result summary for ``search`` (suppresses
+    the evaluation/backend/steps detail lines).
+``--log-level LEVEL``
+    Verbosity of the unified stderr logging channel (``DEBUG``,
+    ``INFO``, ``WARNING`` (default), ``ERROR``, ``CRITICAL``);
+    overrides ``REPRO_LOG_LEVEL``.  Diagnostics only — never touches
+    stdout or results.
 
 Set ``REPRO_FULL=1`` for the paper's full GA budget (population 30,
 15–25 generations); the default quick budget reproduces the shapes in
@@ -127,6 +147,11 @@ FLAG_SPEC = {
     "--case": ("case", int),
     "--out": ("out", str),
     "--distributed-smoke": ("distributed_smoke", int),
+    "--trace": ("trace", str),
+    "--chrome": ("chrome", str),
+    "--log-level": ("log_level", str),
+    # Converter ``None`` marks a boolean presence flag (takes no value).
+    "--quiet": ("quiet", None),
 }
 
 #: Commands understood by :func:`main` (anything else prints the
@@ -134,7 +159,7 @@ FLAG_SPEC = {
 COMMANDS = (
     "search", "portfolio", "serve", "table2", "table3", "table4",
     "figure8", "figure9", "convergence", "validate", "associativity",
-    "all", "kernels", "landscape", "source", "lint", "corpus",
+    "all", "kernels", "landscape", "source", "lint", "corpus", "report",
 )
 
 
@@ -148,6 +173,10 @@ def parse_flags(args: list[str]) -> tuple[list[str], dict]:
         arg = args[i]
         if arg in spec:
             name, conv = spec[arg]
+            if conv is None:  # boolean presence flag
+                flags[name] = True
+                i += 1
+                continue
             if i + 1 >= len(args):
                 raise SystemExit(f"{arg} requires a value")
             try:
@@ -164,8 +193,40 @@ def parse_flags(args: list[str]) -> tuple[list[str], dict]:
     return positional, flags
 
 
+def _telemetry_session(flags: dict):
+    """Configure run telemetry from ``--trace``; returns the trace path.
+
+    The flag implies telemetry on; an explicitly-set ``REPRO_TELEMETRY``
+    (either way) always wins — ``REPRO_TELEMETRY=0`` with ``--trace``
+    records nothing and creates no file.
+    """
+    from repro import telemetry
+
+    trace_path = flags.get("trace")
+    if flags.get("chrome") and not trace_path:
+        raise SystemExit("--chrome needs --trace (or use the report command)")
+    telemetry.configure(trace_path, default=trace_path is not None)
+    return trace_path
+
+
+def _export_chrome(flags: dict, trace_path: str | None) -> None:
+    """Write the ``--chrome`` timeline from a run's ``--trace`` file."""
+    import os
+
+    from repro.telemetry import load_events, write_chrome_trace
+
+    out = flags.get("chrome")
+    if not out or not trace_path:
+        return
+    if not os.path.exists(trace_path):
+        return  # telemetry was forced off; nothing was recorded
+    n = write_chrome_trace(out, load_events(trace_path))
+    print(f"chrome timeline ({n} records) written to {out}")
+
+
 def _run_search_command(args: list[str], flags: dict) -> int:
     """`search KERNEL [SIZE]`: any strategy through repro.search."""
+    from repro import telemetry
     from repro.cache.config import CACHE_8KB_DM
     from repro.experiments.common import ExperimentConfig, default_hosts
     from repro.kernels.registry import get_kernel
@@ -181,46 +242,90 @@ def _run_search_command(args: list[str], flags: dict) -> int:
         hosts=flags.get("hosts"),
     )
     members = flags.get("members")
-    outcome = search_tiling(
-        nest,
-        CACHE_8KB_DM,
-        strategy=flags.get("strategy", "ga"),
-        budget=flags.get("budget", 450),
-        seed=config.seed,
-        n_samples=config.n_samples,
-        workers=config.workers,
-        point_workers=config.point_workers,
-        ga_config=config.ga,
-        speculation=flags.get("speculation", 1),
-        checkpoint_path=flags.get("checkpoint"),
-        resume=flags.get("resume"),
-        members=tuple(members.split(",")) if members else None,
-        restart=flags.get("restart"),
-        portfolio_mode=flags.get("portfolio_mode", "interleave"),
-        backend=flags.get("backend"),
-        hosts=config.hosts,
-        memo_path=flags.get("memo"),
-        shard_dispatch=flags.get("shard_dispatch"),
-        # An explicit --hosts pins the fleet; hosts from REPRO_HOSTS
-        # are elastic — span waves re-read the variable mid-wave, so
-        # worker agents started later join a running search.
-        hosts_source=None if flags.get("hosts") else default_hosts,
-    )
+    trace_path = _telemetry_session(flags)
+    try:
+        outcome = search_tiling(
+            nest,
+            CACHE_8KB_DM,
+            strategy=flags.get("strategy", "ga"),
+            budget=flags.get("budget", 450),
+            seed=config.seed,
+            n_samples=config.n_samples,
+            workers=config.workers,
+            point_workers=config.point_workers,
+            ga_config=config.ga,
+            speculation=flags.get("speculation", 1),
+            checkpoint_path=flags.get("checkpoint"),
+            resume=flags.get("resume"),
+            members=tuple(members.split(",")) if members else None,
+            restart=flags.get("restart"),
+            portfolio_mode=flags.get("portfolio_mode", "interleave"),
+            backend=flags.get("backend"),
+            hosts=config.hosts,
+            memo_path=flags.get("memo"),
+            shard_dispatch=flags.get("shard_dispatch"),
+            # An explicit --hosts pins the fleet; hosts from REPRO_HOSTS
+            # are elastic — span waves re-read the variable mid-wave, so
+            # worker agents started later join a running search.
+            hosts_source=None if flags.get("hosts") else default_hosts,
+        )
+    finally:
+        telemetry.shutdown()
     print(outcome.summary())
-    if outcome.backend is not None:
-        b = outcome.backend
-        print(
-            f"backend: {b['remote_solves']} remote, {b['local_solves']} "
-            f"local, {b['store_hits']} memo hits, "
-            f"{b['payload_bytes']} payload bytes"
-        )
-    trace = outcome.search.trace
-    if trace:
-        print(
-            f"steps={len(trace)} "
-            f"consumed={outcome.search.consumed} "
-            f"consumed_distinct={outcome.search.consumed_distinct}"
-        )
+    if not flags.get("quiet"):
+        ev = outcome.evaluation
+        if ev is not None:
+            print(
+                f"evals: {ev['calls']} calls, {ev['memo_hits']} memo hits, "
+                f"{ev['new_solves']} new solves, {ev['store_hits']} store "
+                f"hits, {ev['distinct']} distinct"
+            )
+        if outcome.backend is not None:
+            b = outcome.backend
+            print(
+                f"backend: {b['remote_solves']} remote, {b['local_solves']} "
+                f"local, {b['store_hits']} memo hits, "
+                f"{b['payload_bytes']} payload bytes"
+            )
+        trace = outcome.search.trace
+        if trace:
+            print(
+                f"steps={len(trace)} "
+                f"consumed={outcome.search.consumed} "
+                f"consumed_distinct={outcome.search.consumed_distinct}"
+            )
+    _export_chrome(flags, trace_path)
+    return 0
+
+
+def _run_report_command(args: list[str], flags: dict) -> int:
+    """`report TRACE.jsonl`: summarize a run from its telemetry alone.
+
+    Validates the JSONL against the event schema (exit 1 on any
+    problem), prints the span/counter/gauge rollup, and with
+    ``--chrome OUT.json`` exports the Chrome/Perfetto timeline.
+    """
+    from repro.telemetry import (
+        load_events,
+        summarize_events,
+        validate_events,
+        write_chrome_trace,
+    )
+
+    if len(args) < 2:
+        raise SystemExit("usage: report TRACE.jsonl [--chrome OUT.json]")
+    events = load_events(args[1])
+    problems = validate_events(events)
+    if problems:
+        for problem in problems[:20]:
+            print(f"schema: {problem}")
+        print(f"{len(problems)} schema problem(s) in {args[1]}")
+        return 1
+    print(summarize_events(events))
+    out = flags.get("chrome")
+    if out:
+        n = write_chrome_trace(out, events)
+        print(f"chrome timeline ({n} records) written to {out}")
     return 0
 
 
@@ -352,6 +457,9 @@ def main(argv: list[str] | None = None) -> int:
         print(__doc__)
         return 0
     _apply_cascade_flags(flags)
+    from repro.telemetry import init_logging
+
+    init_logging(flags.get("log_level"))
     what = args[0]
 
     if what == "kernels":
@@ -410,7 +518,11 @@ def main(argv: list[str] | None = None) -> int:
     if what == "search":
         return _run_search_command(args, flags)
 
+    if what == "report":
+        return _run_report_command(args, flags)
+
     if what == "portfolio":
+        from repro import telemetry
         from repro.experiments.common import ExperimentConfig
         from repro.experiments.portfolio import (
             DEFAULT_MEMBERS,
@@ -419,20 +531,25 @@ def main(argv: list[str] | None = None) -> int:
         )
 
         members = flags.get("members")
-        rows, sharing = run_portfolio_comparison(
-            kernel=args[1] if len(args) > 1 else "MM",
-            size=int(args[2]) if len(args) > 2 else 100,
-            config=ExperimentConfig(
-                workers=flags.get("workers"),
-                point_workers=flags.get("point_workers"),
-                seed=flags.get("seed", 0),
-            ),
-            budget=flags.get("budget"),
-            members=tuple(members.split(",")) if members else DEFAULT_MEMBERS,
-            restart=flags.get("restart", "stagnation:5"),
-            mode=flags.get("portfolio_mode", "interleave"),
-        )
+        trace_path = _telemetry_session(flags)
+        try:
+            rows, sharing = run_portfolio_comparison(
+                kernel=args[1] if len(args) > 1 else "MM",
+                size=int(args[2]) if len(args) > 2 else 100,
+                config=ExperimentConfig(
+                    workers=flags.get("workers"),
+                    point_workers=flags.get("point_workers"),
+                    seed=flags.get("seed", 0),
+                ),
+                budget=flags.get("budget"),
+                members=tuple(members.split(",")) if members else DEFAULT_MEMBERS,
+                restart=flags.get("restart", "stagnation:5"),
+                mode=flags.get("portfolio_mode", "interleave"),
+            )
+        finally:
+            telemetry.shutdown()
         print(format_portfolio(rows, sharing))
+        _export_chrome(flags, trace_path)
         return 0
 
     from repro.experiments.associativity import format_associativity, run_associativity

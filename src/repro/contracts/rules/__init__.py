@@ -13,6 +13,7 @@ from repro.contracts.rules.determinism import DeterminismRule
 from repro.contracts.rules.env_registry import EnvRegistryRule
 from repro.contracts.rules.fingerprint import FingerprintCoverageRule
 from repro.contracts.rules.fingerprint_purity import FingerprintPurityRule
+from repro.contracts.rules.telemetry_purity import TelemetryPurityRule
 from repro.contracts.rules.wire_ops import WireOpsRule
 from repro.contracts.rules.wire_safety import WireSafetyRule
 
@@ -23,6 +24,7 @@ RULES: dict[str, type[Rule]] = {
         WireSafetyRule,
         FingerprintCoverageRule,
         FingerprintPurityRule,
+        TelemetryPurityRule,
         EnvRegistryRule,
         WireOpsRule,
         BroadExceptRule,

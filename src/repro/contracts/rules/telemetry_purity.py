@@ -1,0 +1,158 @@
+"""``telemetry-purity``: telemetry is write-only w.r.t. results.
+
+Architecture contract 8.  The telemetry subsystem records a run —
+including its nondeterministic timing, placement and arrival order —
+and must be provably unable to affect what the run computes.  The
+dangerous direction is *reading* telemetry state from code that decides
+results: an objective that consults a counter, a strategy that adapts
+to a span duration, a fingerprint that folds in recorder state would
+all let wall-clock nondeterminism leak into values, breaking the
+bit-identical-to-serial contract the golden traces pin.  (Adaptation
+is planned — ROADMAP item 4 — but must flow through the checkpointed
+decision path, never through ad-hoc telemetry reads.)
+
+Statically:
+
+* **result-deciding code** — the objective packages (``ga``, ``cme``,
+  ``polyhedra``, ``reuse``) and the strategy modules under
+  ``repro/search/`` (``base``, ``strategies``, ``genetic``,
+  ``portfolio``) — may call the recorder's *write* API
+  (``span``/``count``/``gauge``/``event`` via ``recorder()``) but is
+  flagged for importing or touching any *read* surface: drained
+  events, the counter/gauge tables, merge/load helpers;
+* **every** module is flagged when a ``fingerprint = (...)``
+  construction's def-use closure references the telemetry package at
+  all — fingerprints must be fully telemetry-blind, because the memo
+  store and checkpoints key on them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.contracts.base import LintContext, ParsedModule, Rule
+from repro.contracts.rules.fingerprint import _names_in, _reachable_names
+from repro.contracts.rules.fingerprint_purity import FingerprintPurityRule
+
+#: Packages whose code computes objective values (results).
+RESTRICTED_PACKAGES = ("ga", "cme", "polyhedra", "reuse")
+
+#: Strategy modules: their decisions determine search trajectories.
+RESTRICTED_MODULES = (
+    "repro/search/base.py",
+    "repro/search/strategies.py",
+    "repro/search/genetic.py",
+    "repro/search/portfolio.py",
+)
+
+#: The telemetry *read* surface — what result-deciding code must never
+#: touch.  (The write API — span/count/gauge/event/recorder/enabled/
+#: get_logger — is fine anywhere: writes cannot flow back into values.)
+READ_API = frozenset(
+    {
+        "counters",
+        "gauges",
+        "drain",
+        "drain_events",
+        "events",
+        "ingest",
+        "merge_events",
+        "load_events",
+        "summarize_events",
+        "validate_events",
+        "active",
+    }
+)
+
+
+def _telemetry_aliases(tree: ast.Module) -> set[str]:
+    """Local names through which ``repro.telemetry`` is reachable."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.telemetry"):
+                    aliases.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod == "repro":
+                for alias in node.names:
+                    if alias.name == "telemetry":
+                        aliases.add(alias.asname or alias.name)
+            elif mod.startswith("repro.telemetry"):
+                for alias in node.names:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _restricted(module: ParsedModule) -> bool:
+    return module.in_package(*RESTRICTED_PACKAGES) or any(
+        module.rel.endswith(m) for m in RESTRICTED_MODULES
+    )
+
+
+class TelemetryPurityRule(Rule):
+    id = "telemetry-purity"
+
+    def visit(self, module: ParsedModule, ctx: LintContext) -> None:
+        aliases = _telemetry_aliases(module.tree)
+        if _restricted(module) and aliases:
+            self._check_read_surface(module, ctx)
+        if aliases:
+            self._check_fingerprints(module, ctx, aliases)
+
+    # -- read-surface check (restricted modules only) ------------------------
+    def _check_read_surface(self, module: ParsedModule, ctx: LintContext) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if not mod.startswith("repro.telemetry"):
+                    continue
+                for alias in node.names:
+                    if alias.name in READ_API:
+                        self.report(
+                            ctx, module, node.lineno,
+                            f"result-deciding code imports telemetry read "
+                            f"API {alias.name!r} — telemetry is write-only "
+                            "w.r.t. results (architecture contract 8); "
+                            "adaptation must go through the checkpointed "
+                            "decision path",
+                        )
+            elif isinstance(node, ast.Attribute) and node.attr in READ_API:
+                # Conservative by design: in a module that both decides
+                # results and imports telemetry, ANY attribute spelled
+                # like the read surface is suspect (the recorder object
+                # travels through locals too easily to track precisely).
+                self.report(
+                    ctx, module, node.lineno,
+                    f"result-deciding code touches telemetry read "
+                    f"surface .{node.attr} — telemetry is write-only "
+                    "w.r.t. results (architecture contract 8)",
+                )
+
+    # -- fingerprint blindness (all modules) ---------------------------------
+    def _check_fingerprints(
+        self, module: ParsedModule, ctx: LintContext, aliases: set[str]
+    ) -> None:
+        for assign, func in FingerprintPurityRule._fingerprint_sites(module):
+            covered = _reachable_names(func, _names_in(assign.value))
+            exprs: list[ast.AST] = [assign.value]
+            if func is not None:
+                for node in ast.walk(func):
+                    if isinstance(node, ast.Assign) and any(
+                        isinstance(t, ast.Name) and t.id in covered
+                        for t in node.targets
+                    ):
+                        exprs.append(node.value)
+            for expr in exprs:
+                for node in ast.walk(expr):
+                    if isinstance(node, ast.Name) and node.id in aliases:
+                        self.report(
+                            ctx, module, node.lineno,
+                            f"objective fingerprint depends on telemetry "
+                            f"state (via {node.id!r}) — fingerprints must "
+                            "be telemetry-blind: the memo store and every "
+                            "checkpoint key on them, and telemetry records "
+                            "nondeterministic timing by design",
+                        )
+                        break

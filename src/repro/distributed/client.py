@@ -27,7 +27,10 @@ import threading
 import time
 from collections import deque
 
+from repro import telemetry
 from repro.distributed import wire
+
+logger = telemetry.get_logger("distributed.client")
 
 Values = tuple[int, ...]
 
@@ -63,7 +66,14 @@ class HostConnection:
         )
 
     def request(self, msg: dict) -> dict:
-        self.sent_bytes += wire.send_frame(self.sock, msg)
+        sent = wire.send_frame(self.sock, msg)
+        self.sent_bytes += sent
+        telemetry.recorder().count(
+            "wire.request_bytes",
+            sent,
+            op=str(msg.get("op")),
+            host=f"{self.host}:{self.port}",
+        )
         reply = wire.recv_frame(self.sock)
         if reply.get("op") == wire.OP_ERROR:
             raise wire.WireError(
@@ -283,6 +293,10 @@ class ClusterClient:
     def _drop(self, conn: HostConnection) -> None:
         conn.close()
         addr = (conn.host, conn.port)
+        logger.warning("lost worker %s:%s", conn.host, conn.port)
+        telemetry.recorder().event(
+            "wire.worker_lost", host=f"{conn.host}:{conn.port}"
+        )
         with self._lock:
             # An address update_hosts() removed mid-flight must not be
             # resurrected by its dying connection's cleanup.
@@ -353,6 +367,15 @@ class ClusterClient:
                     # registered as live.
                     # Worker lost or straggling: give the chunk back for
                     # the surviving hosts and retire this connection.
+                    logger.warning(
+                        "re-dispatching %d candidates away from %s:%s",
+                        len(idxs), conn.host, conn.port,
+                    )
+                    telemetry.recorder().event(
+                        "wire.redispatch",
+                        host=f"{conn.host}:{conn.port}",
+                        candidates=len(idxs),
+                    )
                     with lock:
                         queue.extendleft(reversed(idxs))
                         self.redispatched_chunks += 1
@@ -394,6 +417,35 @@ class ClusterClient:
                 partial=results,
             )
         return [results[i] for i in range(n)]
+
+    # -- telemetry -----------------------------------------------------------
+    def drain_telemetry(self) -> list[dict]:
+        """Collect buffered telemetry events from every live worker.
+
+        One ``op=telemetry`` round trip per host; each event is
+        (re)stamped with the address *we* dialled — the worker knows
+        only its bind address, and the coordinator's view is the one
+        the timeline should group by.  Batches merge on the
+        ``(host, pid, seq)`` total order, so the result is independent
+        of which host replied first.  Purely observational: a host
+        that dies mid-drain just contributes nothing.
+        """
+        batches: list[list[dict]] = []
+        for conn in self.connect():
+            try:
+                reply = conn.request({"op": wire.OP_TELEMETRY})
+            except (OSError, wire.WireError):
+                self._drop(conn)
+                continue
+            events = reply.get("events")
+            if not isinstance(events, list):
+                continue
+            addr = f"{conn.host}:{conn.port}"
+            for evt in events:
+                if isinstance(evt, dict):
+                    evt["host"] = addr
+            batches.append([e for e in events if isinstance(e, dict)])
+        return telemetry.merge_events(batches)
 
     # -- lifecycle -----------------------------------------------------------
     def shutdown_workers(self) -> None:

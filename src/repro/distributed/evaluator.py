@@ -37,7 +37,7 @@ from __future__ import annotations
 import pickle
 from typing import Callable
 
-from repro import envs
+from repro import envs, telemetry
 from repro.distributed.client import ClusterClient, ClusterUnavailable
 from repro.distributed.memo import MemoStore
 from repro.distributed.shardclient import (
@@ -146,6 +146,10 @@ class DistributedEvaluator(Evaluator):
                 self.store_hits += 1
             else:
                 todo.append(cand)
+        if len(missing) > len(todo):
+            telemetry.recorder().count(
+                "backend.store_hits", len(missing) - len(todo)
+            )
         if todo:
             solved = self._solve(todo)
             if self.store is not None:
@@ -225,7 +229,9 @@ class DistributedEvaluator(Evaluator):
         return values
 
     def _solve(self, todo: list[Values]) -> list[float]:
+        rec = telemetry.recorder()
         if self._dispatch_plane(todo) == "spans":
+            rec.count("backend.span_solves", len(todo))
             return self._solve_spans(todo)
         partial: dict[int, float] = {}
         if self.client is not None:
@@ -233,9 +239,14 @@ class DistributedEvaluator(Evaluator):
                 values = self.client.evaluate(self._objective_blob(), todo)
                 self.new_solves += len(todo)
                 self.remote_solves += len(todo)
+                rec.count("backend.remote_solves", len(todo))
                 return values
             except ClusterUnavailable as lost:
                 partial = lost.partial
+                rec.event(
+                    "backend.local_fallback",
+                    outstanding=len(todo) - len(partial),
+                )
         if partial:
             # The wave's survivors still count; only the remainder is
             # recomputed locally.
@@ -244,11 +255,14 @@ class DistributedEvaluator(Evaluator):
             self.remote_solves += len(partial)
             self.local_solves += len(remainder)
             self.new_solves += len(partial)
+            rec.count("backend.remote_solves", len(partial))
+            rec.count("backend.local_solves", len(remainder))
             return [
                 partial[i] if i in partial else next(rest)
                 for i in range(len(todo))
             ]
         self.local_solves += len(todo)
+        rec.count("backend.local_solves", len(todo))
         return super()._evaluate_missing(todo)
 
     # -- introspection -------------------------------------------------------
@@ -276,6 +290,11 @@ class DistributedEvaluator(Evaluator):
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
         if self.client is not None:
+            if telemetry.active():
+                # Pull the workers' buffered events home before the
+                # sockets go away.  Observational only: a failed drain
+                # loses events, never values.
+                telemetry.ingest(self.client.drain_telemetry())
             self.client.close()
         if self.store is not None:
             self.store.close()

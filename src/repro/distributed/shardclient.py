@@ -57,7 +57,10 @@ import threading
 import time
 from collections import deque
 
+from repro import telemetry
 from repro.evaluation.sharding import MIN_SHARD_POINTS, merge_estimates
+
+logger = telemetry.get_logger("distributed.spans")
 
 #: Accepted values of the dispatch-mode policy knob
 #: (``--shard-dispatch`` / ``REPRO_SHARD_DISPATCH``).
@@ -299,6 +302,12 @@ class RemoteShardPool:
                 st.capacities[addr] = conn.capacity
             if mid_wave and newcomer:
                 self.joined_hosts += 1
+                logger.info(
+                    "worker %s:%s joined mid-wave", conn.host, conn.port
+                )
+                telemetry.recorder().event(
+                    "wire.worker_join", host=f"{conn.host}:{conn.port}"
+                )
             if not mid_wave:
                 st.initial_addrs.add(addr)
             thread.start()
@@ -350,6 +359,10 @@ class RemoteShardPool:
         # reply can raise: the host retires, its spans go back to the
         # survivors, and the wave continues or fails over cleanly.
         except Exception:  # repro: lint-ok[broad-except]
+            logger.warning(
+                "span host %s:%s retired mid-wave; requeueing its spans",
+                addr[0], addr[1],
+            )
             with st.cond:
                 st.capacities.pop(addr, None)
                 self._requeue_host(st, addr)
@@ -421,6 +434,11 @@ class RemoteShardPool:
             if prior is None
             else (1.0 - self.ewma_alpha) * prior + self.ewma_alpha * observed
         )
+        rec = telemetry.recorder()
+        rec.count("wire.span_points", points, host=f"{addr[0]}:{addr[1]}")
+        rec.gauge(
+            "wire.span_rate", self.rates[addr], host=f"{addr[0]}:{addr[1]}"
+        )
         if _uncovered(st.accepted, start, stop) != [(start, stop)]:
             # A re-sliced twin beat us to (part of) this range: first
             # reply wins, later overlapping replies are dropped whole —
@@ -476,5 +494,15 @@ class RemoteShardPool:
                 pushed = True
             info[4] = True
             self.spans_resliced += 1
+            logger.debug(
+                "re-sliced overdue span [%d, %d) from %s:%s",
+                start, stop, addr[0], addr[1],
+            )
+            telemetry.recorder().event(
+                "wire.span_resliced",
+                host=f"{addr[0]}:{addr[1]}",
+                start=start,
+                stop=stop,
+            )
         if pushed:
             st.cond.notify_all()

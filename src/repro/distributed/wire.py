@@ -61,6 +61,7 @@ OP_SPAN = "span"
 OP_MISS = "miss"
 OP_ESTIMATE = "estimate"
 OP_SPAN_ESTIMATE = "span_estimate"
+OP_TELEMETRY = "telemetry"
 OP_SHUTDOWN = "shutdown"
 
 #: Ops exchanged by the handshake itself (handled in this module).
@@ -75,6 +76,7 @@ REQUEST_OPS = (
     OP_SHARD_CONTEXT,
     OP_SHARD,
     OP_SPAN,
+    OP_TELEMETRY,
     OP_SHUTDOWN,
 )
 
@@ -87,6 +89,7 @@ REPLY_OPS = (
     OP_MISS,
     OP_ESTIMATE,
     OP_SPAN_ESTIMATE,
+    OP_TELEMETRY,
     OP_ERROR,
 )
 

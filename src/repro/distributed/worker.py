@@ -41,8 +41,11 @@ import threading
 import time
 from collections import OrderedDict
 
+from repro import telemetry
 from repro.distributed import wire
 from repro.evaluation import sharding
+
+logger = telemetry.get_logger("distributed.worker")
 
 #: Worker-side per-connection candidate-bundle memo size (tokens) —
 #: the same policy object as the local shard pools', re-exported as a
@@ -78,7 +81,8 @@ class _Session:
         if handler is None:
             return {"op": wire.OP_ERROR, "message": f"unknown op {op!r}"}
         try:
-            return handler(msg)
+            with telemetry.recorder().span(f"worker.{op}"):
+                return handler(msg)
         # Job errors go back as error frames, not EOF: any exception an
         # arbitrary pickled objective can raise must reach the
         # coordinator (which re-dispatches or re-raises), so nothing
@@ -91,6 +95,15 @@ class _Session:
 
     def _op_ping(self, msg: dict) -> dict:
         return {"op": wire.OP_PONG}
+
+    def _op_telemetry(self, msg: dict) -> dict:
+        """Drain this worker's buffered telemetry back to the client.
+
+        Strictly read-and-clear on the event buffer — results flow
+        through the estimate/value ops only, so losing (or never
+        sending) a telemetry reply cannot change any search outcome.
+        """
+        return {"op": wire.OP_TELEMETRY, "events": telemetry.drain_events()}
 
     def _op_capacity(self, msg: dict) -> dict:
         return {"op": wire.OP_CAPACITY, "capacity": self.capacity}
@@ -258,6 +271,18 @@ def serve(port: int, host: str = "127.0.0.1", capacity: int = 1) -> int:
     """
     server = WorkerServer(host=host, port=port, capacity=capacity)
     bound_host, bound_port = server.address
+    # The stdout banner is parsed by spawning parents — keep it a
+    # plain print; diagnostics go to the stderr logging channel.
     print(f"repro-serve listening on {bound_host}:{bound_port}", flush=True)
-    server.serve_until_shutdown()
+    telemetry.configure(host=f"{bound_host}:{bound_port}")
+    telemetry.recorder().event("worker.serve", capacity=capacity)
+    logger.info(
+        "worker agent up on %s:%s (capacity %d)",
+        bound_host, bound_port, capacity,
+    )
+    try:
+        server.serve_until_shutdown()
+    finally:
+        logger.info("worker agent on %s:%s shut down", bound_host, bound_port)
+        telemetry.shutdown()
     return 0

@@ -309,6 +309,32 @@ CORPUS_LADDER_POINTS = _register(
     "oracle).  Caps cost only; each engine sees the same points.",
 )
 
+#: Observability knobs.  Telemetry is write-only with respect to
+#: results (architecture contract 8, enforced by the telemetry-purity
+#: lint rule and the disabled-mode golden traces), so neither knob is
+#: result-affecting and neither enters any fingerprint.
+TELEMETRY = _register(
+    "REPRO_TELEMETRY",
+    _flag,
+    False,
+    help="Enable the run telemetry recorder (spans, counters, gauges; "
+    "see docs/TELEMETRY.md).  Default off: hot paths hit a no-op "
+    "singleton and trajectories are bit-identical to a build without "
+    "telemetry.  An explicit REPRO_TELEMETRY=0 also overrides the "
+    "--trace flag's implicit enable.  Worker agents inherit it from "
+    "the environment the coordinator spawned them with.",
+)
+
+LOG_LEVEL = _register(
+    "REPRO_LOG_LEVEL",
+    str,
+    "WARNING",
+    help="Verbosity of the unified stderr logging channel "
+    "(DEBUG|INFO|WARNING|ERROR|CRITICAL).  The --log-level CLI flag "
+    "wins over this knob.  Diagnostics only — never affects results "
+    "or stdout.",
+)
+
 EXAMPLE_KERNEL = _register(
     "REPRO_EXAMPLE_KERNEL",
     str,

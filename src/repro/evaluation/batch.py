@@ -13,6 +13,8 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import telemetry
+
 Values = tuple[int, ...]
 
 # -- worker-side plumbing -----------------------------------------------------
@@ -119,6 +121,9 @@ class Evaluator:
             if v not in self.cache and v not in seen:
                 seen.add(v)
                 missing.append(v)
+        hits = len(batch) - len(missing)
+        if hits:
+            telemetry.recorder().count("evaluator.memo_hits", hits)
         if missing:
             for v, obj in zip(missing, self._evaluate_missing(missing)):
                 self.cache[v] = obj
@@ -126,6 +131,7 @@ class Evaluator:
 
     def _evaluate_missing(self, missing: list[Values]) -> list[float]:
         self.new_solves += len(missing)
+        telemetry.recorder().count("evaluator.new_solves", len(missing))
         if self.workers > 1 and len(missing) > 1:
             pool = self._ensure_pool()
             if pool is not None:

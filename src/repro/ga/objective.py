@@ -14,9 +14,32 @@ path.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.cme.analyzer import LocalityAnalyzer
 from repro.evaluation import Evaluator
 from repro.transform.padding import PaddingSearchSpace
+
+
+def _record_cascade_stats(estimate) -> None:
+    """Surface one evaluation's solver/cascade counters as telemetry.
+
+    Write-only: recording how the dispatch ladder resolved queries
+    (interval reject / enumerated / subgroup / … / unknown) never
+    feeds back into any value.  On worker agents the events buffer
+    locally and ship home over ``op=telemetry``.
+    """
+    stats = getattr(estimate, "solver_stats", None)
+    if stats is None:
+        return
+    rec = telemetry.recorder()
+    if not rec.enabled:
+        return
+    rec.count("cascade.points", stats.points)
+    rec.count("cascade.ref_tests", stats.ref_tests)
+    rec.count("cascade.boxes_tested", stats.boxes_tested)
+    for tier, n in (stats.congruence or {}).items():
+        if n:
+            rec.count(f"cascade.{tier}", n)
 
 
 class MemoizedObjective(Evaluator):
@@ -55,7 +78,9 @@ class SampledTilingFn:
         self.analyzer = analyzer
 
     def __call__(self, tiles) -> float:
-        return float(self.analyzer.estimate(tile_sizes=tiles).replacement)
+        estimate = self.analyzer.estimate(tile_sizes=tiles)
+        _record_cascade_stats(estimate)
+        return float(estimate.replacement)
 
     # -- span-shard protocol (RemoteShardPool coordinator half) --------------
     def shard_context(self):

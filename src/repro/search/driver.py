@@ -30,6 +30,7 @@ import os
 import pickle
 from typing import Callable
 
+from repro import telemetry
 from repro.evaluation import Evaluator, as_batch_objective
 from repro.search.base import (
     SearchResult,
@@ -187,25 +188,38 @@ def run_search(
         # after a resume the evaluator is fresh but the values are not.
         for cand, val in strategy._memo.items():
             evaluator.cache.setdefault(cand, val)
+    rec = telemetry.recorder()
     try:
         while not (max_distinct is not None and len(seen) >= max_distinct):
-            batch = strategy.propose()
-            if not batch:
-                break
-            if max_distinct is not None:
-                batch = _truncate_to_budget(
-                    batch, seen, max_distinct - len(seen)
-                )
-            values = evaluator.evaluate_batch(batch)
-            calls += len(batch)
-            before = len(seen)
-            seen.update(batch)
-            strategy.observe(batch, values)
-            # Consume the wave now (evaluation-free) so the trace and
-            # any budget-capped exit reflect the values just paid for.
-            strategy.advance()
-            step += 1
-            best_values, best_objective = strategy.best()
+            with rec.span("search.wave", step=step + 1):
+                with rec.span("search.propose"):
+                    batch = strategy.propose()
+                if not batch:
+                    break
+                if max_distinct is not None:
+                    batch = _truncate_to_budget(
+                        batch, seen, max_distinct - len(seen)
+                    )
+                with rec.span("search.evaluate", batch=len(batch)):
+                    values = evaluator.evaluate_batch(batch)
+                calls += len(batch)
+                before = len(seen)
+                seen.update(batch)
+                with rec.span("search.resolve"):
+                    strategy.observe(batch, values)
+                    # Consume the wave now (evaluation-free) so the
+                    # trace and any budget-capped exit reflect the
+                    # values just paid for.
+                    strategy.advance()
+                step += 1
+                best_values, best_objective = strategy.best()
+            rec.count("search.proposed", len(batch))
+            rec.count("search.new_distinct", len(seen) - before)
+            rec.gauge("search.best_objective", best_objective)
+            member_best = getattr(strategy, "member_best", None)
+            if member_best:
+                for slot, slot_best in enumerate(member_best):
+                    rec.gauge("portfolio.member_best", slot_best, slot=slot)
             trace.append(
                 StepRecord(
                     step=step,

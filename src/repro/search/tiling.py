@@ -43,6 +43,9 @@ class TilingSearchOutcome:
     (store hits vs remote vs local solves, payload bytes, re-dispatches
     — see :meth:`repro.distributed.DistributedEvaluator.backend_stats`)
     when the search ran against one; ``None`` for the plain local path.
+    ``evaluation`` carries the evaluator's own accounting for *every*
+    backend (calls, memo hits, new solves, …) so the CLI summary can
+    show where values came from on the local path too.
     """
 
     nest_name: str
@@ -50,6 +53,7 @@ class TilingSearchOutcome:
     before: CMEEstimate
     after: CMEEstimate
     backend: dict | None = None
+    evaluation: dict | None = None
 
     @property
     def tile_sizes(self) -> tuple[int, ...]:
@@ -294,9 +298,20 @@ def search_tiling(
             if hasattr(objective, "backend_stats")
             else None
         )
+        store_hits = getattr(objective, "store_hits", 0)
+        evaluation = {
+            "calls": objective.calls,
+            "new_solves": objective.new_solves,
+            "store_hits": store_hits,
+            "memo_hits": max(
+                0, objective.calls - objective.new_solves - store_hits
+            ),
+            "distinct": objective.distinct_evaluations,
+            "parallel_fallback": objective.parallel_fallback,
+        }
         objective.close()
         analyzer.close()
     return TilingSearchOutcome(
         nest_name=nest.name, search=result, before=before, after=after,
-        backend=backend_stats,
+        backend=backend_stats, evaluation=evaluation,
     )

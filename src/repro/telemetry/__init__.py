@@ -1,0 +1,66 @@
+"""Run telemetry: structured spans, counters/gauges, cluster timelines.
+
+The sensor layer of the system (ROADMAP item 4 consumes it).  Core
+promise, enforced by golden traces and the ``telemetry-purity`` lint
+rule: telemetry *records* a run — including its nondeterministic
+timing, placement and arrival order — but cannot affect its results.
+Off (the default), every instrumentation point collapses to a no-op
+singleton call and search trajectories are bit-identical to a build
+that never imported this package.
+
+Entry points:
+
+* instrumented code calls ``telemetry.recorder()`` and uses only the
+  write API (``span``/``count``/``gauge``/``event``);
+* the CLI calls :func:`configure` / :func:`shutdown` around a run and
+  ``--trace PATH`` routes events to a JSONL file;
+* worker agents buffer in memory and the coordinator drains them over
+  the wire (``OP_TELEMETRY``), merging with :func:`merge_events`;
+* ``repro.cli report`` reads the JSONL back (:mod:`.report`) and can
+  export a Chrome/Perfetto timeline (:mod:`.chrome`).
+
+See ``docs/TELEMETRY.md`` for the event schema and span taxonomy.
+"""
+
+from repro.telemetry.chrome import chrome_trace, write_chrome_trace
+from repro.telemetry.logs import get_logger, init_logging
+from repro.telemetry.recorder import (
+    KINDS,
+    NULL_RECORDER,
+    SCHEMA_VERSION,
+    Recorder,
+    active,
+    configure,
+    drain_events,
+    enabled,
+    ingest,
+    merge_events,
+    recorder,
+    shutdown,
+)
+from repro.telemetry.report import load_events, summarize_events, validate_events
+from repro.telemetry.sinks import JsonlSink, MemorySink
+
+__all__ = [
+    "KINDS",
+    "NULL_RECORDER",
+    "SCHEMA_VERSION",
+    "Recorder",
+    "JsonlSink",
+    "MemorySink",
+    "active",
+    "chrome_trace",
+    "configure",
+    "drain_events",
+    "enabled",
+    "get_logger",
+    "ingest",
+    "init_logging",
+    "load_events",
+    "merge_events",
+    "recorder",
+    "shutdown",
+    "summarize_events",
+    "validate_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,113 @@
+"""Export a telemetry event stream as a Chrome ``trace_event`` timeline.
+
+The output loads directly in ``chrome://tracing`` / Perfetto
+(``ui.perfetto.dev``) and gives the cluster view the wire counters
+alone cannot: one horizontal lane per host, spans as nested bars,
+counters as stacked area charts, join/leave/re-dispatch as instants.
+
+Mapping from our schema (see ``docs/TELEMETRY.md``):
+
+* each distinct ``host`` becomes one trace *process* (``pid`` lane),
+  labelled via an ``M`` (metadata) ``process_name`` record;
+* ``span`` events become ``X`` (complete) events — ``ts``/``dur`` in
+  microseconds, normalised so the earliest event in the stream is 0;
+* ``count``/``gauge`` events become ``C`` (counter) events — counts
+  are accumulated into running totals per (host, name) so the chart
+  shows the level, not the deltas;
+* ``event`` kinds become ``i`` (instant) events with global scope.
+
+Emitting-thread identity is folded into ``tid`` per host so
+overlapping spans from the wire dispatcher threads render side by
+side instead of self-nesting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+
+def _micros(ts: float, t0: float) -> float:
+    return (ts - t0) * 1e6
+
+
+def chrome_trace(events: Iterable[dict]) -> dict:
+    """Build a Chrome ``trace_event`` JSON object from schema events."""
+    events = [e for e in events if isinstance(e, dict) and "ts" in e]
+    if not events:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = min(float(e["ts"]) for e in events)
+    hosts = sorted({str(e.get("host", "?")) for e in events})
+    pid_of = {host: i + 1 for i, host in enumerate(hosts)}
+
+    trace: list[dict] = []
+    for host in hosts:
+        trace.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid_of[host],
+                "tid": 0,
+                "args": {"name": host},
+            }
+        )
+
+    totals: dict[tuple, float] = {}
+    for evt in events:
+        host = str(evt.get("host", "?"))
+        pid = pid_of[host]
+        kind = evt.get("kind")
+        name = str(evt.get("name", "?"))
+        ts = _micros(float(evt["ts"]), t0)
+        args = dict(evt.get("attrs") or {})
+        if kind == "span":
+            trace.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": evt.get("pid", 0),
+                    "ts": ts,
+                    "dur": max(float(evt.get("dur", 0.0)) * 1e6, 0.0),
+                    "args": args,
+                }
+            )
+        elif kind in ("count", "gauge"):
+            value = evt.get("value")
+            if not isinstance(value, (int, float)):
+                continue
+            if kind == "count":
+                key = (host, name)
+                value = totals[key] = totals.get(key, 0) + value
+            trace.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": {name.rpartition(".")[2]: value},
+                }
+            )
+        elif kind == "event":
+            trace.append(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "pid": pid,
+                    "tid": evt.get("pid", 0),
+                    "ts": ts,
+                    "s": "g",
+                    "args": args,
+                }
+            )
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: Iterable[dict]) -> int:
+    """Write the Chrome trace for ``events`` to ``path``; returns the
+    number of trace records written (metadata included)."""
+    trace = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, separators=(",", ":"))
+    return len(trace["traceEvents"])

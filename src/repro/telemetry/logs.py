@@ -1,0 +1,59 @@
+"""One stderr logging channel for the whole package.
+
+Before this existed, `repro.cli serve` printed ad-hoc diagnostics and
+`ClusterClient` was silent — worker loss, straggler re-dispatch and
+mid-wave joins all happened invisibly.  Every module now logs through
+``get_logger(...)`` (a child of the single ``repro`` logger) and the
+CLI installs exactly one stderr handler via :func:`init_logging`.
+
+Verbosity comes from ``--log-level`` or the ``REPRO_LOG_LEVEL`` knob
+(default ``WARNING`` — quiet unless something is going wrong).  None
+of it touches stdout: the ``repro-serve listening on HOST:PORT``
+banner that loopback clusters parse stays a plain print.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_LOGGER = "repro"
+
+_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The package logger for a dotted subsystem name
+    (``get_logger("distributed.client")`` → ``repro.distributed.client``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def init_logging(level: str | None = None, stream=None) -> logging.Logger:
+    """Install the single stderr handler on the ``repro`` logger.
+
+    ``level`` beats ``REPRO_LOG_LEVEL`` beats the ``WARNING`` default.
+    Idempotent: reconfiguring replaces the handler rather than
+    stacking a second one (tests call this repeatedly).  Unknown
+    level names raise ``SystemExit`` with the valid choices — this is
+    CLI-argument validation, surfaced where the CLI surfaces errors.
+    """
+    from repro import envs
+
+    if level is None:
+        level = envs.LOG_LEVEL.get()
+    level = str(level).upper()
+    if level not in _LEVELS:
+        raise SystemExit(
+            f"unknown log level {level!r} (choose from {', '.join(_LEVELS)})"
+        )
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,385 @@
+"""The process-local telemetry recorder and its module-level registry.
+
+One :class:`Recorder` per process, reached through :func:`recorder`.
+When telemetry is off (the default — ``REPRO_TELEMETRY`` unset and no
+``--trace`` flag), :func:`recorder` returns the :data:`NULL_RECORDER`
+singleton whose every method is a constant no-op: hot paths pay one
+attribute lookup and one call into an empty function, and the golden
+traces in ``tests/search`` pin that the disabled mode is bit-identical
+to code that never heard of telemetry.
+
+The write API — :meth:`Recorder.span`, :meth:`~Recorder.count`,
+:meth:`~Recorder.gauge`, :meth:`~Recorder.event` — is the only surface
+instrumented code touches.  Everything else (``drain``, ``counters``,
+the sink list) is the *read* side, reserved for sinks, the report CLI
+and the wire-layer event shipping; the ``telemetry-purity`` lint rule
+bars objective/fingerprint/strategy code from it (architecture
+contract 8: telemetry is write-only with respect to results).
+
+Event schema (one JSON object per JSONL line; see docs/TELEMETRY.md):
+
+==========  =============================================================
+key         meaning
+==========  =============================================================
+``v``       schema version (:data:`SCHEMA_VERSION`)
+``kind``    ``span`` | ``count`` | ``gauge`` | ``event``
+``name``    dotted event name (``search.wave``, ``wire.request_bytes``…)
+``ts``      wall-clock seconds since the epoch (span: its *start*)
+``host``    emitting process's host tag (coordinator: ``local``;
+            worker agents: their ``host:port``; re-stamped by the
+            coordinator when events ship over the wire)
+``pid``     emitting process id
+``seq``     per-recorder emission counter — ``(host, pid, seq)`` is a
+            total order, which is what makes multi-host merges
+            independent of arrival order
+``dur``     span only: duration in seconds (monotonic-clocked)
+``span``    span only: recorder-unique span id
+``parent``  span only: enclosing span's id, or ``None``
+``value``   count (delta) / gauge (level) only
+``attrs``   free-form string-keyed attributes, JSON-safe
+==========  =============================================================
+
+Timestamps come from the wall clock *inside this module* — the
+``determinism`` lint rule keeps wall-clock reads out of the search,
+evaluation, polyhedra and distributed packages, and routing them
+through here preserves that: instrumented code never reads a clock, it
+reports facts and the recorder stamps them.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from typing import Any, Iterable
+
+SCHEMA_VERSION = 1
+
+#: Event kinds a valid stream may carry.
+KINDS = ("span", "count", "gauge", "event")
+
+
+def _json_safe(value: Any) -> Any:
+    """Make ``value`` JSON-serialisable without losing information.
+
+    Non-finite floats (``inf`` appears naturally, e.g. a portfolio
+    slot's best before its first wave) become their ``repr`` string —
+    strict JSON has no Infinity/NaN literals.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+class _Span:
+    """Context manager for one span; emitted once, at close."""
+
+    __slots__ = ("_recorder", "name", "attrs", "_t0", "_mono0", "_id", "_parent")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: dict):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.time()
+        self._mono0 = time.perf_counter()
+        self._id, self._parent = self._recorder._push_span()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        dur = time.perf_counter() - self._mono0
+        self._recorder._pop_span()
+        self._recorder._emit(
+            {
+                "kind": "span",
+                "name": self.name,
+                "ts": self._t0,
+                "dur": dur,
+                "span": self._id,
+                "parent": self._parent,
+                "attrs": _json_safe(self.attrs),
+            }
+        )
+
+
+class _NullSpan:
+    """The no-op span: shared, reentrant, stateless."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullRecorder:
+    """Disabled-mode recorder: every write is a constant no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1, **attrs) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **attrs) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def drain(self) -> list:
+        return []
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled-mode recorder (identity-comparable in tests).
+NULL_RECORDER = _NullRecorder()
+
+
+class Recorder:
+    """Process-local telemetry: nestable spans, typed counters/gauges.
+
+    Thread-safe — the wire layer emits from per-host dispatcher
+    threads.  Span nesting is tracked per *thread* (each thread has its
+    own span stack), while ``seq`` and the counter table are shared
+    under one lock.  Events go to every configured sink as plain
+    dicts; sinks own durability (JSONL file, in-memory buffer).
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Iterable = (), host: str = "local"):
+        self.sinks = list(sinks)
+        self.host = host
+        self.pid = os.getpid()
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._seq = 0
+        self._next_span_id = 0
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- write API (the only surface instrumented code touches) ------------
+    def span(self, name: str, **attrs) -> _Span:
+        """A nestable timed span; emitted (with duration) when closed."""
+        return _Span(self, name, attrs)
+
+    def count(self, name: str, value: float = 1, **attrs) -> None:
+        """Add ``value`` to counter ``name`` and emit the delta event."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+        self._emit(
+            {
+                "kind": "count",
+                "name": name,
+                "ts": time.time(),
+                "value": _json_safe(value),
+                "attrs": _json_safe(attrs),
+            }
+        )
+
+    def gauge(self, name: str, value: float, **attrs) -> None:
+        """Record the current level of ``name`` (last write wins)."""
+        with self._lock:
+            self.gauges[name] = value
+        self._emit(
+            {
+                "kind": "gauge",
+                "name": name,
+                "ts": time.time(),
+                "value": _json_safe(value),
+                "attrs": _json_safe(attrs),
+            }
+        )
+
+    def event(self, name: str, **attrs) -> None:
+        """A point-in-time occurrence (worker joined, host lost…)."""
+        self._emit(
+            {
+                "kind": "event",
+                "name": name,
+                "ts": time.time(),
+                "attrs": _json_safe(attrs),
+            }
+        )
+
+    # -- span bookkeeping ----------------------------------------------------
+    def _span_stack(self) -> list[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _push_span(self) -> tuple[int, int | None]:
+        stack = self._span_stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+        stack.append(span_id)
+        return span_id, parent
+
+    def _pop_span(self) -> None:
+        stack = self._span_stack()
+        if stack:
+            stack.pop()
+
+    # -- emission ------------------------------------------------------------
+    def _emit(self, evt: dict) -> None:
+        with self._lock:
+            evt["v"] = SCHEMA_VERSION
+            evt["host"] = self.host
+            evt["pid"] = self.pid
+            evt["seq"] = self._seq
+            self._seq += 1
+            for sink in self.sinks:
+                sink.emit(evt)
+
+    def ingest(self, events: list[dict]) -> None:
+        """Append pre-formed events (a worker's drained batch) verbatim.
+
+        The events keep their own ``host``/``pid``/``seq`` identity —
+        re-stamping them would destroy the total order that makes the
+        merge arrival-order independent.
+        """
+        with self._lock:
+            for evt in events:
+                for sink in self.sinks:
+                    sink.emit(evt)
+
+    # -- read side (sinks / reporting / wire shipping only) -----------------
+    def drain(self) -> list[dict]:
+        """Pop buffered events from every memory sink (wire shipping)."""
+        out: list[dict] = []
+        with self._lock:
+            for sink in self.sinks:
+                drain = getattr(sink, "drain", None)
+                if drain is not None:
+                    out.extend(drain())
+        return out
+
+    def flush(self) -> None:
+        with self._lock:
+            for sink in self.sinks:
+                sink.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            for sink in self.sinks:
+                sink.close()
+            self.sinks = []
+
+
+def merge_events(batches: Iterable[list[dict]]) -> list[dict]:
+    """Merge per-host event batches on the ``(host, pid, seq)`` total
+    order — the result is independent of batch order and of the
+    arrival order of replies, which is what the loopback tests pin."""
+    merged = [evt for batch in batches for evt in batch]
+    merged.sort(
+        key=lambda e: (str(e.get("host")), e.get("pid") or 0, e.get("seq") or 0)
+    )
+    return merged
+
+
+# -- module-level registry ----------------------------------------------------
+
+_RECORDER: Recorder | None = None
+
+
+def recorder() -> Recorder | _NullRecorder:
+    """The process's recorder, or the no-op singleton when disabled."""
+    return _RECORDER if _RECORDER is not None else NULL_RECORDER
+
+
+def active() -> bool:
+    """True when a real recorder is installed in this process."""
+    return _RECORDER is not None
+
+
+def enabled(default: bool = False) -> bool:
+    """Resolve the telemetry on/off switch.
+
+    An explicitly set ``REPRO_TELEMETRY`` always wins — in particular
+    ``REPRO_TELEMETRY=0`` forces telemetry off even when a caller (the
+    ``--trace`` flag) asks for it by default, which is what the
+    no-sink-writes test pins.  Unset, the caller's ``default`` decides.
+    """
+    from repro import envs
+
+    if envs.TELEMETRY.is_set():
+        return bool(envs.TELEMETRY.get())
+    return bool(default)
+
+
+def configure(
+    trace_path: str | None = None,
+    *,
+    sink=None,
+    default: bool = False,
+    host: str = "local",
+) -> Recorder | None:
+    """Install the process recorder (replacing any previous one).
+
+    Returns ``None`` — and installs nothing, creates no file, writes
+    no byte — when telemetry resolves disabled (see :func:`enabled`).
+    ``trace_path`` adds a :class:`~repro.telemetry.sinks.JsonlSink`;
+    ``sink`` adds any additional sink; with neither, events buffer in
+    a :class:`~repro.telemetry.sinks.MemorySink` (the worker-agent
+    mode, drained over the wire).
+    """
+    from repro.telemetry.sinks import JsonlSink, MemorySink
+
+    global _RECORDER
+    shutdown()
+    if not enabled(default):
+        return None
+    sinks = []
+    if trace_path:
+        sinks.append(JsonlSink(trace_path))
+    if sink is not None:
+        sinks.append(sink)
+    if not sinks:
+        sinks.append(MemorySink())
+    _RECORDER = Recorder(sinks, host=host)
+    return _RECORDER
+
+
+def shutdown() -> None:
+    """Close the installed recorder's sinks and return to disabled."""
+    global _RECORDER
+    if _RECORDER is not None:
+        _RECORDER.close()
+        _RECORDER = None
+
+
+def drain_events() -> list[dict]:
+    """Drain the process recorder's buffered events (worker-side use)."""
+    return recorder().drain()
+
+
+def ingest(events: list[dict]) -> None:
+    """Feed pre-formed (already-stamped) events into the recorder."""
+    if _RECORDER is not None and events:
+        _RECORDER.ingest(events)

@@ -1,0 +1,156 @@
+"""Read a JSONL telemetry trace back: validation and run summaries.
+
+This is the consumer side of the schema in
+:mod:`repro.telemetry.recorder` — everything here works from the
+event stream alone, with no access to the run that produced it, which
+is what lets ``repro.cli report`` summarise a trace shipped from
+another machine.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, defaultdict
+from typing import Iterable
+
+from repro.telemetry.recorder import KINDS, SCHEMA_VERSION
+
+REQUIRED_KEYS = ("v", "kind", "name", "ts", "host", "pid", "seq")
+
+
+def load_events(path: str) -> list[dict]:
+    """Parse a JSONL trace file into a list of event dicts.
+
+    Raises ``ValueError`` with the line number on malformed JSON — a
+    truncated final line (crashed run) is reported, not silently
+    swallowed, so the report CLI can tell the user what it skipped.
+    """
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                evt = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed JSONL ({exc})") from exc
+            events.append(evt)
+    return events
+
+
+def validate_events(events: Iterable[dict]) -> list[str]:
+    """Schema-check an event stream; returns human-readable problems.
+
+    An empty list means every event is a valid schema-version-1
+    record.  Checks are per-event plus one stream-level check: within
+    a ``(host, pid)`` lane, ``seq`` values must be unique (the merge
+    order depends on it).
+    """
+    problems: list[str] = []
+    seen_seq: dict[tuple, set] = defaultdict(set)
+    for i, evt in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(evt, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in evt]
+        if missing:
+            problems.append(f"{where}: missing keys {missing}")
+            continue
+        if evt["v"] != SCHEMA_VERSION:
+            problems.append(f"{where}: schema version {evt['v']!r} != {SCHEMA_VERSION}")
+        kind = evt["kind"]
+        if kind not in KINDS:
+            problems.append(f"{where}: unknown kind {kind!r}")
+            continue
+        if not isinstance(evt["name"], str) or not evt["name"]:
+            problems.append(f"{where}: bad name {evt['name']!r}")
+        if not isinstance(evt["ts"], (int, float)):
+            problems.append(f"{where}: non-numeric ts {evt['ts']!r}")
+        if kind == "span":
+            if not isinstance(evt.get("dur"), (int, float)) or evt["dur"] < 0:
+                problems.append(f"{where}: span without a valid dur")
+            if not isinstance(evt.get("span"), int):
+                problems.append(f"{where}: span without a span id")
+        if kind in ("count", "gauge") and "value" not in evt:
+            problems.append(f"{where}: {kind} without a value")
+        lane = (evt["host"], evt["pid"])
+        if evt["seq"] in seen_seq[lane]:
+            problems.append(f"{where}: duplicate seq {evt['seq']} in lane {lane}")
+        seen_seq[lane].add(evt["seq"])
+    return problems
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    return f"{s * 1e3:.1f}ms"
+
+
+def summarize_events(events: list[dict]) -> str:
+    """Render the run summary ``repro.cli report`` prints.
+
+    Sections: hosts seen, span rollup (count / total / mean per
+    name), counter totals (with per-op frames+bytes for the wire
+    request counter), final gauge values, and point-event tallies.
+    """
+    hosts = sorted({str(e.get("host", "?")) for e in events})
+    spans: dict[str, list[float]] = defaultdict(list)
+    counts: dict[str, float] = defaultdict(float)
+    wire_ops: dict[str, list[float]] = defaultdict(lambda: [0, 0.0])
+    gauges: dict[str, float] = {}
+    instants: Counter = Counter()
+    for evt in events:
+        kind = evt.get("kind")
+        name = str(evt.get("name", "?"))
+        if kind == "span":
+            spans[name].append(float(evt.get("dur", 0.0)))
+        elif kind == "count":
+            value = evt.get("value")
+            if isinstance(value, (int, float)):
+                counts[name] += value
+                if name == "wire.request_bytes":
+                    op = str((evt.get("attrs") or {}).get("op", "?"))
+                    wire_ops[op][0] += 1
+                    wire_ops[op][1] += value
+        elif kind == "gauge":
+            value = evt.get("value")
+            if isinstance(value, (int, float)):
+                gauges[name] = value
+        elif kind == "event":
+            instants[name] += 1
+
+    lines = [f"{len(events)} events from {len(hosts)} host(s): {', '.join(hosts)}"]
+    if spans:
+        lines.append("")
+        lines.append("spans (name: n / total / mean):")
+        for name in sorted(spans):
+            durs = spans[name]
+            total = sum(durs)
+            lines.append(
+                f"  {name:<28} {len(durs):>6}  {_fmt_seconds(total):>9}"
+                f"  {_fmt_seconds(total / len(durs)):>9}"
+            )
+    if counts:
+        lines.append("")
+        lines.append("counters (total):")
+        for name in sorted(counts):
+            lines.append(f"  {name:<28} {counts[name]:>12g}")
+    if wire_ops:
+        lines.append("")
+        lines.append("wire requests (op: frames / bytes):")
+        for op in sorted(wire_ops):
+            frames, total = wire_ops[op]
+            lines.append(f"  {op:<28} {int(frames):>6}  {int(total):>12}")
+    if gauges:
+        lines.append("")
+        lines.append("gauges (last value):")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<28} {gauges[name]:>12g}")
+    if instants:
+        lines.append("")
+        lines.append("events:")
+        for name in sorted(instants):
+            lines.append(f"  {name:<28} {instants[name]:>6}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Event sinks: where a :class:`~repro.telemetry.recorder.Recorder` puts events.
+
+Two concrete sinks cover every mode the run telemetry needs:
+
+* :class:`JsonlSink` — the durable form.  One compact JSON object per
+  line, append-only, flushed per event so a crashed run still leaves a
+  readable prefix.  This is what ``--trace PATH`` writes and what
+  ``repro.cli report`` reads back.
+* :class:`MemorySink` — the transit form.  A bounded in-memory buffer
+  used by worker agents (drained over the wire by ``OP_TELEMETRY``)
+  and by tests.  Bounded so a coordinator that never drains cannot
+  grow a worker without limit; overflow drops the *oldest* events and
+  is itself counted, so a truncated stream is detectable.
+
+A sink only needs ``emit(evt)``, ``flush()`` and ``close()``; exposing
+``drain()`` additionally makes it drainable by the wire layer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+#: MemorySink default capacity; ~64k events is minutes of dense
+#: instrumentation, far beyond one wave between drains.
+MEMORY_SINK_LIMIT = 65536
+
+
+class JsonlSink:
+    """Append events to ``path``, one JSON object per line."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, evt: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(evt, separators=(",", ":"), sort_keys=True))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class MemorySink:
+    """Buffer events in memory until something drains them."""
+
+    def __init__(self, limit: int = MEMORY_SINK_LIMIT):
+        self._buf: deque = deque(maxlen=limit)
+        self.dropped = 0
+
+    def emit(self, evt: dict) -> None:
+        if len(self._buf) == self._buf.maxlen:
+            self.dropped += 1
+        self._buf.append(dict(evt))
+
+    def drain(self) -> list[dict]:
+        out = list(self._buf)
+        self._buf.clear()
+        return out
+
+    @property
+    def events(self) -> list[dict]:
+        return list(self._buf)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self._buf.clear()

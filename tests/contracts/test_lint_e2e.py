@@ -68,6 +68,7 @@ def test_registry_has_the_contracted_rules():
         "wire-pickle",
         "fingerprint-coverage",
         "fingerprint-purity",
+        "telemetry-purity",
         "env-registry",
         "wire-ops",
         "broad-except",

@@ -1,0 +1,150 @@
+"""The ``telemetry-purity`` rule: result-deciding code may write
+telemetry but never read it, and fingerprints are telemetry-blind
+(architecture contract 8)."""
+
+import textwrap
+
+from repro.contracts.engine import run_lint
+from repro.contracts.rules.telemetry_purity import TelemetryPurityRule
+
+
+def lint(root):
+    return run_lint(root, [TelemetryPurityRule()])
+
+
+#: An objective that only *writes* — the sanctioned pattern.
+CLEAN_OBJECTIVE = textwrap.dedent(
+    """
+    from repro import telemetry
+
+    def evaluate(tiles):
+        rec = telemetry.recorder()
+        if rec.enabled:
+            rec.count("cascade.points", 10)
+        with rec.span("objective.call"):
+            value = float(sum(tiles))
+        rec.gauge("objective.value", value)
+        return value
+    """
+)
+
+
+def test_write_only_objective_passes(make_tree):
+    root = make_tree({"src/repro/ga/objective.py": CLEAN_OBJECTIVE})
+    assert lint(root) == []
+
+
+def test_counter_read_in_objective_is_flagged(make_tree):
+    src = textwrap.dedent(
+        """
+        from repro import telemetry
+
+        def evaluate(tiles):
+            rec = telemetry.recorder()
+            penalty = rec.counters.get("evaluator.memo_hits", 0)
+            return float(sum(tiles)) + penalty
+        """
+    )
+    root = make_tree({"src/repro/ga/objective.py": src})
+    findings = lint(root)
+    assert len(findings) == 1
+    assert ".counters" in findings[0].message
+    assert "contract 8" in findings[0].message
+
+
+def test_read_api_import_in_strategy_is_flagged(make_tree):
+    src = textwrap.dedent(
+        """
+        from repro.telemetry import drain_events
+
+        def propose(state):
+            events = drain_events()
+            return [e["name"] for e in events]
+        """
+    )
+    root = make_tree({"src/repro/search/strategies.py": src})
+    findings = lint(root)
+    assert len(findings) == 1
+    assert "drain_events" in findings[0].message
+    assert findings[0].path == "src/repro/search/strategies.py"
+
+
+def test_read_outside_restricted_code_passes(make_tree):
+    """The CLI / reporting layer is the read side — reads are its job."""
+    src = textwrap.dedent(
+        """
+        from repro import telemetry
+
+        def report(path):
+            events = telemetry.load_events(path)
+            return telemetry.merge_events([events])
+        """
+    )
+    root = make_tree({"src/repro/cli.py": src})
+    assert lint(root) == []
+
+
+def test_restricted_module_without_telemetry_import_passes(make_tree):
+    """``.events`` on a non-telemetry object only matters once the
+    module actually imports telemetry."""
+    src = textwrap.dedent(
+        """
+        def evaluate(log, tiles):
+            return float(len(log.events) + sum(tiles))
+        """
+    )
+    root = make_tree({"src/repro/cme/sampling.py": src})
+    assert lint(root) == []
+
+
+def test_fingerprint_referencing_telemetry_is_flagged(make_tree):
+    """Fingerprints key the memo store — telemetry state in the tuple
+    (even via an assignment feeding it) splits or poisons it."""
+    src = textwrap.dedent(
+        """
+        from repro import telemetry
+
+        def run(nest, cache, seed):
+            solves = telemetry.recorder().counters.get("solves", 0)
+            fingerprint = (nest, repr(cache), seed, solves)
+            return fingerprint
+        """
+    )
+    root = make_tree({"src/repro/search/tiling.py": src})
+    findings = lint(root)
+    assert findings
+    assert any("telemetry-blind" in f.message for f in findings)
+
+
+def test_fingerprint_in_unrestricted_module_is_still_checked(make_tree):
+    """Fingerprint blindness applies everywhere, not just to the
+    restricted packages."""
+    src = textwrap.dedent(
+        """
+        from repro import telemetry as t
+
+        def run(nest, seed):
+            fingerprint = (nest, seed, t)
+            return fingerprint
+        """
+    )
+    root = make_tree({"src/repro/util/helpers.py": src})
+    findings = lint(root)
+    assert len(findings) == 1
+    assert "telemetry-blind" in findings[0].message
+
+
+def test_suppression_comment_is_honoured(make_tree):
+    src = textwrap.dedent(
+        """
+        from repro import telemetry
+
+        def evaluate(tiles):
+            rec = telemetry.recorder()
+            # repro: lint-ok[telemetry-purity]
+            hits = rec.counters.get("x", 0)
+            return float(sum(tiles)) + hits
+        """
+    )
+    root = make_tree({"src/repro/ga/objective.py": src})
+    assert lint(root) == []

@@ -1,0 +1,89 @@
+"""Telemetry must not move a single bit of any result.
+
+Two directions: disabled mode is the null recorder (no file, no byte,
+trajectories pinned against the same golden traces as the seed code),
+and *enabled* mode — though it records freely — yields the identical
+trajectory, because instrumented code only ever writes."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import telemetry
+from repro.cache.config import CacheConfig
+from repro.search import HillClimbStrategy, run_search
+from repro.search.tiling import search_tiling
+from repro.telemetry import MemorySink
+from tests.conftest import make_small_transpose
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden.json").read_text()
+)
+CACHE = CacheConfig(1024, 32, 1)
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+def toy(tiles):
+    return float((tiles[0] - 4) ** 2 + (tiles[1] - 27) ** 2)
+
+
+def _golden_hillclimb():
+    strategy = HillClimbStrategy([32, 32], start=(16, 16))
+    run_search(strategy, toy)
+    g = GOLDEN["hillclimb_toy"]
+    assert [[list(c), v] for c, v in strategy.accepted] == g["accepted"]
+    assert [list(strategy.current), strategy.current_objective,
+            strategy.consumed] == g["final"]
+
+
+def test_disabled_mode_matches_golden_and_writes_no_byte(
+    tmp_path, monkeypatch
+):
+    """REPRO_TELEMETRY=0 beats even an explicit --trace request:
+    nothing is installed, no file is created, and the trajectory is
+    the seed code's, bit for bit."""
+    monkeypatch.setenv("REPRO_TELEMETRY", "0")
+    trace = tmp_path / "run.jsonl"
+    assert telemetry.configure(str(trace), default=True) is None
+    assert telemetry.recorder() is telemetry.NULL_RECORDER
+    _golden_hillclimb()
+    assert not trace.exists()
+
+
+def test_enabled_mode_matches_the_same_golden_trace():
+    """Recording on: the trajectory still equals the golden trace —
+    telemetry observes the search, it never steers it."""
+    sink = MemorySink()
+    telemetry.configure(sink=sink, default=True)
+    _golden_hillclimb()
+    names = {e["name"] for e in sink.events}
+    assert {"search.wave", "search.propose", "search.evaluate",
+            "search.resolve"} <= names
+
+
+def test_search_tiling_is_identical_with_telemetry_on(tmp_path):
+    """The full real-objective pipeline, telemetry off vs on with a
+    JSONL sink: equal outcome objects, and the trace is well-formed."""
+    kw = dict(strategy="random", budget=10, seed=0, n_samples=32)
+    off = search_tiling(make_small_transpose(48), CACHE, **kw)
+
+    trace = tmp_path / "run.jsonl"
+    telemetry.configure(str(trace), default=True)
+    try:
+        on = search_tiling(make_small_transpose(48), CACHE, **kw)
+    finally:
+        telemetry.shutdown()
+
+    assert on.search == off.search  # full trajectory, trace included
+    assert on.tile_sizes == off.tile_sizes
+    assert on.after.replacement == off.after.replacement
+    events = telemetry.load_events(str(trace))
+    assert events and telemetry.validate_events(events) == []

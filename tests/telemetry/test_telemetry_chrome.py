@@ -1,0 +1,77 @@
+"""Chrome ``trace_event`` export: host lanes, span bars, counter
+levels, instants — and a file Perfetto can actually load."""
+
+import json
+
+from repro.telemetry import chrome_trace, write_chrome_trace
+
+
+def _evt(kind, name, host, seq, ts, **extra):
+    evt = {"v": 1, "kind": kind, "name": name, "ts": ts,
+           "host": host, "pid": 42, "seq": seq, "attrs": {}}
+    evt.update(extra)
+    return evt
+
+
+def test_each_host_gets_a_named_pid_lane():
+    events = [
+        _evt("event", "worker.serve", "b:2", 0, 10.0),
+        _evt("event", "worker.serve", "a:1", 0, 10.5),
+    ]
+    trace = chrome_trace(events)["traceEvents"]
+    meta = [t for t in trace if t["ph"] == "M"]
+    assert [m["args"]["name"] for m in meta] == ["a:1", "b:2"]  # sorted
+    assert [m["pid"] for m in meta] == [1, 2]
+    instants = [t for t in trace if t["ph"] == "i"]
+    assert {t["pid"] for t in instants} == {1, 2}
+    assert all(t["s"] == "g" for t in instants)
+
+
+def test_spans_become_complete_events_normalised_to_micros():
+    events = [
+        _evt("span", "search.wave", "local", 0, 100.0,
+             dur=0.25, span=0, parent=None),
+        _evt("span", "search.propose", "local", 1, 100.1,
+             dur=0.05, span=1, parent=0),
+    ]
+    trace = chrome_trace(events)["traceEvents"]
+    bars = [t for t in trace if t["ph"] == "X"]
+    assert bars[0]["ts"] == 0.0  # earliest event is the origin
+    assert bars[0]["dur"] == 0.25 * 1e6
+    assert abs(bars[1]["ts"] - 0.1 * 1e6) < 1.0
+
+
+def test_counts_accumulate_to_levels_per_host():
+    events = [
+        _evt("count", "cascade.points", "a:1", 0, 1.0, value=10),
+        _evt("count", "cascade.points", "b:2", 0, 1.1, value=5),
+        _evt("count", "cascade.points", "a:1", 1, 1.2, value=7),
+        _evt("gauge", "search.best_objective", "local", 0, 1.3, value=2.5),
+        _evt("gauge", "portfolio.member_best", "local", 1, 1.4, value="inf"),
+    ]
+    trace = chrome_trace(events)["traceEvents"]
+    counters = [t for t in trace if t["ph"] == "C"]
+    points_a = [t["args"]["points"] for t in counters
+                if t["name"] == "cascade.points" and t["pid"] == 1]
+    assert points_a == [10, 17]  # running total, per host
+    # gauges pass through; non-numeric ("inf" repr) values are skipped
+    assert [t["args"] for t in counters if "best_objective" in t["name"]] == [
+        {"best_objective": 2.5}
+    ]
+    assert not any("member_best" in t["name"] for t in counters)
+
+
+def test_empty_stream_yields_an_empty_trace():
+    assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+def test_write_chrome_trace_returns_record_count(tmp_path):
+    out = tmp_path / "timeline.json"
+    n = write_chrome_trace(
+        str(out),
+        [_evt("span", "s", "local", 0, 1.0, dur=0.1, span=0, parent=None)],
+    )
+    assert n == 2  # one metadata record + one span bar
+    doc = json.loads(out.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert len(doc["traceEvents"]) == 2

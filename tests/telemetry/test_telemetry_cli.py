@@ -1,0 +1,112 @@
+"""CLI surface of the telemetry subsystem: ``--trace``/``--chrome``
+on search, the default evals summary with ``--quiet``, and the
+``report`` command working from the JSONL alone."""
+
+import json
+
+import pytest
+
+from repro import cli, telemetry
+from repro.telemetry import load_events, validate_events
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+def _search(tmp_path, *extra):
+    trace = tmp_path / "run.jsonl"
+    rc = cli.main(
+        ["search", "T2D", "48", "--strategy", "random", "--budget", "12",
+         "--trace", str(trace), *extra]
+    )
+    return rc, trace
+
+
+def test_trace_flag_writes_a_valid_jsonl_stream(tmp_path, capsys):
+    rc, trace = _search(tmp_path)
+    assert rc == 0
+    events = load_events(str(trace))
+    assert events and validate_events(events) == []
+    names = {e["name"] for e in events}
+    assert {"search.wave", "search.propose", "search.evaluate",
+            "search.resolve"} <= names
+    assert "evaluator.new_solves" in names
+    assert "cascade.points" in names  # objective's solver counters
+    # the recorder is torn down after the run
+    assert not telemetry.active()
+
+
+def test_search_summary_includes_evals_line_by_default(capsys):
+    assert cli.main(["search", "T2D", "48", "--strategy", "random",
+                     "--budget", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "evals:" in out
+    assert "memo hits" in out and "new solves" in out and "store hits" in out
+
+
+def test_quiet_suppresses_the_diagnostics(capsys):
+    assert cli.main(["search", "T2D", "48", "--strategy", "random",
+                     "--budget", "12", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "[random]" in out  # the one-line result stays
+    assert "evals:" not in out and "steps:" not in out
+
+
+def test_chrome_export_rides_on_trace(tmp_path, capsys):
+    out_path = tmp_path / "timeline.json"
+    rc, trace = _search(tmp_path, "--chrome", str(out_path))
+    assert rc == 0
+    assert "chrome timeline" in capsys.readouterr().out
+    doc = json.loads(out_path.read_text())
+    assert doc["traceEvents"]
+    assert any(t["ph"] == "X" for t in doc["traceEvents"])
+
+
+def test_chrome_without_trace_is_an_error():
+    with pytest.raises(SystemExit, match="--chrome"):
+        cli.main(["search", "T2D", "48", "--budget", "12",
+                  "--chrome", "out.json"])
+
+
+def test_env_zero_wins_over_trace_flag(tmp_path, monkeypatch, capsys):
+    """REPRO_TELEMETRY=0 beats --trace: same search, no file at all."""
+    monkeypatch.setenv("REPRO_TELEMETRY", "0")
+    rc, trace = _search(tmp_path)
+    assert rc == 0
+    assert not trace.exists()
+
+
+def test_report_command_summarises_from_the_jsonl_alone(tmp_path, capsys):
+    _search(tmp_path)
+    capsys.readouterr()
+    assert cli.main(["report", str(tmp_path / "run.jsonl")]) == 0
+    out = capsys.readouterr().out
+    assert "host(s): local" in out
+    assert "search.wave" in out
+    assert "evaluator.new_solves" in out
+    assert "cascade.points" in out
+
+
+def test_report_command_exports_chrome(tmp_path, capsys):
+    _search(tmp_path)
+    out_path = tmp_path / "timeline.json"
+    assert cli.main(["report", str(tmp_path / "run.jsonl"),
+                     "--chrome", str(out_path)]) == 0
+    assert json.loads(out_path.read_text())["traceEvents"]
+
+
+def test_report_flags_schema_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"v":1,"kind":"blip"}\n')
+    assert cli.main(["report", str(bad)]) == 1
+    assert "missing keys" in capsys.readouterr().out
+
+
+def test_report_without_a_path_is_usage_error():
+    with pytest.raises(SystemExit):
+        cli.main(["report"])

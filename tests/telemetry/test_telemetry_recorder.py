@@ -1,0 +1,154 @@
+"""The telemetry recorder: write API, schema stamping, the no-op
+disabled mode, and the (host, pid, seq) merge order."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    NULL_RECORDER,
+    SCHEMA_VERSION,
+    MemorySink,
+    merge_events,
+    validate_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    """Every test starts disabled and leaves nothing installed."""
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+def test_disabled_by_default_returns_null_singleton():
+    assert telemetry.recorder() is NULL_RECORDER
+    assert not telemetry.active()
+    assert not telemetry.recorder().enabled
+    # the whole write API is a no-op and drain yields nothing
+    with telemetry.recorder().span("x", a=1):
+        telemetry.recorder().count("c")
+        telemetry.recorder().gauge("g", 1.0)
+        telemetry.recorder().event("e")
+    assert telemetry.drain_events() == []
+
+
+def test_write_api_emits_schema_valid_events():
+    sink = MemorySink()
+    rec = telemetry.configure(sink=sink, default=True)
+    assert rec is telemetry.recorder() and rec.enabled
+    rec.count("evaluator.new_solves", 3)
+    rec.gauge("search.best_objective", 1.5, step=2)
+    rec.event("worker.serve", capacity=4)
+    with rec.span("search.wave", step=1):
+        with rec.span("search.propose"):
+            pass
+    events = sink.drain()
+    assert validate_events(events) == []
+    assert [e["kind"] for e in events] == [
+        "count", "gauge", "event", "span", "span"
+    ]
+    assert all(e["v"] == SCHEMA_VERSION for e in events)
+    assert [e["seq"] for e in events] == list(range(5))
+    # inner span closes first and links to its parent
+    inner, outer = events[3], events[4]
+    assert inner["name"] == "search.propose"
+    assert inner["parent"] == outer["span"]
+    assert outer["parent"] is None
+    assert outer["dur"] >= inner["dur"] >= 0
+    assert events[1]["attrs"] == {"step": 2}
+
+
+def test_counters_accumulate_and_gauges_overwrite():
+    rec = telemetry.configure(default=True)
+    rec.count("hits")
+    rec.count("hits", 4)
+    rec.gauge("best", 9.0)
+    rec.gauge("best", 3.0)
+    assert rec.counters["hits"] == 5
+    assert rec.gauges["best"] == 3.0
+
+
+def test_env_zero_beats_caller_default(tmp_path, monkeypatch):
+    """Explicit REPRO_TELEMETRY=0 forces telemetry off even when
+    --trace asks for it: configure installs nothing, creates no file."""
+    trace = tmp_path / "run.jsonl"
+    monkeypatch.setenv("REPRO_TELEMETRY", "0")
+    assert telemetry.enabled(default=True) is False
+    assert telemetry.configure(str(trace), default=True) is None
+    assert not telemetry.active()
+    assert not trace.exists()
+
+
+def test_env_one_beats_caller_default(monkeypatch):
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    assert telemetry.enabled(default=False) is True
+    assert telemetry.configure() is not None
+
+
+def test_jsonl_sink_round_trip(tmp_path):
+    trace = tmp_path / "run.jsonl"
+    rec = telemetry.configure(str(trace), default=True)
+    rec.count("x", 2)
+    rec.event("done")
+    telemetry.shutdown()
+    lines = trace.read_text().splitlines()
+    assert len(lines) == 2
+    events = [json.loads(line) for line in lines]
+    assert validate_events(events) == []
+    assert telemetry.load_events(trace) == events
+
+
+def test_nonfinite_values_stay_json_strict(tmp_path):
+    trace = tmp_path / "run.jsonl"
+    rec = telemetry.configure(str(trace), default=True)
+    rec.gauge("portfolio.member_best", float("inf"), slot=0)
+    telemetry.shutdown()
+    evt = json.loads(trace.read_text())  # strict JSON must parse it
+    assert evt["value"] == "inf"
+
+
+def test_merge_is_independent_of_batch_order():
+    batches = []
+    for host, pid in (("a:1", 10), ("b:2", 20), ("local", 5)):
+        batches.append(
+            [
+                {"v": 1, "kind": "event", "name": f"e{i}", "ts": 0.0,
+                 "host": host, "pid": pid, "seq": i}
+                for i in range(3)
+            ]
+        )
+    forward = merge_events(batches)
+    backward = merge_events(reversed(batches))
+    assert forward == backward
+    assert [e["seq"] for e in forward if e["host"] == "a:1"] == [0, 1, 2]
+
+
+def test_ingest_preserves_foreign_stamps():
+    rec = telemetry.configure(default=True)
+    foreign = [
+        {"v": 1, "kind": "count", "name": "remote", "ts": 1.0,
+         "host": "w:9", "pid": 99, "seq": 7, "value": 1, "attrs": {}}
+    ]
+    rec.count("local.first")
+    telemetry.ingest(foreign)
+    events = telemetry.drain_events()
+    shipped = [e for e in events if e["host"] == "w:9"]
+    assert shipped == foreign  # host/pid/seq untouched, no re-stamping
+
+
+def test_ingest_without_recorder_is_a_no_op():
+    telemetry.ingest([{"kind": "event", "name": "x"}])  # must not raise
+    assert telemetry.drain_events() == []
+
+
+def test_memory_sink_bounds_and_counts_drops():
+    sink = MemorySink(limit=4)
+    rec = telemetry.configure(sink=sink, default=True)
+    for i in range(10):
+        rec.count("c", i)
+    assert len(sink.events) == 4
+    assert sink.dropped == 6

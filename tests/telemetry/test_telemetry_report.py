@@ -1,0 +1,84 @@
+"""Trace read-back: JSONL loading, schema validation, run summaries —
+all from the event stream alone (the `repro.cli report` contract)."""
+
+import pytest
+
+from repro.telemetry import load_events, summarize_events, validate_events
+
+
+def _evt(kind, name, seq, host="local", **extra):
+    evt = {"v": 1, "kind": kind, "name": name, "ts": 1.0 + seq,
+           "host": host, "pid": 7, "seq": seq, "attrs": {}}
+    evt.update(extra)
+    return evt
+
+
+def test_load_events_reports_the_malformed_line(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"v":1}\n{oops\n')
+    with pytest.raises(ValueError, match=r"t\.jsonl:2"):
+        load_events(str(path))
+
+
+def test_load_events_skips_blank_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"v":1}\n\n{"v":1}\n')
+    assert len(load_events(str(path))) == 2
+
+
+def test_validate_flags_each_schema_break():
+    good = _evt("count", "c", 0, value=1)
+    problems = validate_events(
+        [
+            good,
+            {"kind": "count"},                      # missing keys
+            _evt("blip", "x", 1),                   # unknown kind
+            _evt("span", "s", 2),                   # span without dur/id
+            _evt("count", "c", 3),                  # count without value
+            _evt("count", "c", 3, value=1),         # duplicate seq in lane
+        ]
+    )
+    assert validate_events([good]) == []
+    assert len(problems) == 6  # the bare span breaks twice: dur AND id
+    assert any("missing keys" in p for p in problems)
+    assert any("unknown kind" in p for p in problems)
+    assert any("valid dur" in p for p in problems)
+    assert any("without a value" in p for p in problems)
+    assert any("duplicate seq" in p for p in problems)
+
+
+def test_validate_keeps_lanes_separate():
+    """Same seq on different (host, pid) lanes is the normal case."""
+    assert validate_events(
+        [
+            _evt("event", "e", 0, host="a:1"),
+            _evt("event", "e", 0, host="b:2"),
+        ]
+    ) == []
+
+
+def test_summary_rolls_up_every_section():
+    events = [
+        _evt("span", "search.wave", 0, dur=0.5, span=0, parent=None),
+        _evt("span", "search.wave", 1, dur=1.5, span=1, parent=None),
+        _evt("count", "evaluator.new_solves", 2, value=12),
+        _evt("count", "wire.request_bytes", 3, value=2048,
+             attrs={"op": "eval", "host": "a:1"}),
+        _evt("count", "wire.request_bytes", 4, value=1024,
+             attrs={"op": "eval", "host": "a:1"}),
+        _evt("gauge", "search.best_objective", 5, value=3.25),
+        _evt("event", "wire.redispatch", 6, host="a:1"),
+    ]
+    text = summarize_events(events)
+    assert "7 events from 2 host(s): a:1, local" in text
+    # span rollup: n=2, total 2.00s, mean 1.00s
+    assert "search.wave" in text and "2.00s" in text and "1.00s" in text
+    assert "evaluator.new_solves" in text and "12" in text
+    # the wire counter gets a per-op frames/bytes breakdown
+    assert "wire requests" in text and "eval" in text and "3072" in text
+    assert "search.best_objective" in text and "3.25" in text
+    assert "wire.redispatch" in text
+
+
+def test_summary_of_an_empty_stream_is_still_a_line():
+    assert summarize_events([]).startswith("0 events from 0 host(s)")

@@ -29,6 +29,7 @@ DOC_FILES = [
     ROOT / "docs" / "CLI.md",
     ROOT / "docs" / "CORPUS.md",
     ROOT / "docs" / "LINTS.md",
+    ROOT / "docs" / "TELEMETRY.md",
 ]
 CLI_DOC = ROOT / "docs" / "CLI.md"
 LINTS_DOC = ROOT / "docs" / "LINTS.md"
